@@ -1,0 +1,87 @@
+//! Criterion benches: one representative point per paper figure, so the
+//! regeneration cost of every result is tracked over time.
+
+use bench::figures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stopwatch_core::config::DiskKind;
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_median_analysis", |b| {
+        b.iter(|| black_box(figures::fig1(black_box(0.5))))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("attacker_trace_quick", |b| {
+        b.iter(|| black_box(figures::fig4(black_box(60), 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("file_download_100kb", |b| {
+        b.iter(|| black_box(figures::fig5(&[100_000], 1, 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("nfs_100ops_at_100", |b| {
+        b.iter(|| black_box(figures::fig6(&[100.0], 100, 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("parsec_ferret_pair", |b| {
+        // One baseline + one StopWatch run of the lightest app.
+        b.iter(|| black_box(figures::fig7_app("ferret", DiskKind::Rotating, 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("noise_comparison", |b| {
+        b.iter(|| black_box(figures::fig8(black_box(0.5))))
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    use placement::prelude::*;
+    c.bench_function("placement_bose_n33_c10", |b| {
+        b.iter(|| {
+            let mut p = PlacementPlanner::new(33, 10, Strategy::Bose).unwrap();
+            black_box(p.place_all())
+        })
+    });
+    c.bench_function("placement_greedy_n21", |b| {
+        b.iter(|| black_box(greedy_packing(21, 10, 42)))
+    });
+    c.bench_function("placement_theorem1_n999", |b| {
+        b.iter(|| black_box(max_triangle_packing(black_box(999))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_placement
+);
+criterion_main!(benches);

@@ -1,0 +1,369 @@
+//! Regenerates every result figure of the StopWatch paper.
+//!
+//! ```text
+//! experiments [--quick] [fig1|fig4|fig5|fig6|fig7|fig8|placement|calibrate|collab|all]
+//! ```
+//!
+//! Tables print to stdout; CSVs land in `results/`.
+
+use bench::figures;
+use bench::report::{f2, f4, Table};
+use placement::prelude::*;
+use std::path::PathBuf;
+use stopwatch_core::config::DiskKind;
+
+fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+fn run_fig1() {
+    for (panel, lp) in [("b", 0.5), ("c", 10.0 / 11.0)] {
+        let f = figures::fig1(lp);
+        let mut curves = Table::new(&[
+            "x",
+            "baseline",
+            "victim",
+            "median_3_baselines",
+            "median_2_baselines_1_victim",
+        ]);
+        for p in &f.curves {
+            curves.row(&[
+                f2(p.x),
+                f4(p.baseline),
+                f4(p.victim),
+                f4(p.median_three_baselines),
+                f4(p.median_with_victim),
+            ]);
+        }
+        let mut det = Table::new(&["confidence", "obs_with_stopwatch", "obs_without"]);
+        for p in &f.detection {
+            det.row(&[
+                f2(p.confidence),
+                p.with_stopwatch.to_string(),
+                p.without_stopwatch.to_string(),
+            ]);
+        }
+        println!("== Fig 1a (lambda'={lp:.4}) — CDFs (head) ==");
+        let head: Vec<String> = curves.render().lines().take(12).map(String::from).collect();
+        println!("{}\n...", head.join("\n"));
+        println!("== Fig 1{panel} (lambda'={lp:.4}) — observations to detect victim ==");
+        println!("{}", det.render());
+        curves
+            .write_csv(&results_dir().join(format!("fig1a_lambda_{lp:.3}.csv")))
+            .expect("write csv");
+        det.write_csv(&results_dir().join(format!("fig1{panel}_detect.csv")))
+            .expect("write csv");
+    }
+}
+
+fn run_fig4(quick: bool) {
+    let probes = if quick { 300 } else { 1500 };
+    let f = figures::fig4(probes, 42);
+    let summarize = |name: &str, v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!("  {name}: n={} mean={:.3}ms", v.len(), mean);
+    };
+    println!("== Fig 4a — attacker-observed inter-packet virtual deltas ==");
+    summarize("StopWatch, no victim   ", &f.null_deltas_ms);
+    summarize("StopWatch, with victim ", &f.victim_deltas_ms);
+    summarize("Baseline,  no victim   ", &f.baseline_null_ms);
+    summarize("Baseline,  with victim ", &f.baseline_victim_ms);
+    let mut det = Table::new(&["confidence", "obs_with_stopwatch", "obs_without"]);
+    for p in &f.detection {
+        det.row(&[
+            f2(p.confidence),
+            p.with_stopwatch.to_string(),
+            p.without_stopwatch.to_string(),
+        ]);
+    }
+    println!("== Fig 4b — observations to distinguish (empirical) ==");
+    println!("{}", det.render());
+    det.write_csv(&results_dir().join("fig4b_detect.csv")).expect("write csv");
+    // CDF series for plotting.
+    let mut cdf = Table::new(&["delta_ms", "cdf_no_victim", "cdf_with_victim"]);
+    let mut all: Vec<f64> = f.null_deltas_ms.clone();
+    all.extend(&f.victim_deltas_ms);
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let null = timestats::dist::Empirical::from_samples(f.null_deltas_ms.iter().copied());
+    let alt = timestats::dist::Empirical::from_samples(f.victim_deltas_ms.iter().copied());
+    use timestats::dist::Cdf;
+    for i in (0..all.len()).step_by((all.len() / 60).max(1)) {
+        let x = all[i];
+        cdf.row(&[f2(x), f4(null.cdf(x)), f4(alt.cdf(x))]);
+    }
+    cdf.write_csv(&results_dir().join("fig4a_cdf.csv")).expect("write csv");
+}
+
+fn run_fig5(quick: bool) {
+    let sizes: &[u64] = if quick {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+    };
+    let downloads = if quick { 2 } else { 5 };
+    let rows = figures::fig5(sizes, downloads, 42);
+    let mut t = Table::new(&[
+        "bytes",
+        "http_baseline_ms",
+        "http_stopwatch_ms",
+        "http_ratio",
+        "udp_baseline_ms",
+        "udp_stopwatch_ms",
+        "udp_ratio",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.bytes.to_string(),
+            f2(r.http_baseline_ms),
+            f2(r.http_stopwatch_ms),
+            f2(r.http_stopwatch_ms / r.http_baseline_ms),
+            f2(r.udp_baseline_ms),
+            f2(r.udp_stopwatch_ms),
+            f2(r.udp_stopwatch_ms / r.udp_baseline_ms),
+        ]);
+    }
+    println!("== Fig 5 — file retrieval latency ==");
+    println!("{}", t.render());
+    t.write_csv(&results_dir().join("fig5_downloads.csv")).expect("write csv");
+}
+
+fn run_fig6(quick: bool) {
+    let rates: &[f64] = if quick {
+        &[25.0, 100.0, 400.0]
+    } else {
+        &[25.0, 50.0, 100.0, 200.0, 400.0]
+    };
+    let ops = if quick { 150 } else { 400 };
+    let rows = figures::fig6(rates, ops, 42);
+    let mut t = Table::new(&[
+        "ops_per_sec",
+        "baseline_ms",
+        "stopwatch_ms",
+        "ratio",
+        "c2s_pkts_per_op",
+        "s2c_pkts_per_op",
+    ]);
+    for r in &rows {
+        t.row(&[
+            f2(r.rate),
+            f2(r.baseline_ms),
+            f2(r.stopwatch_ms),
+            f2(r.stopwatch_ms / r.baseline_ms),
+            f2(r.client_to_server_per_op),
+            f2(r.server_to_client_per_op),
+        ]);
+    }
+    println!("== Fig 6 — NFS (nhfsstone) ==");
+    println!("{}", t.render());
+    t.write_csv(&results_dir().join("fig6_nfs.csv")).expect("write csv");
+}
+
+fn run_fig7() {
+    let rows = figures::fig7(DiskKind::Rotating, 42);
+    let mut t = Table::new(&[
+        "app",
+        "baseline_ms",
+        "stopwatch_ms",
+        "ratio",
+        "paper_base",
+        "paper_sw",
+        "paper_ratio",
+        "disk_irqs",
+        "paper_irqs",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.name.to_string(),
+            f2(r.baseline_ms),
+            f2(r.stopwatch_ms),
+            f2(r.stopwatch_ms / r.baseline_ms),
+            r.paper_baseline_ms.to_string(),
+            r.paper_stopwatch_ms.to_string(),
+            f2(r.paper_stopwatch_ms as f64 / r.paper_baseline_ms as f64),
+            r.disk_interrupts.to_string(),
+            r.paper_disk_interrupts.to_string(),
+        ]);
+    }
+    println!("== Fig 7 — PARSEC (rotating disk) ==");
+    println!("{}", t.render());
+    t.write_csv(&results_dir().join("fig7_parsec.csv")).expect("write csv");
+
+    // The Sec. VII-D conjecture: SSDs shrink the needed Δd and the penalty.
+    let ssd = figures::fig7(DiskKind::Ssd, 42);
+    let mut t2 = Table::new(&["app", "ssd_baseline_ms", "ssd_stopwatch_ms", "ratio"]);
+    for r in &ssd {
+        t2.row(&[
+            r.name.to_string(),
+            f2(r.baseline_ms),
+            f2(r.stopwatch_ms),
+            f2(r.stopwatch_ms / r.baseline_ms),
+        ]);
+    }
+    println!("== Fig 7 ablation — same apps on SSD (Sec. VII-D conjecture) ==");
+    println!("{}", t2.render());
+    t2.write_csv(&results_dir().join("fig7_parsec_ssd.csv")).expect("write csv");
+}
+
+fn run_fig8() {
+    for (panel, lp) in [("a", 0.5), ("b", 10.0 / 11.0)] {
+        let rows = figures::fig8(lp);
+        let mut t = Table::new(&[
+            "confidence",
+            "observations",
+            "delta_n",
+            "noise_bound_b",
+            "E[X23+dn]",
+            "E[X'23+dn]",
+            "E[X1+XN]",
+            "E[X'1+XN]",
+        ]);
+        for r in &rows {
+            t.row(&[
+                f2(r.confidence),
+                r.observations.to_string(),
+                f2(r.delta_n),
+                f2(r.noise_bound),
+                f2(r.stopwatch_delay_null),
+                f2(r.stopwatch_delay_victim),
+                f2(r.noise_delay_null),
+                f2(r.noise_delay_victim),
+            ]);
+        }
+        println!("== Fig 8{panel} (lambda'={lp:.4}) — StopWatch vs uniform noise ==");
+        println!("{}", t.render());
+        t.write_csv(&results_dir().join(format!("fig8{panel}_noise.csv")))
+            .expect("write csv");
+    }
+}
+
+fn run_placement() {
+    // Theorem 1: maximum packings.
+    let mut t1 = Table::new(&["n", "max_vms_theorem1", "isolation", "speedup"]);
+    for n in [3usize, 7, 9, 15, 21, 33, 45, 63, 99] {
+        let k = max_triangle_packing(n);
+        t1.row(&[
+            n.to_string(),
+            k.to_string(),
+            isolation_capacity(n).to_string(),
+            f2(k as f64 / n as f64),
+        ]);
+    }
+    println!("== Sec VIII / Theorem 1 — max edge-disjoint triangle packings ==");
+    println!("{}", t1.render());
+    t1.write_csv(&results_dir().join("placement_theorem1.csv")).expect("write csv");
+
+    // Theorem 2: constructive placements with capacities.
+    let mut t2 = Table::new(&["n", "capacity", "vms_placed", "bose_promise", "valid", "utilization"]);
+    for n in [9usize, 15, 21, 33] {
+        for c in [1usize, 2, 3, 4, 7, 10] {
+            if c > (n - 1) / 2 {
+                continue;
+            }
+            let mut p = PlacementPlanner::new(n, c, Strategy::Bose).expect("bose planner");
+            let placed = p.place_all();
+            let sys = BoseSystem::new(n).expect("bose system");
+            t2.row(&[
+                n.to_string(),
+                c.to_string(),
+                placed.to_string(),
+                sys.theorem2_count(c).to_string(),
+                p.validate().is_ok().to_string(),
+                f2(p.utilization()),
+            ]);
+        }
+    }
+    println!("== Sec VIII / Theorem 2 — constructive capacity-constrained placements ==");
+    println!("{}", t2.render());
+    t2.write_csv(&results_dir().join("placement_theorem2.csv")).expect("write csv");
+
+    // Greedy fallback for non-Bose shapes.
+    let mut t3 = Table::new(&["n", "capacity", "greedy_vms", "theorem1_bound"]);
+    for n in [10usize, 12, 16, 20, 40] {
+        let c = (n - 1) / 2;
+        let placed = greedy_packing(n, c, 42);
+        t3.row(&[
+            n.to_string(),
+            c.to_string(),
+            placed.len().to_string(),
+            max_triangle_packing(n).to_string(),
+        ]);
+    }
+    println!("== Sec VIII — greedy packing on arbitrary cloud shapes ==");
+    println!("{}", t3.render());
+    t3.write_csv(&results_dir().join("placement_greedy.csv")).expect("write csv");
+}
+
+fn run_calibrate(quick: bool) {
+    let deltas: &[u64] = if quick { &[2, 8, 12] } else { &[1, 2, 4, 6, 8, 10, 12, 15] };
+    let rows = figures::calibrate(deltas, 42);
+    let mut t = Table::new(&["delta_ms", "sync_violations", "dd_violations", "http_latency_ms"]);
+    for r in &rows {
+        t.row(&[
+            r.delta_ms.to_string(),
+            r.sync_violations.to_string(),
+            r.dd_violations.to_string(),
+            f2(r.latency_ms),
+        ]);
+    }
+    println!("== Sec VII-A — Δ calibration (violations vs latency) ==");
+    println!("{}", t.render());
+    t.write_csv(&results_dir().join("calibration.csv")).expect("write csv");
+}
+
+fn run_collab(quick: bool) {
+    let probes = if quick { 150 } else { 600 };
+    let rows = figures::collab(probes, 42);
+    let mut t = Table::new(&["replicas", "collaborator_load", "mean_delta_ms", "shift_ms"]);
+    for r in &rows {
+        t.row(&[
+            r.replicas.to_string(),
+            r.load_present.to_string(),
+            f2(r.mean_delta_ms),
+            f2(r.shift_ms),
+        ]);
+    }
+    println!("== Sec IX — collaborating attacker (marginalize one replica) ==");
+    println!("{}", t.render());
+    t.write_csv(&results_dir().join("collab.csv")).expect("write csv");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let want = |name: &str| all || which.contains(&name);
+
+    if want("fig1") {
+        run_fig1();
+    }
+    if want("fig4") {
+        run_fig4(quick);
+    }
+    if want("fig5") {
+        run_fig5(quick);
+    }
+    if want("fig6") {
+        run_fig6(quick);
+    }
+    if want("fig7") {
+        run_fig7();
+    }
+    if want("fig8") {
+        run_fig8();
+    }
+    if want("placement") {
+        run_placement();
+    }
+    if want("calibrate") {
+        run_calibrate(quick);
+    }
+    if want("collab") {
+        run_collab(quick);
+    }
+    println!("CSV output in {}/", results_dir().display());
+}

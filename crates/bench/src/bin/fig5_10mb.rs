@@ -1,0 +1,16 @@
+//! One-shot Fig. 5 measurement at 10 MB (single download per config).
+use bench::figures;
+
+fn main() {
+    let rows = figures::fig5(&[10_000_000], 1, 42);
+    let r = &rows[0];
+    println!(
+        "10MB: http_base {:.1} http_sw {:.1} ratio {:.2} | udp_base {:.1} udp_sw {:.1} ratio {:.2}",
+        r.http_baseline_ms,
+        r.http_stopwatch_ms,
+        r.http_stopwatch_ms / r.http_baseline_ms,
+        r.udp_baseline_ms,
+        r.udp_stopwatch_ms,
+        r.udp_stopwatch_ms / r.udp_baseline_ms
+    );
+}

@@ -1,0 +1,542 @@
+//! Experiment implementations, one per figure of the paper's evaluation.
+//! Each returns plain data rows; the `experiments` binary renders them as
+//! tables and CSV.
+
+use netsim::packet::EndpointId;
+use simkit::time::{SimDuration, SimTime, VirtOffset};
+use stopwatch_core::cloud::CloudBuilder;
+use stopwatch_core::config::{CloudConfig, DiskKind};
+use timestats::detect::{Detector, PAPER_CONFIDENCES};
+use timestats::dist::{Cdf, Exponential};
+use timestats::noise::{compare_with_uniform_noise, NoiseComparison, TAIL_QS};
+use timestats::order_stats::OrderStat;
+use workloads::attack::run_attack_scenario;
+use workloads::nfs::{NfsServerGuest, NhfsstoneClient};
+use workloads::parsec::{CompletionWaiter, ParsecGuest, PARSEC};
+use workloads::web::{
+    FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest,
+};
+
+/// Fig. 1a: one point of the analytic median-distribution curves.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1CurvePoint {
+    /// Evaluation point x.
+    pub x: f64,
+    /// Baseline Exp(λ) CDF.
+    pub baseline: f64,
+    /// Victim Exp(λ′) CDF.
+    pub victim: f64,
+    /// CDF of median of three baselines.
+    pub median_three_baselines: f64,
+    /// CDF of median of two baselines + one victim.
+    pub median_with_victim: f64,
+}
+
+/// Fig. 1b/c: observations needed at one confidence.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1DetectPoint {
+    /// Test confidence.
+    pub confidence: f64,
+    /// Observations needed with StopWatch (median of three).
+    pub with_stopwatch: u64,
+    /// Observations needed without StopWatch (raw distributions).
+    pub without_stopwatch: u64,
+}
+
+/// Full Fig. 1 output.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// λ′ of the victim distribution.
+    pub lambda_prime: f64,
+    /// The (a) panel curves.
+    pub curves: Vec<Fig1CurvePoint>,
+    /// The (b)/(c) panel sweep.
+    pub detection: Vec<Fig1DetectPoint>,
+}
+
+/// Reproduces Fig. 1 analytically for `lambda = 1` and the given `λ′`.
+pub fn fig1(lambda_prime: f64) -> Fig1 {
+    let base = Exponential::new(1.0);
+    let victim = Exponential::new(lambda_prime);
+    let med_null = OrderStat::median_of_three(base, base, base);
+    let med_alt = OrderStat::median_of_three(victim, base, base);
+    let curves = (0..=60)
+        .map(|i| {
+            let x = i as f64 * 0.1;
+            Fig1CurvePoint {
+                x,
+                baseline: base.cdf(x),
+                victim: victim.cdf(x),
+                median_three_baselines: med_null.cdf(x),
+                median_with_victim: med_alt.cdf(x),
+            }
+        })
+        .collect();
+    let raw = Detector::from_cdfs_with_tails(&base, &victim, 10, TAIL_QS);
+    let med = Detector::from_cdfs_with_tails(&med_null, &med_alt, 10, TAIL_QS);
+    let detection = PAPER_CONFIDENCES
+        .iter()
+        .map(|&confidence| Fig1DetectPoint {
+            confidence,
+            with_stopwatch: med.observations_needed(confidence),
+            without_stopwatch: raw.observations_needed(confidence),
+        })
+        .collect();
+    Fig1 {
+        lambda_prime,
+        curves,
+        detection,
+    }
+}
+
+/// Fig. 4: attacker-measured inter-packet virtual delivery times from real
+/// simulation runs, with and without a coresident victim, plus the
+/// χ²-observations sweep on the empirical distributions.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Deltas with no victim coresident ("median of three baselines").
+    pub null_deltas_ms: Vec<f64>,
+    /// Deltas with the victim coresident with one replica.
+    pub victim_deltas_ms: Vec<f64>,
+    /// Same pair measured WITHOUT StopWatch (baseline Xen).
+    pub baseline_null_ms: Vec<f64>,
+    /// Baseline with victim.
+    pub baseline_victim_ms: Vec<f64>,
+    /// (confidence, with StopWatch, without StopWatch).
+    pub detection: Vec<Fig1DetectPoint>,
+}
+
+/// Runs the Fig. 4 experiment with `probes` probe packets per scenario.
+pub fn fig4(probes: u32, seed: u64) -> Fig4 {
+    let sw_null = run_attack_scenario(true, false, probes, seed);
+    let sw_victim = run_attack_scenario(true, true, probes, seed);
+    let bl_null = run_attack_scenario(false, false, probes, seed);
+    let bl_victim = run_attack_scenario(false, true, probes, seed);
+    let bins = 10;
+    let sw = Detector::from_samples(&sw_null.deltas_ms, &sw_victim.deltas_ms, bins);
+    let bl = Detector::from_samples(&bl_null.deltas_ms, &bl_victim.deltas_ms, bins);
+    let detection = PAPER_CONFIDENCES
+        .iter()
+        .map(|&confidence| Fig1DetectPoint {
+            confidence,
+            with_stopwatch: sw.observations_needed(confidence),
+            without_stopwatch: bl.observations_needed(confidence),
+        })
+        .collect();
+    Fig4 {
+        null_deltas_ms: sw_null.deltas_ms,
+        victim_deltas_ms: sw_victim.deltas_ms,
+        baseline_null_ms: bl_null.deltas_ms,
+        baseline_victim_ms: bl_victim.deltas_ms,
+        detection,
+    }
+}
+
+/// One Fig. 5 row: mean retrieval latency for one file size.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// File size in bytes.
+    pub bytes: u64,
+    /// HTTP over unmodified Xen, ms.
+    pub http_baseline_ms: f64,
+    /// HTTP over StopWatch, ms.
+    pub http_stopwatch_ms: f64,
+    /// UDP-NAK over unmodified Xen, ms.
+    pub udp_baseline_ms: f64,
+    /// UDP-NAK over StopWatch, ms.
+    pub udp_stopwatch_ms: f64,
+}
+
+fn http_download_ms(stopwatch: bool, bytes: u64, downloads: u32, seed: u64) -> f64 {
+    let mut cfg = CloudConfig::default();
+    cfg.seed = seed;
+    cfg.broadcast_band = Some((50.0, 100.0));
+    let mut b = CloudBuilder::new(cfg, 3);
+    let vm = if stopwatch {
+        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(FileServerGuest::new()))
+    } else {
+        b.add_baseline_vm(0, Box::new(FileServerGuest::new()))
+    };
+    let client = b.add_client(Box::new(HttpDownloadClient::new(
+        EndpointId(2000),
+        vm.endpoint,
+        1,
+        bytes,
+        downloads,
+    )));
+    let mut sim = b.build();
+    sim.run_until_clients_done(SimTime::from_secs(600));
+    let c = sim.cloud.client_app::<HttpDownloadClient>(client).expect("client");
+    assert!(!c.results().is_empty(), "no downloads completed");
+    c.results().iter().map(|r| r.latency.as_millis_f64()).sum::<f64>() / c.results().len() as f64
+}
+
+fn udp_download_ms(stopwatch: bool, bytes: u64, downloads: u32, seed: u64) -> f64 {
+    let mut cfg = CloudConfig::default();
+    cfg.seed = seed;
+    let mut b = CloudBuilder::new(cfg, 3);
+    let vm = if stopwatch {
+        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(UdpFileGuest::new()))
+    } else {
+        b.add_baseline_vm(0, Box::new(UdpFileGuest::new()))
+    };
+    let client = b.add_client(Box::new(UdpDownloadClient::new(
+        EndpointId(2000),
+        vm.endpoint,
+        1,
+        bytes,
+        downloads,
+    )));
+    let mut sim = b.build();
+    sim.run_until_clients_done(SimTime::from_secs(600));
+    let c = sim.cloud.client_app::<UdpDownloadClient>(client).expect("client");
+    assert!(!c.results().is_empty(), "no downloads completed");
+    c.results().iter().map(|r| r.latency.as_millis_f64()).sum::<f64>() / c.results().len() as f64
+}
+
+/// Runs Fig. 5 for the given file sizes, `downloads` repetitions each.
+pub fn fig5(sizes: &[u64], downloads: u32, seed: u64) -> Vec<Fig5Row> {
+    sizes
+        .iter()
+        .map(|&bytes| Fig5Row {
+            bytes,
+            http_baseline_ms: http_download_ms(false, bytes, downloads, seed),
+            http_stopwatch_ms: http_download_ms(true, bytes, downloads, seed),
+            udp_baseline_ms: udp_download_ms(false, bytes, downloads, seed),
+            udp_stopwatch_ms: udp_download_ms(true, bytes, downloads, seed),
+        })
+        .collect()
+}
+
+/// One Fig. 6 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    /// Offered load, operations per second.
+    pub rate: f64,
+    /// Mean latency per op, baseline Xen, ms.
+    pub baseline_ms: f64,
+    /// Mean latency per op, StopWatch, ms.
+    pub stopwatch_ms: f64,
+    /// Client→server TCP packets per op (StopWatch run).
+    pub client_to_server_per_op: f64,
+    /// Server→client TCP packets per op (StopWatch run).
+    pub server_to_client_per_op: f64,
+}
+
+fn nfs_run(stopwatch: bool, rate: f64, ops: u64, seed: u64) -> (f64, f64, f64) {
+    let mut cfg = CloudConfig::default();
+    cfg.seed = seed;
+    let mut b = CloudBuilder::new(cfg, 3);
+    let vm = if stopwatch {
+        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(NfsServerGuest::new()))
+    } else {
+        b.add_baseline_vm(0, Box::new(NfsServerGuest::new()))
+    };
+    let client = b.add_client(Box::new(NhfsstoneClient::new(
+        EndpointId(2000),
+        vm.endpoint,
+        rate,
+        ops,
+        seed,
+    )));
+    let mut sim = b.build();
+    sim.run_until_clients_done(SimTime::from_secs(600));
+    let c = sim.cloud.client_app::<NhfsstoneClient>(client).expect("client");
+    let done = c.completed().max(1);
+    (
+        c.mean_latency_ms(),
+        c.sent_segments as f64 / done as f64,
+        c.received_segments as f64 / done as f64,
+    )
+}
+
+/// Runs Fig. 6 for the given offered rates, `ops` operations per run.
+pub fn fig6(rates: &[f64], ops: u64, seed: u64) -> Vec<Fig6Row> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let (baseline_ms, _, _) = nfs_run(false, rate, ops, seed);
+            let (stopwatch_ms, c2s, s2c) = nfs_run(true, rate, ops, seed);
+            Fig6Row {
+                rate,
+                baseline_ms,
+                stopwatch_ms,
+                client_to_server_per_op: c2s,
+                server_to_client_per_op: s2c,
+            }
+        })
+        .collect()
+}
+
+/// One Fig. 7 row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Row {
+    /// Application name.
+    pub name: &'static str,
+    /// Measured baseline runtime, ms.
+    pub baseline_ms: f64,
+    /// Measured StopWatch runtime, ms.
+    pub stopwatch_ms: f64,
+    /// Disk interrupts during the run (one replica).
+    pub disk_interrupts: u64,
+    /// The paper's baseline runtime, ms.
+    pub paper_baseline_ms: u64,
+    /// The paper's StopWatch runtime, ms.
+    pub paper_stopwatch_ms: u64,
+    /// The paper's disk-interrupt count.
+    pub paper_disk_interrupts: u64,
+}
+
+fn parsec_run(name: &str, stopwatch: bool, disk: DiskKind, seed: u64) -> (f64, u64) {
+    let prof = workloads::parsec::profile(name).expect("known app");
+    let mut cfg = CloudConfig::default();
+    cfg.seed = seed;
+    cfg.disk = disk;
+    if disk == DiskKind::Ssd {
+        // The Sec. VII-D conjecture: faster media shrink the worst-case
+        // access time that sizes Δd. SSD worst case is ~3 ms here.
+        cfg.delta_d = VirtOffset::from_millis(3);
+    }
+    cfg.broadcast_band = None; // computation benchmarks ran without clients
+    let mut b = CloudBuilder::new(cfg, 3);
+    let monitor_ep = EndpointId(2000);
+    let vm = if stopwatch {
+        b.add_stopwatch_vm(&[0, 1, 2], move || Box::new(ParsecGuest::new(prof, monitor_ep)))
+    } else {
+        b.add_baseline_vm(0, Box::new(ParsecGuest::new(prof, monitor_ep)))
+    };
+    let client = b.add_client(Box::new(CompletionWaiter::new(1)));
+    let mut sim = b.build();
+    sim.run_until_clients_done(SimTime::from_secs(120));
+    let w = sim.cloud.client_app::<CompletionWaiter>(client).expect("waiter");
+    assert_eq!(w.arrivals().len(), 1, "{name} did not complete");
+    let ms = w.arrivals()[0].as_millis_f64();
+    let (h, s) = sim.cloud.vm_replicas(vm)[0];
+    let irqs = sim.cloud.host(h).slot(s).counters().get("disk_irq");
+    (ms, irqs)
+}
+
+/// Runs one PARSEC app pair (baseline + StopWatch); used by the Criterion
+/// benches to track a single figure point cheaply.
+pub fn fig7_app(name: &str, disk: DiskKind, seed: u64) -> Fig7Row {
+    let p = workloads::parsec::profile(name).expect("known app");
+    let (baseline_ms, _) = parsec_run(name, false, disk, seed);
+    let (stopwatch_ms, disk_interrupts) = parsec_run(name, true, disk, seed);
+    Fig7Row {
+        name: p.name,
+        baseline_ms,
+        stopwatch_ms,
+        disk_interrupts,
+        paper_baseline_ms: p.paper_baseline_ms,
+        paper_stopwatch_ms: p.paper_stopwatch_ms,
+        paper_disk_interrupts: p.disk_interrupts,
+    }
+}
+
+/// Runs Fig. 7 (all five PARSEC apps, baseline and StopWatch).
+pub fn fig7(disk: DiskKind, seed: u64) -> Vec<Fig7Row> {
+    PARSEC
+        .iter()
+        .map(|p| {
+            let (baseline_ms, _) = parsec_run(p.name, false, disk, seed);
+            let (stopwatch_ms, disk_interrupts) = parsec_run(p.name, true, disk, seed);
+            Fig7Row {
+                name: p.name,
+                baseline_ms,
+                stopwatch_ms,
+                disk_interrupts,
+                paper_baseline_ms: p.paper_baseline_ms,
+                paper_stopwatch_ms: p.paper_stopwatch_ms,
+                paper_disk_interrupts: p.disk_interrupts,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 8: re-exported from `timestats` (pure analysis).
+pub fn fig8(lambda_prime: f64) -> Vec<NoiseComparison> {
+    compare_with_uniform_noise(1.0, lambda_prime, &PAPER_CONFIDENCES, 10, 0.9999)
+}
+
+/// One Δ-calibration row (Sec. VII-A).
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationRow {
+    /// The Δ value swept, ms (applies to Δn or Δd per experiment half).
+    pub delta_ms: u64,
+    /// Synchrony violations observed (Δn sweep).
+    pub sync_violations: u64,
+    /// Δd violations observed (Δd sweep).
+    pub dd_violations: u64,
+    /// Mean HTTP retrieval latency at this Δ, ms.
+    pub latency_ms: f64,
+}
+
+/// Sweeps Δn = Δd over `deltas_ms`, measuring violation counts and
+/// latency — reproducing how the paper sized Δn (7–12 ms) and Δd
+/// (8–15 ms) for its platform.
+pub fn calibrate(deltas_ms: &[u64], seed: u64) -> Vec<CalibrationRow> {
+    deltas_ms
+        .iter()
+        .map(|&d| {
+            let mut cfg = CloudConfig::default();
+            cfg.seed = seed;
+            cfg.delta_n = VirtOffset::from_millis(d);
+            cfg.delta_d = VirtOffset::from_millis(d);
+            let mut b = CloudBuilder::new(cfg, 3);
+            let vm = b.add_stopwatch_vm(&[0, 1, 2], || Box::new(FileServerGuest::new()));
+            let client = b.add_client(Box::new(HttpDownloadClient::new(
+                EndpointId(2000),
+                vm.endpoint,
+                1,
+                100_000,
+                3,
+            )));
+            let mut sim = b.build();
+            sim.run_until_clients_done(SimTime::from_secs(120));
+            let lat = {
+                let c = sim.cloud.client_app::<HttpDownloadClient>(client).expect("client");
+                if c.results().is_empty() {
+                    f64::NAN
+                } else {
+                    c.results().iter().map(|r| r.latency.as_millis_f64()).sum::<f64>()
+                        / c.results().len() as f64
+                }
+            };
+            CalibrationRow {
+                delta_ms: d,
+                sync_violations: sim.cloud.total_counter("sync_violations"),
+                dd_violations: sim.cloud.total_counter("dd_violations"),
+                latency_ms: lat,
+            }
+        })
+        .collect()
+}
+
+/// Sec. IX: collaborating-attacker marginalization experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CollabRow {
+    /// Replica count of the attacker VM.
+    pub replicas: usize,
+    /// Whether the collaborator load VM ran on the attacker's first host.
+    pub load_present: bool,
+    /// Mean attacker-observed inter-packet delta, ms.
+    pub mean_delta_ms: f64,
+    /// Mean absolute shift from the no-load run, ms (0 for the reference).
+    pub shift_ms: f64,
+}
+
+/// Runs the collaborating-attacker experiment: a load VM tries to
+/// marginalize one attacker replica from the median; more replicas make
+/// the attack harder (Sec. IX suggests going from 3 to 5).
+pub fn collab(probes: u32, seed: u64) -> Vec<CollabRow> {
+    use workloads::attack::{AttackerGuest, LoadGuest, ProbeClient, VictimGuest};
+
+    let run = |replicas: usize, load: bool| -> f64 {
+        let hosts = replicas;
+        let mut cfg = CloudConfig::fast_test();
+        cfg.seed = seed;
+        cfg.replicas = replicas;
+        cfg.client_tick = SimDuration::from_millis(2);
+        let mut b = CloudBuilder::new(cfg, hosts);
+        let host_list: Vec<usize> = (0..replicas).collect();
+        let attacker = b.add_stopwatch_vm(&host_list, || Box::new(AttackerGuest::new()));
+        // The victim always coresides with replica 0 (what the attacker
+        // wants to sense); the collaborator loads the same host to push
+        // replica 0 out of the median.
+        b.add_baseline_vm(0, Box::new(VictimGuest::new(100_000_000, 50)));
+        if load {
+            b.add_baseline_vm(0, Box::new(LoadGuest::new(50_000_000)));
+        }
+        b.add_client(Box::new(ProbeClient::new(
+            EndpointId(2000),
+            attacker.endpoint,
+            probes,
+            SimDuration::from_millis(40),
+            seed ^ 0xc0,
+        )));
+        let mut sim = b.build();
+        sim.run_until_clients_done(SimTime::from_secs(600));
+        let drain = sim.now() + SimDuration::from_millis(500);
+        sim.run_until(drain);
+        let g = sim
+            .cloud
+            .guest_program::<AttackerGuest>(attacker, 0)
+            .expect("attacker");
+        let deltas = g.deltas_ms();
+        deltas.iter().sum::<f64>() / deltas.len().max(1) as f64
+    };
+
+    let mut rows = Vec::new();
+    for &replicas in &[3usize, 5] {
+        let reference = run(replicas, false);
+        for &load in &[false, true] {
+            let mean = if load { run(replicas, true) } else { reference };
+            rows.push(CollabRow {
+                replicas,
+                load_present: load,
+                mean_delta_ms: mean,
+                shift_ms: (mean - reference).abs(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_shapes() {
+        let f = fig1(0.5);
+        assert_eq!(f.curves.len(), 61);
+        // Median curves lie between their component CDFs' extremes and the
+        // two median curves are closer together than the raw pair.
+        let mid = &f.curves[20]; // x = 2.0
+        let raw_gap = (mid.baseline - mid.victim).abs();
+        let med_gap = (mid.median_three_baselines - mid.median_with_victim).abs();
+        assert!(med_gap < raw_gap);
+        // Detection: StopWatch needs more observations, monotone in
+        // confidence.
+        for p in &f.detection {
+            assert!(p.with_stopwatch > p.without_stopwatch);
+        }
+        for w in f.detection.windows(2) {
+            assert!(w[1].with_stopwatch >= w[0].with_stopwatch);
+        }
+    }
+
+    #[test]
+    fn fig8_noise_scales_worse() {
+        let rows = fig8(0.5);
+        let last = rows.last().unwrap();
+        assert!(last.noise_delay_null > last.stopwatch_delay_null);
+    }
+
+    #[test]
+    fn fig5_small_sweep_shape() {
+        let rows = fig5(&[10_000, 100_000], 1, 7);
+        for r in &rows {
+            assert!(r.http_stopwatch_ms > r.http_baseline_ms, "{r:?}");
+            // The paper's crossover: UDP-NAK over StopWatch becomes
+            // competitive for files of 100 KB or more (one Δn crossing
+            // amortized over the stream), while HTTP keeps paying per ACK.
+            if r.bytes >= 100_000 {
+                let http_ratio = r.http_stopwatch_ms / r.http_baseline_ms;
+                let udp_ratio = r.udp_stopwatch_ms / r.udp_baseline_ms;
+                assert!(udp_ratio < http_ratio, "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_violations_fall_with_delta() {
+        let rows = calibrate(&[1, 12], 5);
+        assert!(
+            rows[0].sync_violations + rows[0].dd_violations
+                >= rows[1].sync_violations + rows[1].dd_violations,
+            "{rows:?}"
+        );
+        assert_eq!(rows[1].dd_violations, 0, "paper-sized Δd has no violations");
+    }
+}

@@ -1,0 +1,129 @@
+//! Background broadcast traffic.
+//!
+//! The paper's testbed sat on a /24 campus subnet; ARP and other broadcast
+//! chatter (50–100 packets/s) was replicated to every guest replica through
+//! the ingress machinery and "is reflected in our numbers" (Sec. VII-B).
+//! This generator reproduces that ambient load as a Poisson process with a
+//! rate drawn uniformly from the configured band.
+
+use crate::packet::{Body, EndpointId, Packet};
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+
+/// Poisson broadcast source.
+#[derive(Debug, Clone)]
+pub struct BroadcastSource {
+    rate_per_sec: f64,
+    next_seq: u64,
+    rng: SimRng,
+    src: EndpointId,
+}
+
+impl BroadcastSource {
+    /// Creates a source with rate drawn uniformly from
+    /// `[min_rate, max_rate]` packets/second (the paper's band is 50–100).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_rate <= max_rate`.
+    pub fn new(src: EndpointId, min_rate: f64, max_rate: f64, mut rng: SimRng) -> Self {
+        assert!(
+            min_rate > 0.0 && min_rate <= max_rate,
+            "need 0 < min_rate <= max_rate"
+        );
+        let rate_per_sec = if min_rate == max_rate {
+            min_rate
+        } else {
+            rng.uniform(min_rate, max_rate)
+        };
+        BroadcastSource {
+            rate_per_sec,
+            next_seq: 0,
+            rng,
+            src,
+        }
+    }
+
+    /// The realized rate for this run.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Draws the next broadcast: `(inter-arrival gap, packet)`.
+    pub fn next(&mut self) -> (SimDuration, Packet) {
+        let gap = SimDuration::from_secs_f64(self.rng.exponential(self.rate_per_sec));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        (
+            gap,
+            Packet {
+                src: self.src,
+                dst: EndpointId(u64::MAX), // broadcast pseudo-destination
+                body: Body::Broadcast { seq },
+            },
+        )
+    }
+
+    /// Generates all broadcasts in `[0, horizon)` as absolute arrival times.
+    pub fn schedule(&mut self, horizon: SimTime) -> Vec<(SimTime, Packet)> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            let (gap, pkt) = self.next();
+            t = t + gap;
+            if t >= horizon {
+                break;
+            }
+            out.push((t, pkt));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_in_band() {
+        for seed in 0..20 {
+            let s = BroadcastSource::new(EndpointId(0), 50.0, 100.0, SimRng::new(seed));
+            assert!((50.0..=100.0).contains(&s.rate()));
+        }
+    }
+
+    #[test]
+    fn schedule_density_matches_rate() {
+        let mut s = BroadcastSource::new(EndpointId(0), 80.0, 80.0, SimRng::new(5));
+        let pkts = s.schedule(SimTime::from_secs(20));
+        let per_sec = pkts.len() as f64 / 20.0;
+        assert!((per_sec - 80.0).abs() < 8.0, "rate {per_sec}");
+    }
+
+    #[test]
+    fn seqs_are_consecutive() {
+        let mut s = BroadcastSource::new(EndpointId(0), 60.0, 90.0, SimRng::new(2));
+        let pkts = s.schedule(SimTime::from_secs(2));
+        for (i, (_, p)) in pkts.iter().enumerate() {
+            match p.body {
+                Body::Broadcast { seq } => assert_eq!(seq, i as u64),
+                ref other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_times_monotone() {
+        let mut s = BroadcastSource::new(EndpointId(0), 100.0, 100.0, SimRng::new(9));
+        let pkts = s.schedule(SimTime::from_secs(5));
+        for w in pkts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_rate")]
+    fn bad_band_panics() {
+        BroadcastSource::new(EndpointId(0), 0.0, 10.0, SimRng::new(1));
+    }
+}

@@ -1,0 +1,238 @@
+//! The cloud's ingress and egress nodes (paper Secs. V and VI).
+//!
+//! * The **ingress node** replicates every packet destined for a guest VM
+//!   to all machines hosting that VM's replicas, so each VMM can propose a
+//!   delivery time.
+//! * The **egress node** receives each guest output packet from every
+//!   replica (tunneled over TCP by the replica's network device model) and
+//!   forwards it to its real destination when the *second* copy arrives —
+//!   the median output timing of three replicas. Because deterministic
+//!   replicas emit identical packet streams, the egress can also *vote*:
+//!   a copy whose content hash disagrees flags a divergent replica.
+
+use crate::link::NetNode;
+use crate::packet::{EndpointId, Packet};
+use std::collections::HashMap;
+
+/// Replicates inbound packets to the hosts running a guest's replicas.
+#[derive(Debug, Clone, Default)]
+pub struct IngressNode {
+    routes: HashMap<EndpointId, Vec<NetNode>>,
+}
+
+impl IngressNode {
+    /// Creates an ingress with no routes.
+    pub fn new() -> Self {
+        IngressNode::default()
+    }
+
+    /// Registers the replica hosts for a guest endpoint.
+    pub fn register(&mut self, guest: EndpointId, hosts: Vec<NetNode>) {
+        self.routes.insert(guest, hosts);
+    }
+
+    /// The hosts a packet for `guest` must be replicated to (empty when the
+    /// guest is unknown).
+    pub fn route(&self, guest: EndpointId) -> &[NetNode] {
+        self.routes.get(&guest).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of registered guests.
+    pub fn guests(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+/// Decision the egress node takes for one arriving copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EgressDecision {
+    /// This is the second copy: forward the packet now (median timing).
+    Forward(Packet),
+    /// First copy, or a copy after forwarding: hold.
+    Hold,
+    /// The copy's content hash disagrees with earlier copies of the same
+    /// output index — a replica has diverged.
+    Divergence {
+        /// The replica host whose copy disagreed.
+        from: NetNode,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct CopyState {
+    /// Distinct content hashes seen and their copy counts.
+    groups: Vec<(u64, u8)>,
+    forwarded: bool,
+}
+
+/// Forwards each replicated output packet at its median (second-copy)
+/// timing and votes on content.
+#[derive(Debug, Clone, Default)]
+pub struct EgressNode {
+    seen: HashMap<(EndpointId, u64), CopyState>,
+    forwarded: u64,
+    divergences: u64,
+}
+
+impl EgressNode {
+    /// Creates an empty egress node.
+    pub fn new() -> Self {
+        EgressNode::default()
+    }
+
+    /// Consumes one tunneled copy of output packet number `out_seq` from
+    /// guest `guest`, received from replica host `from`.
+    ///
+    /// Copies are grouped by content hash (majority voting): the packet is
+    /// forwarded the moment any hash group reaches two copies — the median
+    /// output timing of the agreeing replicas — so a single divergent
+    /// replica can neither corrupt nor block the output, regardless of
+    /// arrival order.
+    pub fn on_copy(
+        &mut self,
+        guest: EndpointId,
+        out_seq: u64,
+        from: NetNode,
+        packet: Packet,
+    ) -> EgressDecision {
+        let hash = packet.content_hash();
+        let entry = self.seen.entry((guest, out_seq)).or_insert(CopyState {
+            groups: Vec::new(),
+            forwarded: false,
+        });
+        let this_group = match entry.groups.iter_mut().find(|(h, _)| *h == hash) {
+            Some((_, count)) => {
+                *count += 1;
+                *count
+            }
+            None => {
+                entry.groups.push((hash, 1));
+                1
+            }
+        };
+        if entry.groups.len() > 1 {
+            self.divergences += 1;
+        }
+        if this_group == 2 && !entry.forwarded {
+            entry.forwarded = true;
+            self.forwarded += 1;
+            return EgressDecision::Forward(packet);
+        }
+        if entry.groups.len() > 1 && this_group == 1 {
+            return EgressDecision::Divergence { from };
+        }
+        EgressDecision::Hold
+    }
+
+    /// Packets forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Divergent copies observed so far.
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    /// Drops per-packet state older than `out_seq < floor` for `guest`
+    /// (bounded memory in long runs).
+    pub fn gc(&mut self, guest: EndpointId, floor: u64) {
+        self.seen.retain(|(g, s), _| *g != guest || *s >= floor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Body;
+
+    fn pkt(tag: u64) -> Packet {
+        Packet {
+            src: EndpointId(1),
+            dst: EndpointId(99),
+            body: Body::Raw { tag, len: 100 },
+        }
+    }
+
+    #[test]
+    fn ingress_routes() {
+        let mut ing = IngressNode::new();
+        ing.register(EndpointId(1), vec![NetNode(0), NetNode(1), NetNode(2)]);
+        assert_eq!(ing.route(EndpointId(1)).len(), 3);
+        assert!(ing.route(EndpointId(9)).is_empty());
+        assert_eq!(ing.guests(), 1);
+    }
+
+    #[test]
+    fn egress_forwards_second_copy() {
+        let mut eg = EgressNode::new();
+        let g = EndpointId(1);
+        assert_eq!(eg.on_copy(g, 0, NetNode(0), pkt(7)), EgressDecision::Hold);
+        assert!(matches!(
+            eg.on_copy(g, 0, NetNode(1), pkt(7)),
+            EgressDecision::Forward(_)
+        ));
+        // Third copy is held (already forwarded).
+        assert_eq!(eg.on_copy(g, 0, NetNode(2), pkt(7)), EgressDecision::Hold);
+        assert_eq!(eg.forwarded(), 1);
+    }
+
+    #[test]
+    fn egress_keeps_streams_separate() {
+        let mut eg = EgressNode::new();
+        let g = EndpointId(1);
+        eg.on_copy(g, 0, NetNode(0), pkt(7));
+        // A different out_seq does not complete seq 0.
+        assert_eq!(eg.on_copy(g, 1, NetNode(1), pkt(8)), EgressDecision::Hold);
+        assert_eq!(eg.forwarded(), 0);
+    }
+
+    #[test]
+    fn egress_detects_divergence() {
+        let mut eg = EgressNode::new();
+        let g = EndpointId(1);
+        eg.on_copy(g, 0, NetNode(0), pkt(7));
+        let d = eg.on_copy(g, 0, NetNode(1), pkt(8));
+        assert_eq!(d, EgressDecision::Divergence { from: NetNode(1) });
+        assert_eq!(eg.divergences(), 1);
+        // The two matching replicas still get the packet out.
+        assert!(matches!(
+            eg.on_copy(g, 0, NetNode(2), pkt(7)),
+            EgressDecision::Forward(_)
+        ));
+    }
+
+    #[test]
+    fn egress_survives_divergent_first_copy() {
+        // The faulty replica's copy lands first; the two honest copies
+        // still form a majority and the packet goes out.
+        let mut eg = EgressNode::new();
+        let g = EndpointId(1);
+        assert_eq!(eg.on_copy(g, 0, NetNode(2), pkt(666)), EgressDecision::Hold);
+        assert!(matches!(
+            eg.on_copy(g, 0, NetNode(0), pkt(7)),
+            EgressDecision::Divergence { .. }
+        ));
+        assert!(matches!(
+            eg.on_copy(g, 0, NetNode(1), pkt(7)),
+            EgressDecision::Forward(_)
+        ));
+        assert_eq!(eg.forwarded(), 1);
+        assert!(eg.divergences() >= 1);
+    }
+
+    #[test]
+    fn egress_gc_bounds_state() {
+        let mut eg = EgressNode::new();
+        let g = EndpointId(1);
+        for s in 0..10 {
+            eg.on_copy(g, s, NetNode(0), pkt(s));
+            eg.on_copy(g, s, NetNode(1), pkt(s));
+        }
+        eg.gc(g, 8);
+        // Old seqs re-count from scratch (forwarded again only on 2nd copy).
+        assert_eq!(eg.on_copy(g, 3, NetNode(2), pkt(3)), EgressDecision::Hold);
+        // Recent seq state kept: a third copy of seq 9 is Hold, not Forward.
+        assert_eq!(eg.on_copy(g, 9, NetNode(2), pkt(9)), EgressDecision::Hold);
+    }
+}

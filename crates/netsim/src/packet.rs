@@ -1,0 +1,215 @@
+//! Packet types shared by the whole simulated network.
+//!
+//! Packets carry *metadata*, not real bytes: lengths drive link timing,
+//! and a content hash stands in for payload identity (the egress node votes
+//! on output-packet hashes across replicas, Sec. VI of the paper).
+
+use std::fmt;
+
+/// A logical network endpoint: a client application, a guest VM, or an
+/// infrastructure service. Endpoints are location-independent; the
+/// composition layer maps them onto machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(pub u64);
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// TCP header flags (only the ones the model needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags {
+    /// Connection-open flag.
+    pub syn: bool,
+    /// Acknowledgment-valid flag.
+    pub ack: bool,
+    /// Connection-close flag.
+    pub fin: bool,
+}
+
+/// Application-level request riding in a segment (e.g. "GET file 7 of
+/// 100 KB", or an NFS op). Three opaque words keep netsim independent of
+/// workload semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppData {
+    /// Workload-defined operation kind.
+    pub kind: u32,
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+}
+
+/// A TCP-lite segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpSegment {
+    /// Connection identifier (unique per client connection).
+    pub conn: u64,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// First payload byte's stream offset.
+    pub seq: u64,
+    /// Cumulative acknowledgment (next expected byte), valid when
+    /// `flags.ack`.
+    pub ack: u64,
+    /// Payload bytes carried.
+    pub len: u32,
+    /// Optional application request data.
+    pub app: Option<AppData>,
+}
+
+/// What a UDP datagram means to the NAK-reliability layer above it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UdpKind {
+    /// An application request (e.g. "send me file 7").
+    Request(AppData),
+    /// One data chunk of a stream.
+    Data,
+    /// Negative acknowledgment: the receiver asks for these chunk seqs
+    /// again (the paper's suggested fix for StopWatch file-download
+    /// performance, and what PGM itself uses).
+    Nak(Vec<u64>),
+    /// End of stream (carries total chunk count so the receiver can detect
+    /// tail loss).
+    Fin {
+        /// Total chunks in the stream.
+        total_chunks: u64,
+    },
+}
+
+/// A UDP-lite datagram.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UdpSegment {
+    /// Stream identifier.
+    pub stream: u64,
+    /// Chunk sequence number (for `Data`), else 0.
+    pub seq: u64,
+    /// Payload bytes carried.
+    pub len: u32,
+    /// Reliability-layer meaning.
+    pub kind: UdpKind,
+}
+
+/// A packet body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Body {
+    /// TCP-lite segment.
+    Tcp(TcpSegment),
+    /// UDP-lite datagram.
+    Udp(UdpSegment),
+    /// Background broadcast chatter (ARP and friends; the paper's testbed
+    /// saw 50–100 of these per second and they flow through the ingress
+    /// replication path like everything else).
+    Broadcast {
+        /// Broadcast sequence number.
+        seq: u64,
+    },
+    /// Raw tagged payload for control planes and tests.
+    Raw {
+        /// Caller-defined tag.
+        tag: u64,
+        /// Payload bytes represented.
+        len: u32,
+    },
+}
+
+/// A network packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Sending endpoint.
+    pub src: EndpointId,
+    /// Destination endpoint.
+    pub dst: EndpointId,
+    /// Payload.
+    pub body: Body,
+}
+
+/// Fixed per-packet header overhead used for wire-time modeling (Ethernet +
+/// IP + transport, rounded).
+pub const HEADER_BYTES: u32 = 66;
+
+impl Packet {
+    /// Total bytes on the wire (header + payload).
+    pub fn wire_bytes(&self) -> u32 {
+        let payload = match &self.body {
+            Body::Tcp(seg) => seg.len,
+            Body::Udp(seg) => seg.len,
+            Body::Broadcast { .. } => 28,
+            Body::Raw { len, .. } => *len,
+        };
+        HEADER_BYTES + payload
+    }
+
+    /// A deterministic content hash (FNV-1a over the debug encoding of all
+    /// fields). Two replicas of a deterministic guest emit packets with
+    /// equal hashes; the egress node votes on these (Sec. VI).
+    pub fn content_hash(&self) -> u64 {
+        let repr = format!("{}|{}|{:?}", self.src.0, self.dst.0, self.body);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_pkt(seq: u64, len: u32) -> Packet {
+        Packet {
+            src: EndpointId(1),
+            dst: EndpointId(2),
+            body: Body::Tcp(TcpSegment {
+                conn: 9,
+                flags: TcpFlags::default(),
+                seq,
+                ack: 0,
+                len,
+                app: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        assert_eq!(tcp_pkt(0, 1000).wire_bytes(), 1066);
+        let b = Packet {
+            src: EndpointId(0),
+            dst: EndpointId(1),
+            body: Body::Broadcast { seq: 3 },
+        };
+        assert_eq!(b.wire_bytes(), HEADER_BYTES + 28);
+    }
+
+    #[test]
+    fn content_hash_equal_for_equal_packets() {
+        assert_eq!(tcp_pkt(5, 100).content_hash(), tcp_pkt(5, 100).content_hash());
+    }
+
+    #[test]
+    fn content_hash_differs_on_any_field() {
+        let base = tcp_pkt(5, 100);
+        assert_ne!(base.content_hash(), tcp_pkt(6, 100).content_hash());
+        assert_ne!(base.content_hash(), tcp_pkt(5, 101).content_hash());
+        let mut other = base.clone();
+        other.dst = EndpointId(3);
+        assert_ne!(base.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn udp_nak_roundtrip_equality() {
+        let a = Body::Udp(UdpSegment {
+            stream: 1,
+            seq: 0,
+            len: 20,
+            kind: UdpKind::Nak(vec![3, 4, 9]),
+        });
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

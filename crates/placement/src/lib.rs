@@ -1,0 +1,44 @@
+//! # placement — replica placement under StopWatch's coresidency constraints
+//!
+//! Paper Sec. VIII: the three replicas of each guest VM must coreside with
+//! nonoverlapping sets of (replicas of) other VMs. Viewing machines as the
+//! vertices of K_n, each VM is a triangle and distinct VMs' triangles must
+//! be pairwise edge-disjoint. This crate provides:
+//!
+//! * [`triangle`] — nodes, edges, triangles, and placement validation;
+//! * [`packing`] — Theorem 1's exact maximum packing size (after Horsley)
+//!   plus a randomized greedy packer for arbitrary cloud shapes;
+//! * [`quasigroup`] — idempotent commutative quasigroups of odd order;
+//! * [`bose`] — Bose's Steiner-triple-system construction and Theorem 2's
+//!   capacity-constrained `Θ(cn)` placement for `n ≡ 3 (mod 6)`;
+//! * [`planner`] — an online [`planner::PlacementPlanner`] for operators.
+//!
+//! # Examples
+//!
+//! ```
+//! use placement::prelude::*;
+//!
+//! // A 15-machine cloud, 7 guests per machine: Theorem 2 (c ≡ 1 mod 3)
+//! // fills it with cn/3 = 35 VMs, 105 replicas total.
+//! let mut planner = PlacementPlanner::new(15, 7, Strategy::Bose).unwrap();
+//! let vms = planner.place_all();
+//! assert_eq!(vms, 35);
+//! planner.validate().unwrap();
+//! // Versus 15 VMs if each guest ran alone on one machine.
+//! assert!(planner.speedup_vs_isolation() > 2.0);
+//! ```
+
+pub mod bose;
+pub mod packing;
+pub mod planner;
+pub mod quasigroup;
+pub mod triangle;
+
+/// One-line import for the common types.
+pub mod prelude {
+    pub use crate::bose::BoseSystem;
+    pub use crate::packing::{greedy_packing, isolation_capacity, max_triangle_packing};
+    pub use crate::planner::{PlacementPlanner, Strategy};
+    pub use crate::quasigroup::Quasigroup;
+    pub use crate::triangle::{validate_placement, NodeId, PlacementError, Triangle};
+}

@@ -1,0 +1,123 @@
+//! Idempotent commutative quasigroups of odd order — the algebraic
+//! ingredient of Bose's Steiner-triple-system construction (paper
+//! Theorem 2, following Lindner & Rodger).
+//!
+//! For odd `q`, the operation `a ∘ b = ((a + b) · (q+1)/2) mod q` yields an
+//! idempotent commutative quasigroup on `Z_q`: its multiplication table is a
+//! symmetric Latin square with `i ∘ i = i` on the diagonal.
+
+/// An idempotent commutative quasigroup `(Z_q, ∘)` of odd order.
+///
+/// # Examples
+///
+/// ```
+/// use placement::quasigroup::Quasigroup;
+/// let q = Quasigroup::new(5);
+/// assert_eq!(q.mul(2, 2), 2);          // idempotent
+/// assert_eq!(q.mul(1, 4), q.mul(4, 1)); // commutative
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quasigroup {
+    order: usize,
+    half: usize, // (q+1)/2, the multiplicative inverse of 2 mod q
+}
+
+impl Quasigroup {
+    /// Creates the quasigroup of odd order `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is even or zero.
+    pub fn new(order: usize) -> Self {
+        assert!(order % 2 == 1 && order > 0, "order must be odd and positive");
+        Quasigroup {
+            order,
+            half: (order + 1) / 2,
+        }
+    }
+
+    /// The order `q`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// The product `a ∘ b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand is out of `0..q`.
+    pub fn mul(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.order && b < self.order, "operand out of range");
+        (a + b) * self.half % self.order
+    }
+
+    /// Verifies the three defining laws exhaustively; used in tests and by
+    /// callers that build placements from untrusted orders.
+    ///
+    /// Checks: idempotency (`a∘a = a`), commutativity, and the Latin-square
+    /// property (every element appears exactly once in each row).
+    pub fn is_valid(&self) -> bool {
+        let q = self.order;
+        for a in 0..q {
+            if self.mul(a, a) != a {
+                return false;
+            }
+            let mut seen = vec![false; q];
+            for b in 0..q {
+                if self.mul(a, b) != self.mul(b, a) {
+                    return false;
+                }
+                let v = self.mul(a, b);
+                if seen[v] {
+                    return false;
+                }
+                seen[v] = true;
+            }
+            if seen.iter().any(|s| !s) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_up_to_31_are_valid() {
+        for q in (1..=31).step_by(2) {
+            assert!(Quasigroup::new(q).is_valid(), "order {q}");
+        }
+    }
+
+    #[test]
+    fn known_table_order_3() {
+        // (a+b)*2 mod 3: 0∘1 = 2, 0∘2 = 4 mod 3 = 1, 1∘2 = 6 mod 3 = 0.
+        let q = Quasigroup::new(3);
+        assert_eq!(q.mul(0, 1), 2);
+        assert_eq!(q.mul(0, 2), 1);
+        assert_eq!(q.mul(1, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_order_panics() {
+        Quasigroup::new(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_operand_panics() {
+        Quasigroup::new(5).mul(5, 0);
+    }
+
+    #[test]
+    fn half_is_inverse_of_two() {
+        for q in (3..=21).step_by(2) {
+            let g = Quasigroup::new(q);
+            assert_eq!(2 * g.half % q, 1, "order {q}");
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim<W>`] owns a priority queue of scheduled events. Each event is a
+//! closure receiving the engine (to schedule more events) and the user world
+//! `W`. Ties at equal timestamps are broken by scheduling order, making every
+//! run fully deterministic — a property the StopWatch reproduction leans on
+//! heavily (replica determinism is part of the defense itself).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type Handler<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    handler: Handler<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first, then FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation executor.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::engine::Sim;
+/// use simkit::time::{SimDuration, SimTime};
+///
+/// let mut sim: Sim<Vec<u64>> = Sim::new();
+/// let mut world = Vec::new();
+/// sim.schedule_in(SimDuration::from_millis(2), |_, w: &mut Vec<u64>| w.push(2));
+/// sim.schedule_in(SimDuration::from_millis(1), |sim, w: &mut Vec<u64>| {
+///     w.push(1);
+///     sim.schedule_in(SimDuration::from_millis(5), |_, w: &mut Vec<u64>| w.push(6));
+/// });
+/// sim.run(&mut world);
+/// assert_eq!(world, vec![1, 2, 6]);
+/// assert_eq!(sim.now(), SimTime::from_millis(6));
+/// ```
+pub struct Sim<W> {
+    now: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `handler` to run at absolute time `at`.
+    ///
+    /// Events scheduled for a time earlier than `now` run "immediately" (at
+    /// `now`): the engine never moves time backwards.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            handler: Box::new(handler),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `handler` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) -> EventId {
+        self.schedule(self.now + delay, handler)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet run (it will be silently
+    /// dropped when its time comes). Cancelling an already-executed event
+    /// returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Runs events until the queue is empty; returns the final time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs events with timestamps `<= deadline`; time stops at the deadline
+    /// (or at the last event, whichever is earlier). Returns the final time.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                self.now = deadline.min(head.at);
+                return self.now;
+            }
+            let ev = self.queue.pop().expect("peeked entry must pop");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.executed += 1;
+            (ev.handler)(self, world);
+        }
+        self.now
+    }
+
+    /// Runs at most `n` (non-cancelled) events; returns how many ran.
+    pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut ran = 0;
+        while ran < n {
+            let Some(ev) = self.queue.pop() else { break };
+            self.now = ev.at;
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.executed += 1;
+            ran += 1;
+            (ev.handler)(self, world);
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule(SimTime::from_millis(30), |_, w: &mut Vec<u32>| w.push(3));
+        sim.schedule(SimTime::from_millis(10), |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule(SimTime::from_millis(20), |_, w: &mut Vec<u32>| w.push(2));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_run_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            sim.schedule(t, move |_, w: &mut Vec<u32>| w.push(i));
+        }
+        sim.run(&mut w);
+        assert_eq!(w, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling() {
+        let mut sim: Sim<Vec<&'static str>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule_in(SimDuration::from_millis(1), |sim, w: &mut Vec<_>| {
+            w.push("outer");
+            sim.schedule_in(SimDuration::from_millis(1), |_, w: &mut Vec<_>| {
+                w.push("inner");
+            });
+        });
+        sim.schedule_in(SimDuration::from_millis(3), |_, w: &mut Vec<_>| {
+            w.push("late");
+        });
+        sim.run(&mut w);
+        assert_eq!(w, vec!["outer", "inner", "late"]);
+        assert_eq!(sim.now(), SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        let id = sim.schedule(SimTime::from_millis(1), |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule(SimTime::from_millis(2), |_, w: &mut Vec<u32>| w.push(2));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run(&mut w);
+        assert_eq!(w, vec![2]);
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim: Sim<()> = Sim::new();
+        assert!(!sim.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule(SimTime::from_millis(1), |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule(SimTime::from_millis(10), |_, w: &mut Vec<u32>| w.push(10));
+        let t = sim.run_until(&mut w, SimTime::from_millis(5));
+        assert_eq!(w, vec![1]);
+        assert_eq!(t, SimTime::from_millis(5));
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 10]);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule(SimTime::from_millis(10), |sim, w: &mut Vec<u64>| {
+            // Scheduling "in the past" runs at now, not before.
+            sim.schedule(SimTime::from_millis(1), |sim, w: &mut Vec<u64>| {
+                w.push(sim.now().as_nanos());
+            });
+            w.push(sim.now().as_nanos());
+        });
+        sim.run(&mut w);
+        assert_eq!(w, vec![10_000_000, 10_000_000]);
+    }
+
+    #[test]
+    fn step_runs_bounded_count() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        for i in 0..5 {
+            sim.schedule(SimTime::from_millis(i as u64), move |_, w: &mut Vec<u32>| {
+                w.push(i)
+            });
+        }
+        assert_eq!(sim.step(&mut w, 2), 2);
+        assert_eq!(w, vec![0, 1]);
+        assert_eq!(sim.step(&mut w, 10), 3);
+    }
+
+    #[test]
+    fn periodic_self_rescheduling() {
+        struct W {
+            ticks: u32,
+        }
+        fn tick(sim: &mut Sim<W>, w: &mut W) {
+            w.ticks += 1;
+            if w.ticks < 10 {
+                sim.schedule_in(SimDuration::from_millis(4), tick);
+            }
+        }
+        let mut sim = Sim::new();
+        let mut w = W { ticks: 0 };
+        sim.schedule(SimTime::ZERO, tick);
+        sim.run(&mut w);
+        assert_eq!(w.ticks, 10);
+        assert_eq!(sim.now(), SimTime::from_millis(36));
+    }
+}

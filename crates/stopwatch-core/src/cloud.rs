@@ -1,0 +1,1004 @@
+//! The StopWatch cloud: hosts, ingress/egress nodes, replica coordination,
+//! clients, and the event-loop driver.
+//!
+//! This is the composition the paper's Figs. 2 and 3 draw:
+//!
+//! * inbound packets hit the **ingress node**, which replicates them to the
+//!   hosts of the destination guest's replicas (Sec. V);
+//! * each host's network device model buffers the packet and multicasts a
+//!   **proposed virtual delivery time** (`virt at last exit + Δn`) to its
+//!   peers over **PGM**; every replica adopts the **median** (Sec. V-B);
+//! * guest outputs are tunneled to the **egress node**, which forwards the
+//!   **second copy** of each packet — the median output timing — and votes
+//!   on content (Sec. VI);
+//! * a pacing heartbeat slows the fastest replica so the virtual-time gap
+//!   between the two fastest stays bounded (Sec. V-A);
+//! * external **clients** (not replicated, real-time observers) drive
+//!   workloads and measure what an outside attacker would measure.
+
+use crate::config::{CloudConfig, DiskKind};
+use netsim::background::BroadcastSource;
+use netsim::infra::{EgressDecision, EgressNode, IngressNode};
+use netsim::link::{Fabric, NetNode};
+use netsim::packet::{EndpointId, Packet};
+use netsim::pgm::{PgmPacket, PgmReceiver, PgmSender};
+use simkit::engine::{EventId, Sim};
+use simkit::metrics::Counters;
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime, VirtNanos};
+use std::collections::HashMap;
+use vmm::clock::VirtualClock;
+use vmm::guest::GuestProgram;
+use vmm::host::HostMachine;
+use vmm::slot::{ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotOutput};
+use vmm::speed::SpeedProfile;
+use storage::block::DiskImage;
+use storage::device::DiskDevice;
+use storage::model::{AccessModel, RotatingDisk, Ssd};
+
+/// An external (unreplicated) client machine's application logic.
+///
+/// Clients see *real* time — they model the outside observer of Sec. VI.
+pub trait ClientApp {
+    /// Called once at client start; returns packets to send.
+    fn on_start(&mut self, now: SimTime) -> Vec<Packet>;
+    /// Called for each received packet; returns packets to send.
+    fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet>;
+    /// Called periodically (protocol timers); returns packets to send.
+    fn on_tick(&mut self, now: SimTime) -> Vec<Packet>;
+    /// `true` when this client's workload is finished.
+    fn is_done(&self) -> bool;
+    /// Downcast support for extracting measurements after a run.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Handle to a guest VM in the cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmHandle {
+    /// Index into the cloud's VM table.
+    pub index: usize,
+    /// The guest's network endpoint.
+    pub endpoint: EndpointId,
+}
+
+/// Handle to an external client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientHandle {
+    /// Index into the cloud's client table.
+    pub index: usize,
+    /// The client's network endpoint.
+    pub endpoint: EndpointId,
+}
+
+#[derive(Debug, Clone)]
+struct VmRecord {
+    endpoint: EndpointId,
+    replicas: Vec<(usize, usize)>, // (host index, slot index)
+    stopwatch: bool,
+}
+
+struct ClientRecord {
+    #[allow(dead_code)] // retained for debugging / future addressing checks
+    endpoint: EndpointId,
+    node: NetNode,
+    app: Box<dyn ClientApp>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ProposalMsg {
+    vm: usize,
+    seq: u64,
+    proposal: VirtNanos,
+}
+
+/// Static sizes for control-plane messages on the wire.
+const PROPOSAL_BYTES: u32 = 64;
+const TUNNEL_OVERHEAD: u32 = 40;
+
+/// The simulated cloud (the `Sim` world type).
+pub struct Cloud {
+    cfg: CloudConfig,
+    hosts: Vec<HostMachine>,
+    fabric: Fabric,
+    #[allow(dead_code)] // routing table kept for operator introspection/tests
+    ingress: IngressNode,
+    ingress_node: NetNode,
+    egress: EgressNode,
+    egress_node: NetNode,
+    vms: Vec<VmRecord>,
+    by_endpoint: HashMap<EndpointId, usize>,
+    clients: Vec<ClientRecord>,
+    client_by_endpoint: HashMap<EndpointId, usize>,
+    ingress_seq: u64,
+    wakes: HashMap<(usize, usize), EventId>,
+    pgm_tx: HashMap<(usize, usize), PgmSender<ProposalMsg>>,
+    pgm_rx: HashMap<(usize, usize, usize), PgmReceiver<ProposalMsg>>,
+    tunnel_last: HashMap<usize, SimTime>,
+    stats: Counters,
+}
+
+impl Cloud {
+    /// Cloud-level counters: `ingress_packets`, `egress_forwarded`,
+    /// `proposals_sent`, `client_packets`, `broadcasts`, ...
+    pub fn stats(&self) -> &Counters {
+        &self.stats
+    }
+
+    /// The egress node (voting / forwarding statistics).
+    pub fn egress(&self) -> &EgressNode {
+        &self.egress
+    }
+
+    /// Immutable host access.
+    pub fn host(&self, idx: usize) -> &HostMachine {
+        &self.hosts[idx]
+    }
+
+    /// Mutable host access (activity levels, program extraction).
+    pub fn host_mut(&mut self, idx: usize) -> &mut HostMachine {
+        &mut self.hosts[idx]
+    }
+
+    /// The replica placements of a VM.
+    pub fn vm_replicas(&self, vm: VmHandle) -> &[(usize, usize)] {
+        &self.vms[vm.index].replicas
+    }
+
+    /// Sums a slot counter over every replica of every VM.
+    pub fn total_counter(&self, name: &str) -> u64 {
+        self.vms
+            .iter()
+            .flat_map(|vm| vm.replicas.iter())
+            .map(|&(h, s)| self.hosts[h].slot(s).counters().get(name))
+            .sum()
+    }
+
+    /// The `(ingress seq, virtual delivery)` log of one replica.
+    pub fn delivered_log(&self, vm: VmHandle, replica: usize) -> Vec<(u64, VirtNanos)> {
+        let (h, s) = self.vms[vm.index].replicas[replica];
+        self.hosts[h].slot(s).delivered_log().to_vec()
+    }
+
+    /// Downcasts a guest replica's program to its concrete type.
+    pub fn guest_program<T: 'static>(&mut self, vm: VmHandle, replica: usize) -> Option<&mut T> {
+        let (h, s) = self.vms[vm.index].replicas[replica];
+        self.hosts[h]
+            .slot_mut(s)
+            .program_mut()
+            .as_any_mut()?
+            .downcast_mut::<T>()
+    }
+
+    /// Downcasts a client app to its concrete type.
+    pub fn client_app<T: 'static>(&mut self, client: ClientHandle) -> Option<&mut T> {
+        self.clients[client.index]
+            .app
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// `true` when every client reports done.
+    pub fn clients_done(&self) -> bool {
+        self.clients.iter().all(|c| c.app.is_done())
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers (each runs inside a `Sim<Cloud>` closure).
+    // ------------------------------------------------------------------
+
+    fn reschedule_wake(&mut self, sim: &mut Sim<Cloud>, h: usize, s: usize) {
+        if let Some(old) = self.wakes.remove(&(h, s)) {
+            sim.cancel(old);
+        }
+        let now = sim.now();
+        if let Some(t) = self.hosts[h].next_wake(s, now) {
+            let id = sim.schedule(t, move |sim, cloud: &mut Cloud| {
+                cloud.wakes.remove(&(h, s));
+                let outputs = cloud.hosts[h].process_slot(s, sim.now());
+                cloud.handle_outputs(sim, h, s, outputs);
+                cloud.reschedule_wake(sim, h, s);
+            });
+            self.wakes.insert((h, s), id);
+        }
+    }
+
+    fn handle_outputs(&mut self, sim: &mut Sim<Cloud>, h: usize, s: usize, outputs: Vec<SlotOutput>) {
+        for output in outputs {
+            match output {
+                SlotOutput::DiskSubmit { op_id, request } => {
+                    let done = self.hosts[h].submit_disk(request, sim.now());
+                    sim.schedule(done, move |sim, cloud: &mut Cloud| {
+                        cloud.hosts[h].disk_ready(s, sim.now(), op_id);
+                        cloud.reschedule_wake(sim, h, s);
+                    });
+                }
+                SlotOutput::Packet { out_seq, packet, .. } => {
+                    self.route_guest_output(sim, h, s, out_seq, packet);
+                }
+            }
+        }
+    }
+
+    fn vm_of_slot(&self, h: usize, s: usize) -> usize {
+        self.vms
+            .iter()
+            .position(|vm| vm.replicas.contains(&(h, s)))
+            .expect("slot belongs to a vm")
+    }
+
+    fn route_guest_output(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        h: usize,
+        s: usize,
+        out_seq: u64,
+        packet: Packet,
+    ) {
+        let vm_idx = self.vm_of_slot(h, s);
+        let guest_ep = self.vms[vm_idx].endpoint;
+        let host_node = self.hosts[h].id();
+        if self.vms[vm_idx].stopwatch {
+            // Tunnel to the egress node over TCP (Sec. VI); it forwards on
+            // the second copy.
+            let bytes = packet.wire_bytes() + TUNNEL_OVERHEAD;
+            if let Some(raw_arrive) =
+                self.fabric.transmit(sim.now(), host_node, self.egress_node, bytes)
+            {
+                // The tunnel runs over TCP (Sec. VI): per-replica copies
+                // reach the egress in emission order.
+                let last = self.tunnel_last.get(&h).copied().unwrap_or(SimTime::ZERO);
+                let arrive = raw_arrive.max(last + SimDuration::from_nanos(1));
+                self.tunnel_last.insert(h, arrive);
+                sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                    let decision =
+                        cloud
+                            .egress
+                            .on_copy(guest_ep, out_seq, host_node, packet.clone());
+                    match decision {
+                        EgressDecision::Forward(pkt) => {
+                            cloud.stats.incr("egress_forwarded");
+                            cloud.forward_from_egress(sim, pkt);
+                        }
+                        EgressDecision::Hold => {}
+                        EgressDecision::Divergence { .. } => {
+                            cloud.stats.incr("egress_divergences");
+                        }
+                    }
+                });
+            }
+        } else {
+            // Baseline: straight to the destination.
+            self.deliver_external(sim, host_node, packet);
+        }
+    }
+
+    fn forward_from_egress(&mut self, sim: &mut Sim<Cloud>, packet: Packet) {
+        let from = self.egress_node;
+        self.deliver_external(sim, from, packet);
+    }
+
+    /// Sends a packet from `from_node` toward its destination endpoint
+    /// (client or guest).
+    fn deliver_external(&mut self, sim: &mut Sim<Cloud>, from_node: NetNode, packet: Packet) {
+        if let Some(&ci) = self.client_by_endpoint.get(&packet.dst) {
+            let node = self.clients[ci].node;
+            if let Some(arrive) = self
+                .fabric
+                .transmit(sim.now(), from_node, node, packet.wire_bytes())
+            {
+                sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                    cloud.stats.incr("client_packets");
+                    let now = sim.now();
+                    let out = cloud.clients[ci].app.on_packet(&packet, now);
+                    cloud.client_send(sim, ci, out);
+                });
+            }
+        } else if self.by_endpoint.contains_key(&packet.dst) {
+            // Guest-to-guest traffic flows back through the ingress.
+            if let Some(arrive) =
+                self.fabric
+                    .transmit(sim.now(), from_node, self.ingress_node, packet.wire_bytes())
+            {
+                sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                    cloud.ingress_replicate(sim, packet.clone());
+                });
+            }
+        }
+        // Unknown destinations (e.g. the broadcast pseudo-endpoint on
+        // baseline paths) are dropped silently.
+    }
+
+    fn client_send(&mut self, sim: &mut Sim<Cloud>, ci: usize, pkts: Vec<Packet>) {
+        for pkt in pkts {
+            let node = self.clients[ci].node;
+            if self.by_endpoint.contains_key(&pkt.dst) {
+                // To a guest: via the ingress node.
+                if let Some(arrive) =
+                    self.fabric
+                        .transmit(sim.now(), node, self.ingress_node, pkt.wire_bytes())
+                {
+                    sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                        cloud.ingress_replicate(sim, pkt.clone());
+                    });
+                }
+            } else if let Some(&target) = self.client_by_endpoint.get(&pkt.dst) {
+                let tnode = self.clients[target].node;
+                if let Some(arrive) = self.fabric.transmit(sim.now(), node, tnode, pkt.wire_bytes())
+                {
+                    sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                        let now = sim.now();
+                        let out = cloud.clients[target].app.on_packet(&pkt, now);
+                        cloud.client_send(sim, target, out);
+                    });
+                }
+            }
+        }
+    }
+
+    /// The ingress node replicates one inbound packet to every replica host
+    /// of the destination guest (or of *all* guests, for broadcasts).
+    fn ingress_replicate(&mut self, sim: &mut Sim<Cloud>, packet: Packet) {
+        self.stats.incr("ingress_packets");
+        let is_broadcast = matches!(packet.body, netsim::packet::Body::Broadcast { .. });
+        let targets: Vec<usize> = if is_broadcast {
+            (0..self.vms.len()).collect()
+        } else {
+            match self.by_endpoint.get(&packet.dst) {
+                Some(&vm) => vec![vm],
+                None => return,
+            }
+        };
+        for vm_idx in targets {
+            let seq = self.ingress_seq;
+            self.ingress_seq += 1;
+            let replicas = self.vms[vm_idx].replicas.clone();
+            for (replica_idx, &(h, s)) in replicas.iter().enumerate() {
+                let node = self.hosts[h].id();
+                let pkt = packet.clone();
+                if let Some(arrive) =
+                    self.fabric
+                        .transmit(sim.now(), self.ingress_node, node, pkt.wire_bytes())
+                {
+                    sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                        cloud.host_packet_arrival(sim, vm_idx, replica_idx, h, s, seq, pkt.clone());
+                    });
+                }
+            }
+        }
+    }
+
+    fn host_packet_arrival(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        vm_idx: usize,
+        replica_idx: usize,
+        h: usize,
+        s: usize,
+        seq: u64,
+        packet: Packet,
+    ) {
+        let now = sim.now();
+        match self.hosts[h].packet_arrival(s, now, seq, packet) {
+            ArrivalOutcome::Proposal(proposal) => {
+                // Deliver our own proposal locally, then multicast to peers
+                // over PGM.
+                if self.hosts[h].add_proposal(s, now, seq, proposal) {
+                    self.reschedule_wake(sim, h, s);
+                }
+                self.multicast_proposal(sim, vm_idx, replica_idx, seq, proposal);
+            }
+            ArrivalOutcome::Scheduled => {
+                self.reschedule_wake(sim, h, s);
+            }
+        }
+    }
+
+    fn multicast_proposal(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        vm_idx: usize,
+        sender_replica: usize,
+        seq: u64,
+        proposal: VirtNanos,
+    ) {
+        self.stats.incr("proposals_sent");
+        let msg = ProposalMsg {
+            vm: vm_idx,
+            seq,
+            proposal,
+        };
+        let tx = self
+            .pgm_tx
+            .entry((vm_idx, sender_replica))
+            .or_insert_with(|| PgmSender::new(4096));
+        let pgm_pkt = tx.send(msg);
+        let replicas = self.vms[vm_idx].replicas.clone();
+        let from_node = self.hosts[replicas[sender_replica].0].id();
+        for (peer_idx, &(ph, _)) in replicas.iter().enumerate() {
+            if peer_idx == sender_replica {
+                continue;
+            }
+            let to_node = self.hosts[ph].id();
+            let pkt = pgm_pkt.clone();
+            if let Some(arrive) = self.fabric.transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
+            {
+                sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                    cloud.pgm_receive(sim, vm_idx, peer_idx, sender_replica, pkt.clone());
+                });
+            }
+        }
+    }
+
+    fn pgm_receive(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        vm_idx: usize,
+        receiver_replica: usize,
+        sender_replica: usize,
+        pkt: PgmPacket<ProposalMsg>,
+    ) {
+        let rx = self
+            .pgm_rx
+            .entry((vm_idx, receiver_replica, sender_replica))
+            .or_insert_with(PgmReceiver::new);
+        let out = rx.on_packet(pkt);
+        let now = sim.now();
+        for msg in out.delivered {
+            let (h, s) = self.vms[vm_idx].replicas[receiver_replica];
+            if self.hosts[h].add_proposal(s, now, msg.seq, msg.proposal) {
+                self.reschedule_wake(sim, h, s);
+            }
+        }
+        if !out.nak_missing.is_empty() {
+            self.send_nak(sim, vm_idx, receiver_replica, sender_replica, out.nak_missing);
+        }
+    }
+
+    fn send_nak(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        vm_idx: usize,
+        receiver_replica: usize,
+        sender_replica: usize,
+        missing: Vec<u64>,
+    ) {
+        self.stats.incr("pgm_naks");
+        let replicas = &self.vms[vm_idx].replicas;
+        let from_node = self.hosts[replicas[receiver_replica].0].id();
+        let to_node = self.hosts[replicas[sender_replica].0].id();
+        if let Some(arrive) = self.fabric.transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES) {
+            sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                let Some(tx) = cloud.pgm_tx.get(&(vm_idx, sender_replica)) else {
+                    return;
+                };
+                let retx = tx.on_nak(&missing);
+                let replicas = cloud.vms[vm_idx].replicas.clone();
+                let from_node = cloud.hosts[replicas[sender_replica].0].id();
+                let to_node = cloud.hosts[replicas[receiver_replica].0].id();
+                for pkt in retx {
+                    if let Some(arrive) =
+                        cloud
+                            .fabric
+                            .transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
+                    {
+                        sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
+                            cloud.pgm_receive(sim, vm_idx, receiver_replica, sender_replica, pkt.clone());
+                        });
+                    }
+                }
+            });
+        }
+    }
+
+    /// Periodic PGM NAK retry (tail-loss recovery).
+    fn pgm_tick(&mut self, sim: &mut Sim<Cloud>) {
+        let mut pending: Vec<(usize, usize, usize, Vec<u64>)> = Vec::new();
+        for (&(vm, rx_rep, tx_rep), rx) in &self.pgm_rx {
+            let naks = rx.pending_naks();
+            if !naks.is_empty() {
+                pending.push((vm, rx_rep, tx_rep, naks));
+            }
+        }
+        for (vm, rx_rep, tx_rep, naks) in pending {
+            self.send_nak(sim, vm, rx_rep, tx_rep, naks);
+        }
+    }
+
+    /// Pacing heartbeat: per StopWatch VM, if the fastest replica leads the
+    /// second-fastest by more than the allowed gap, stall it. The same tick
+    /// refreshes host contention from guest busy-ness, so coresident load
+    /// perturbs timing exactly as on real shared hardware.
+    fn pacing_tick(&mut self, sim: &mut Sim<Cloud>) {
+        let now = sim.now();
+        for h in 0..self.hosts.len() {
+            if self.hosts[h].refresh_activity(now) {
+                for s in 0..self.hosts[h].slot_count() {
+                    self.reschedule_wake(sim, h, s);
+                }
+            }
+        }
+        let Some(pacing) = self.cfg.pacing else { return };
+        for vm_idx in 0..self.vms.len() {
+            if !self.vms[vm_idx].stopwatch {
+                continue;
+            }
+            let replicas = self.vms[vm_idx].replicas.clone();
+            let mut virts: Vec<(u64, usize)> = replicas
+                .iter()
+                .enumerate()
+                .map(|(i, &(h, s))| (self.hosts[h].virt_of(s, now).as_nanos(), i))
+                .collect();
+            virts.sort_unstable_by(|a, b| b.cmp(a)); // descending
+            if virts.len() >= 2 && virts[0].0 - virts[1].0 > pacing.max_gap_ns {
+                let (h, s) = replicas[virts[0].1];
+                self.hosts[h].stall_slot(s, now, now + pacing.heartbeat);
+                self.reschedule_wake(sim, h, s);
+            }
+        }
+    }
+
+    fn client_tick(&mut self, sim: &mut Sim<Cloud>, ci: usize) {
+        if self.clients[ci].app.is_done() {
+            return;
+        }
+        let now = sim.now();
+        let out = self.clients[ci].app.on_tick(now);
+        self.client_send(sim, ci, out);
+        let period = self.cfg.client_tick;
+        sim.schedule_in(period, move |sim, cloud: &mut Cloud| {
+            cloud.client_tick(sim, ci);
+        });
+    }
+}
+
+/// Builder for a [`CloudSim`].
+pub struct CloudBuilder {
+    cfg: CloudConfig,
+    host_count: usize,
+    vms: Vec<(Vec<usize>, Vec<Box<dyn GuestProgram>>, bool)>,
+    clients: Vec<Box<dyn ClientApp>>,
+}
+
+impl CloudBuilder {
+    /// Starts a builder for a cloud of `host_count` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host_count == 0`.
+    pub fn new(cfg: CloudConfig, host_count: usize) -> Self {
+        assert!(host_count > 0, "need at least one host");
+        CloudBuilder {
+            cfg,
+            host_count,
+            vms: Vec::new(),
+            clients: Vec::new(),
+        }
+    }
+
+    /// Adds a StopWatch-protected VM: `make()` is invoked once per replica
+    /// (the replicas must be identical); `hosts` lists the replica hosts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts` does not match the configured replica count or
+    /// names an unknown host.
+    pub fn add_stopwatch_vm<F>(&mut self, hosts: &[usize], make: F) -> VmHandle
+    where
+        F: Fn() -> Box<dyn GuestProgram>,
+    {
+        assert_eq!(hosts.len(), self.cfg.replicas, "replica count mismatch");
+        assert!(hosts.iter().all(|&h| h < self.host_count), "unknown host");
+        let programs = (0..hosts.len()).map(|_| make()).collect();
+        self.vms.push((hosts.to_vec(), programs, true));
+        VmHandle {
+            index: self.vms.len() - 1,
+            endpoint: EndpointId(1000 + self.vms.len() as u64 - 1),
+        }
+    }
+
+    /// Adds an unprotected (baseline / unmodified-Xen) VM on one host.
+    pub fn add_baseline_vm(&mut self, host: usize, program: Box<dyn GuestProgram>) -> VmHandle {
+        assert!(host < self.host_count, "unknown host");
+        self.vms.push((vec![host], vec![program], false));
+        VmHandle {
+            index: self.vms.len() - 1,
+            endpoint: EndpointId(1000 + self.vms.len() as u64 - 1),
+        }
+    }
+
+    /// Adds an external client machine.
+    pub fn add_client(&mut self, app: Box<dyn ClientApp>) -> ClientHandle {
+        self.clients.push(app);
+        ClientHandle {
+            index: self.clients.len() - 1,
+            endpoint: EndpointId(2000 + self.clients.len() as u64 - 1),
+        }
+    }
+
+    /// Builds the cloud and schedules boot events.
+    pub fn build(self) -> CloudSim {
+        let cfg = self.cfg;
+        let root = SimRng::new(cfg.seed);
+        let mut hosts = Vec::with_capacity(self.host_count);
+        for h in 0..self.host_count {
+            let profile = SpeedProfile::new(
+                cfg.base_ips,
+                cfg.ips_jitter,
+                cfg.speed_epoch,
+                root.stream_indexed("host-speed", h),
+            );
+            let model: Box<dyn AccessModel> = match cfg.disk {
+                DiskKind::Rotating => Box::new(RotatingDisk::testbed()),
+                DiskKind::Ssd => Box::new(Ssd::sata()),
+            };
+            let disk = DiskDevice::new(model, root.stream_indexed("host-disk", h));
+            hosts.push(HostMachine::new(NetNode(h), profile, disk));
+        }
+        let ingress_node = NetNode(self.host_count);
+        let egress_node = NetNode(self.host_count + 1);
+        let fabric = {
+            let mut f = Fabric::new(cfg.lan, root.stream("fabric"));
+            // Client machines sit behind the configured client link.
+            for c in 0..self.clients.len() {
+                let node = NetNode(self.host_count + 2 + c);
+                f.set_link(node, ingress_node, cfg.client_link);
+                f.set_link(egress_node, node, cfg.client_link);
+                for h in 0..self.host_count {
+                    f.set_link(NetNode(h), node, cfg.client_link);
+                    f.set_link(node, NetNode(h), cfg.client_link);
+                }
+            }
+            f
+        };
+
+        // Host RTC offsets: start virtual time at the median of the replica
+        // hosts' clocks (Sec. IV-A).
+        let mut rtc = root.stream("host-rtc");
+        let host_rtc: Vec<u64> = (0..self.host_count)
+            .map(|_| rtc.uniform_u64(0, 2_000_000))
+            .collect();
+
+        let mut ingress = IngressNode::new();
+        let mut vms = Vec::new();
+        let mut by_endpoint = HashMap::new();
+        for (vm_idx, (host_list, programs, stopwatch)) in self.vms.into_iter().enumerate() {
+            let endpoint = EndpointId(1000 + vm_idx as u64);
+            let mode = if stopwatch {
+                DefenseMode::StopWatch {
+                    delta_n: cfg.delta_n,
+                    delta_d: cfg.delta_d,
+                    replicas: cfg.replicas,
+                }
+            } else {
+                DefenseMode::Baseline
+            };
+            let mut clocks: Vec<u64> = host_list.iter().map(|&h| host_rtc[h]).collect();
+            clocks.sort_unstable();
+            let start = VirtNanos::from_nanos(clocks[clocks.len() / 2]);
+            let image = DiskImage::new(cfg.image_blocks);
+            let mut replicas = Vec::new();
+            for (&h, program) in host_list.iter().zip(programs) {
+                let slot = GuestSlot::new(
+                    program,
+                    SlotConfig {
+                        endpoint,
+                        exit_every: cfg.exit_every,
+                        mode,
+                        clocks: cfg.platform_clocks,
+                    },
+                    VirtualClock::new(start, cfg.slope, cfg.clock_epochs),
+                    image.clone(), // the replicated disk image
+                );
+                let s = hosts[h].add_slot(slot);
+                replicas.push((h, s));
+            }
+            ingress.register(endpoint, host_list.iter().map(|&h| NetNode(h)).collect());
+            by_endpoint.insert(endpoint, vm_idx);
+            vms.push(VmRecord {
+                endpoint,
+                replicas,
+                stopwatch,
+            });
+        }
+
+        let mut clients = Vec::new();
+        let mut client_by_endpoint = HashMap::new();
+        for (ci, app) in self.clients.into_iter().enumerate() {
+            let endpoint = EndpointId(2000 + ci as u64);
+            clients.push(ClientRecord {
+                endpoint,
+                node: NetNode(self.host_count + 2 + ci),
+                app,
+            });
+            client_by_endpoint.insert(endpoint, ci);
+        }
+
+        let cloud = Cloud {
+            cfg,
+            hosts,
+            fabric,
+            ingress,
+            ingress_node,
+            egress: EgressNode::new(),
+            egress_node,
+            vms,
+            by_endpoint,
+            clients,
+            client_by_endpoint,
+            ingress_seq: 0,
+            wakes: HashMap::new(),
+            pgm_tx: HashMap::new(),
+            pgm_rx: HashMap::new(),
+            tunnel_last: HashMap::new(),
+            stats: Counters::new(),
+        };
+
+        let mut sim: Sim<Cloud> = Sim::new();
+        // Boot every replica at t=0.
+        for vm_idx in 0..cloud.vms.len() {
+            for &(h, s) in &cloud.vms[vm_idx].replicas.clone() {
+                sim.schedule(SimTime::ZERO, move |sim, cloud: &mut Cloud| {
+                    let outputs = cloud.hosts[h].boot_slot(s, sim.now());
+                    cloud.handle_outputs(sim, h, s, outputs);
+                    cloud.reschedule_wake(sim, h, s);
+                });
+            }
+        }
+        // Clients start shortly after boot, then tick.
+        for ci in 0..cloud.clients.len() {
+            sim.schedule(SimTime::from_millis(1), move |sim, cloud: &mut Cloud| {
+                let now = sim.now();
+                let out = cloud.clients[ci].app.on_start(now);
+                cloud.client_send(sim, ci, out);
+                cloud.client_tick(sim, ci);
+            });
+        }
+        // Pacing heartbeat.
+        if let Some(pacing) = cloud.cfg.pacing {
+            fn pace(sim: &mut Sim<Cloud>, cloud: &mut Cloud, period: SimDuration) {
+                cloud.pacing_tick(sim);
+                sim.schedule_in(period, move |sim, cloud: &mut Cloud| {
+                    pace(sim, cloud, period);
+                });
+            }
+            let period = pacing.heartbeat;
+            sim.schedule(SimTime::ZERO, move |sim, cloud: &mut Cloud| {
+                pace(sim, cloud, period);
+            });
+        }
+        // PGM NAK retry tick.
+        fn pgm_retry(sim: &mut Sim<Cloud>, cloud: &mut Cloud) {
+            cloud.pgm_tick(sim);
+            sim.schedule_in(SimDuration::from_millis(50), |sim, cloud: &mut Cloud| {
+                pgm_retry(sim, cloud);
+            });
+        }
+        sim.schedule(SimTime::ZERO, |sim, cloud: &mut Cloud| pgm_retry(sim, cloud));
+        // Background broadcast chatter through the ingress.
+        if let Some((lo, hi)) = cloud.cfg.broadcast_band {
+            let src = BroadcastSource::new(
+                EndpointId(9999),
+                lo,
+                hi,
+                SimRng::new(cloud.cfg.seed).stream("broadcast"),
+            );
+            fn chatter(sim: &mut Sim<Cloud>, _cloud: &mut Cloud, mut src: BroadcastSource) {
+                let (gap, pkt) = src.next();
+                sim.schedule_in(gap, move |sim, cloud: &mut Cloud| {
+                    cloud.stats.incr("broadcasts");
+                    cloud.ingress_replicate(sim, pkt.clone());
+                    chatter(sim, cloud, src.clone());
+                });
+            }
+            let first = src.clone();
+            sim.schedule(SimTime::ZERO, move |sim, cloud: &mut Cloud| {
+                chatter(sim, cloud, first.clone());
+            });
+        }
+
+        CloudSim { sim, cloud }
+    }
+}
+
+/// A built cloud plus its event loop.
+pub struct CloudSim {
+    /// The discrete-event engine.
+    pub sim: Sim<Cloud>,
+    /// The world state.
+    pub cloud: Cloud,
+}
+
+impl CloudSim {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.sim.run_until(&mut self.cloud, deadline)
+    }
+
+    /// Runs until every client reports done (checking every 10 ms of
+    /// simulated time) or `deadline` passes; returns the finish time.
+    pub fn run_until_clients_done(&mut self, deadline: SimTime) -> SimTime {
+        let step = SimDuration::from_millis(10);
+        while !self.cloud.clients_done() && self.sim.now() < deadline {
+            let next = (self.sim.now() + step).min(deadline);
+            self.sim.run_until(&mut self.cloud, next);
+        }
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::packet::Body;
+    use vmm::guest::{GuestEnv, IdleGuest};
+    use storage::block::BlockRange;
+    use storage::device::DiskOp;
+
+    /// Guest that echoes every Raw packet back to its source.
+    struct Echo;
+    impl GuestProgram for Echo {
+        fn on_boot(&mut self, _env: &mut GuestEnv) {}
+        fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
+            if let Body::Raw { tag, len } = packet.body {
+                env.send(packet.src, Body::Raw { tag: tag + 1, len });
+            }
+        }
+        fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+    }
+
+    /// Client that sends `n` pings (one per tick) and counts replies.
+    struct Pinger {
+        server: EndpointId,
+        to_send: u32,
+        sent: u32,
+        replies: Vec<(SimTime, u64)>,
+        me: EndpointId,
+    }
+    impl ClientApp for Pinger {
+        fn on_start(&mut self, _now: SimTime) -> Vec<Packet> {
+            self.next_ping()
+        }
+        fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet> {
+            if let Body::Raw { tag, .. } = packet.body {
+                self.replies.push((now, tag));
+            }
+            Vec::new()
+        }
+        fn on_tick(&mut self, _now: SimTime) -> Vec<Packet> {
+            self.next_ping()
+        }
+        fn is_done(&self) -> bool {
+            self.replies.len() as u32 >= self.to_send
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+    impl Pinger {
+        fn next_ping(&mut self) -> Vec<Packet> {
+            if self.sent >= self.to_send {
+                return Vec::new();
+            }
+            let tag = u64::from(self.sent) * 10;
+            self.sent += 1;
+            vec![Packet {
+                src: self.me,
+                dst: self.server,
+                body: Body::Raw { tag, len: 100 },
+            }]
+        }
+    }
+
+    fn ping_cloud(stopwatch: bool, pings: u32) -> (CloudSim, VmHandle, ClientHandle) {
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        let vm = if stopwatch {
+            b.add_stopwatch_vm(&[0, 1, 2], || Box::new(Echo))
+        } else {
+            b.add_baseline_vm(0, Box::new(Echo))
+        };
+        let client = b.add_client(Box::new(Pinger {
+            server: vm.endpoint,
+            to_send: pings,
+            sent: 0,
+            replies: Vec::new(),
+            me: EndpointId(2000),
+        }));
+        (b.build(), vm, client)
+    }
+
+    #[test]
+    fn stopwatch_ping_roundtrip() {
+        let (mut sim, vm, client) = ping_cloud(true, 3);
+        sim.run_until_clients_done(SimTime::from_secs(5));
+        let pinger: &Pinger = sim.cloud.client_app::<Pinger>(client).expect("downcast");
+        assert_eq!(pinger.replies.len(), 3, "all pings answered exactly once");
+        let mut tags: Vec<u64> = pinger.replies.iter().map(|r| r.1).collect();
+        tags.sort_unstable(); // the final client hop may reorder
+        assert_eq!(tags, vec![1, 11, 21]);
+        // All three replicas saw all three packets and delivered them at
+        // identical virtual times.
+        let logs: Vec<_> = (0..3).map(|r| sim.cloud.delivered_log(vm, r)).collect();
+        assert_eq!(logs[0].len(), 3);
+        assert_eq!(logs[0], logs[1]);
+        assert_eq!(logs[1], logs[2]);
+        // Egress forwarded each reply exactly once (on the second copy).
+        assert_eq!(sim.cloud.stats().get("egress_forwarded"), 3);
+        assert_eq!(sim.cloud.stats().get("egress_divergences"), 0);
+        assert_eq!(sim.cloud.total_counter("sync_violations"), 0);
+    }
+
+    #[test]
+    fn baseline_ping_roundtrip_is_faster() {
+        let (mut sw, _, csw) = ping_cloud(true, 1);
+        let t_sw = sw.run_until_clients_done(SimTime::from_secs(5));
+        let (mut bl, _, cbl) = ping_cloud(false, 1);
+        let t_bl = bl.run_until_clients_done(SimTime::from_secs(5));
+        assert!(sw.cloud.client_app::<Pinger>(csw).unwrap().is_done());
+        assert!(bl.cloud.client_app::<Pinger>(cbl).unwrap().is_done());
+        assert!(
+            t_bl < t_sw,
+            "baseline {t_bl} should beat stopwatch {t_sw}"
+        );
+    }
+
+    #[test]
+    fn idle_cloud_stays_quiet() {
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(IdleGuest));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_millis(300));
+        assert_eq!(sim.cloud.total_counter("net_irq"), 0);
+        assert_eq!(sim.cloud.stats().get("egress_forwarded"), 0);
+    }
+
+    #[test]
+    fn broadcast_chatter_reaches_all_replicas() {
+        let mut cfg = CloudConfig::fast_test();
+        cfg.broadcast_band = Some((80.0, 80.0));
+        let mut b = CloudBuilder::new(cfg, 3);
+        let vm = b.add_stopwatch_vm(&[0, 1, 2], || Box::new(IdleGuest));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_millis(500));
+        let bc = sim.cloud.stats().get("broadcasts");
+        assert!(bc >= 20, "broadcasts {bc}");
+        // Broadcasts are injected as network interrupts at all replicas,
+        // at identical virtual times.
+        let l0 = sim.cloud.delivered_log(vm, 0);
+        let l1 = sim.cloud.delivered_log(vm, 1);
+        assert!(!l0.is_empty());
+        let n = l0.len().min(l1.len());
+        assert!(l0.len().abs_diff(l1.len()) <= 2, "replicas out of step");
+        assert_eq!(l0[..n], l1[..n]);
+    }
+
+    #[test]
+    fn pacing_bounds_replica_gap() {
+        let mut cfg = CloudConfig::fast_test();
+        cfg.ips_jitter = 0.10; // exaggerate speed differences
+        let mut b = CloudBuilder::new(cfg.clone(), 3);
+        let vm = b.add_stopwatch_vm(&[0, 1, 2], || Box::new(IdleGuest));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(2));
+        let now = sim.now();
+        let mut virts: Vec<u64> = (0..3)
+            .map(|r| {
+                let (h, s) = sim.cloud.vm_replicas(vm)[r];
+                sim.cloud.host(h).virt_of(s, now).as_nanos()
+            })
+            .collect();
+        virts.sort_unstable();
+        let gap = virts[2] - virts[1];
+        let max_gap = cfg.pacing.unwrap().max_gap_ns;
+        // Allow one heartbeat of slack beyond the configured bound.
+        assert!(
+            gap <= max_gap + 8_000_000,
+            "fastest-vs-second gap {gap} too large"
+        );
+        assert!(sim.cloud.total_counter("stalls") > 0, "pacing never engaged");
+    }
+}

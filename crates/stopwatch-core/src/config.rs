@@ -1,0 +1,145 @@
+//! Cloud-wide configuration: the paper's platform constants with the knobs
+//! its evaluation varies.
+
+use netsim::link::LinkModel;
+use simkit::time::{SimDuration, VirtOffset};
+use vmm::clock::EpochConfig;
+use vmm::devices::PlatformClocks;
+
+/// Which disk medium backs the hosts (Sec. VII-D conjectures SSDs would
+/// shrink Δd).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskKind {
+    /// The testbed's 70 GB rotating drive.
+    Rotating,
+    /// A SATA-era SSD.
+    Ssd,
+}
+
+/// Fastest-replica pacing (Sec. V-A: the virtual-time gap between the two
+/// fastest replicas is bounded by slowing the fastest).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacingConfig {
+    /// How often VMMs compare replica progress.
+    pub heartbeat: SimDuration,
+    /// Maximum allowed virtual-time lead of the fastest replica over the
+    /// second-fastest.
+    pub max_gap_ns: u64,
+}
+
+impl Default for PacingConfig {
+    fn default() -> Self {
+        PacingConfig {
+            heartbeat: SimDuration::from_millis(2),
+            max_gap_ns: 4_000_000, // 4 ms
+        }
+    }
+}
+
+/// Full cloud configuration.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Master seed; everything stochastic derives from it.
+    pub seed: u64,
+    /// Replicas per StopWatch guest (odd, >= 3).
+    pub replicas: usize,
+    /// Δn: virtual-time offset for network-interrupt proposals. The paper
+    /// found values translating to ~7–12 ms real time sufficed on its
+    /// platform.
+    pub delta_n: VirtOffset,
+    /// Δd: virtual-time offset for disk/DMA completions (paper: ~8–15 ms,
+    /// sized from worst-case disk access times).
+    pub delta_d: VirtOffset,
+    /// Branches between guest-caused VM exits.
+    pub exit_every: u64,
+    /// Host base speed, branches per second.
+    pub base_ips: f64,
+    /// Host speed jitter fraction (uniform, per 10 ms epoch).
+    pub ips_jitter: f64,
+    /// Speed-jitter epoch length.
+    pub speed_epoch: SimDuration,
+    /// Virtual nanoseconds per branch (initial clock slope; the paper sets
+    /// it from the machines' tick rate).
+    pub slope: f64,
+    /// Optional epoch resynchronization of virtual to real time.
+    pub clock_epochs: Option<EpochConfig>,
+    /// Emulated platform clock devices.
+    pub platform_clocks: PlatformClocks,
+    /// Fastest-replica pacing; `None` disables it.
+    pub pacing: Option<PacingConfig>,
+    /// Cloud-internal links (host↔host, ingress/egress↔host).
+    pub lan: LinkModel,
+    /// External client links.
+    pub client_link: LinkModel,
+    /// Disk medium.
+    pub disk: DiskKind,
+    /// Background broadcast band in packets/second (the paper's /24 subnet
+    /// saw 50–100); `None` disables it.
+    pub broadcast_band: Option<(f64, f64)>,
+    /// Client protocol-timer period (RTO / NAK checks).
+    pub client_tick: SimDuration,
+    /// Guest disk image size in blocks.
+    pub image_blocks: u64,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            seed: 42,
+            replicas: 3,
+            delta_n: VirtOffset::from_millis(10),
+            delta_d: VirtOffset::from_millis(12),
+            exit_every: 50_000,
+            base_ips: 1.0e9,
+            ips_jitter: 0.02,
+            speed_epoch: SimDuration::from_millis(10),
+            slope: 1.0,
+            clock_epochs: None,
+            platform_clocks: PlatformClocks::default(),
+            pacing: Some(PacingConfig::default()),
+            lan: LinkModel::lan(),
+            client_link: LinkModel::wireless_client(),
+            disk: DiskKind::Rotating,
+            broadcast_band: Some((50.0, 100.0)),
+            client_tick: SimDuration::from_millis(20),
+            image_blocks: 1 << 22, // 16 GiB at 4 KiB blocks, like the testbed guests
+        }
+    }
+}
+
+impl CloudConfig {
+    /// A configuration tuned for fast unit/integration tests: no broadcast
+    /// chatter, SSD disks, paper-faithful Δ offsets.
+    pub fn fast_test() -> Self {
+        CloudConfig {
+            broadcast_band: None,
+            disk: DiskKind::Ssd,
+            ..CloudConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = CloudConfig::default();
+        assert_eq!(c.replicas, 3);
+        assert_eq!(c.platform_clocks.pit_hz, 250);
+        // Δn in the paper translated to ~7–12 ms; Δd to ~8–15 ms.
+        let dn = c.delta_n.as_millis_f64();
+        let dd = c.delta_d.as_millis_f64();
+        assert!((7.0..=12.0).contains(&dn), "Δn = {dn}");
+        assert!((8.0..=15.0).contains(&dd), "Δd = {dd}");
+        assert!(c.broadcast_band.is_some());
+    }
+
+    #[test]
+    fn fast_test_disables_noise() {
+        let c = CloudConfig::fast_test();
+        assert!(c.broadcast_band.is_none());
+        assert_eq!(c.disk, DiskKind::Ssd);
+    }
+}

@@ -1,0 +1,21 @@
+//! # storage — the disk substrate of the StopWatch reproduction
+//!
+//! The paper's guests run on QEMU-emulated ATA disks backed by a 70 GB
+//! rotating drive, with the entire disk image replicated to all three
+//! replica machines at VM start (Sec. V-A). This crate models:
+//!
+//! * [`block`] — block addressing and a content-hashed [`block::DiskImage`]
+//!   that can be cloned to the replicas (identical state everywhere);
+//! * [`model`] — access-time models: a rotating disk (seek + rotational
+//!   latency + transfer) matching the paper's testbed, and an SSD model for
+//!   the Sec. VII-D conjecture that faster media would let Δd shrink;
+//! * [`device`] — a FIFO disk device that turns requests into completion
+//!   times.
+
+pub mod block;
+pub mod device;
+pub mod model;
+
+pub use block::{BlockAddr, BlockRange, DiskImage, BLOCK_BYTES};
+pub use device::{DiskDevice, DiskOp, DiskRequest};
+pub use model::{AccessModel, RotatingDisk, Ssd};

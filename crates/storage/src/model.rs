@@ -1,0 +1,199 @@
+//! Disk access-time models.
+//!
+//! The paper's Δd offset (8–15 ms) was sized from "the maximum observed
+//! disk access times" of a 70 GB rotating drive; Sec. VII-D conjectures
+//! that SSDs would let Δd shrink. Both media are modeled here.
+
+use crate::block::{BlockRange, BLOCK_BYTES};
+use simkit::rng::SimRng;
+use simkit::time::SimDuration;
+
+/// Computes the service time of one request (queueing excluded — the
+/// [`crate::device::DiskDevice`] adds that).
+pub trait AccessModel {
+    /// Service time for accessing `range`, given the previous head position
+    /// `last_block` (rotating media care; flash doesn't).
+    fn access_time(&self, range: BlockRange, last_block: u64, rng: &mut SimRng) -> SimDuration;
+
+    /// A conservative upper bound on single-request service time — what an
+    /// operator would measure to size Δd ("maximum observed disk access
+    /// times", Sec. VII-A).
+    fn worst_case(&self) -> SimDuration;
+}
+
+impl<M: AccessModel + ?Sized> AccessModel for Box<M> {
+    fn access_time(&self, range: BlockRange, last_block: u64, rng: &mut SimRng) -> SimDuration {
+        (**self).access_time(range, last_block, rng)
+    }
+
+    fn worst_case(&self) -> SimDuration {
+        (**self).worst_case()
+    }
+}
+
+/// A 7200 RPM rotating disk: seek distance-dependent seek time, uniform
+/// rotational latency, fixed per-byte transfer rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RotatingDisk {
+    /// Minimum (track-to-track) seek.
+    pub seek_min: SimDuration,
+    /// Maximum (full-stroke) seek.
+    pub seek_max: SimDuration,
+    /// One full rotation (8.33 ms at 7200 RPM).
+    pub rotation: SimDuration,
+    /// Sustained transfer rate, bytes per second.
+    pub transfer_bps: u64,
+    /// Total blocks (for seek-distance normalization).
+    pub total_blocks: u64,
+}
+
+impl RotatingDisk {
+    /// A drive resembling the paper's testbed disk (70 GB, 7200 RPM).
+    pub fn testbed() -> Self {
+        RotatingDisk {
+            seek_min: SimDuration::from_micros(500),
+            seek_max: SimDuration::from_millis(9),
+            rotation: SimDuration::from_micros(8333),
+            transfer_bps: 80_000_000,
+            total_blocks: 70 * 1024 * 1024 * 1024 / u64::from(BLOCK_BYTES),
+        }
+    }
+}
+
+impl AccessModel for RotatingDisk {
+    fn access_time(&self, range: BlockRange, last_block: u64, rng: &mut SimRng) -> SimDuration {
+        let dist = last_block.abs_diff(range.start.0);
+        let frac = (dist as f64 / self.total_blocks as f64).min(1.0);
+        // Seek time scales with the square root of distance (a standard
+        // first-order disk model), between the min and max.
+        let seek_span = self.seek_max.as_secs_f64() - self.seek_min.as_secs_f64();
+        let seek = if dist == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(self.seek_min.as_secs_f64() + seek_span * frac.sqrt())
+        };
+        let rot = rng.uniform_duration(SimDuration::ZERO, self.rotation);
+        let transfer =
+            SimDuration::from_secs_f64(range.bytes() as f64 / self.transfer_bps as f64);
+        seek + rot + transfer
+    }
+
+    fn worst_case(&self) -> SimDuration {
+        // Full seek + full rotation + a generous 1 MB transfer.
+        self.seek_max
+            + self.rotation
+            + SimDuration::from_secs_f64(1_048_576.0 / self.transfer_bps as f64)
+    }
+}
+
+/// A flash drive: near-constant latency, high transfer rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ssd {
+    /// Fixed access latency.
+    pub latency: SimDuration,
+    /// Latency jitter bound (uniform).
+    pub jitter: SimDuration,
+    /// Transfer rate, bytes per second.
+    pub transfer_bps: u64,
+}
+
+impl Ssd {
+    /// A SATA-era SSD (contemporary with the paper).
+    pub fn sata() -> Self {
+        Ssd {
+            latency: SimDuration::from_micros(80),
+            jitter: SimDuration::from_micros(40),
+            transfer_bps: 400_000_000,
+        }
+    }
+}
+
+impl AccessModel for Ssd {
+    fn access_time(&self, range: BlockRange, _last_block: u64, rng: &mut SimRng) -> SimDuration {
+        let jitter = rng.uniform_duration(SimDuration::ZERO, self.jitter);
+        self.latency
+            + jitter
+            + SimDuration::from_secs_f64(range.bytes() as f64 / self.transfer_bps as f64)
+    }
+
+    fn worst_case(&self) -> SimDuration {
+        self.latency
+            + self.jitter
+            + SimDuration::from_secs_f64(1_048_576.0 / self.transfer_bps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(7).stream("disk")
+    }
+
+    #[test]
+    fn rotating_sequential_faster_than_random() {
+        let d = RotatingDisk::testbed();
+        let mut r = rng();
+        let n = 500;
+        let seq: f64 = (0..n)
+            .map(|_| d.access_time(BlockRange::new(1000, 8), 1000, &mut r).as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        let far = d.total_blocks - 10;
+        let rand: f64 = (0..n)
+            .map(|_| d.access_time(BlockRange::new(far, 8), 0, &mut r).as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
+        assert!(rand > seq + 5.0, "random {rand} vs sequential {seq}");
+    }
+
+    #[test]
+    fn rotating_times_in_plausible_band() {
+        let d = RotatingDisk::testbed();
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = d.access_time(BlockRange::new(5_000_000, 16), 0, &mut r);
+            assert!(t >= SimDuration::from_micros(500));
+            assert!(t <= d.worst_case(), "{t} > {}", d.worst_case());
+        }
+    }
+
+    #[test]
+    fn worst_case_bounds_samples() {
+        let d = RotatingDisk::testbed();
+        let mut r = rng();
+        let wc = d.worst_case();
+        for i in 0..1000 {
+            let t = d.access_time(
+                BlockRange::new((i * 7919) % d.total_blocks, 8),
+                (i * 104729) % d.total_blocks,
+                &mut r,
+            );
+            assert!(t <= wc);
+        }
+    }
+
+    #[test]
+    fn ssd_much_faster_than_rotating() {
+        let hdd = RotatingDisk::testbed();
+        let ssd = Ssd::sata();
+        // The Sec. VII-D conjecture: worst-case access (which sizes Δd)
+        // drops by an order of magnitude or more on flash.
+        assert!(ssd.worst_case().as_millis_f64() * 10.0 < hdd.worst_case().as_millis_f64());
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let ssd = Ssd {
+            latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            transfer_bps: 4096 * 1000, // 1000 blocks/s
+        };
+        let mut r = rng();
+        let one = ssd.access_time(BlockRange::new(0, 1), 0, &mut r);
+        let ten = ssd.access_time(BlockRange::new(0, 10), 0, &mut r);
+        assert_eq!(one, SimDuration::from_millis(1));
+        assert_eq!(ten, SimDuration::from_millis(10));
+    }
+}

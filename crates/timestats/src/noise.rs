@@ -1,0 +1,302 @@
+//! The appendix's "median vs. uniform random noise" comparison (Fig. 8).
+//!
+//! StopWatch delays an event by Δn beyond the median of three replica
+//! timings; the alternative defense adds `U(0, b)` noise to a single VM's
+//! timings. For a fair comparison the paper:
+//!
+//! 1. picks Δn so that the probability of replica desynchronization at an
+//!    event is tiny: `Pr[|X₁ − X′₁| ≤ Δn] ≥ 0.9999`;
+//! 2. computes the observations `N*` an attacker needs under StopWatch to
+//!    distinguish `X_{2:3} + Δn` from `X′_{2:3} + Δn` at each confidence;
+//! 3. solves for the minimum `b` that forces the noise defense to the same
+//!    `N*`; and
+//! 4. compares the expected delays `E[X_{2:3} + Δn]` vs `E[X₁ + X_N]`.
+
+use crate::detect::Detector;
+use crate::dist::{Cdf, ExpPlusUniform, Exponential};
+use crate::order_stats::OrderStat;
+
+/// Tail quantiles added to the equal-probability binning in this module's
+/// detectors. The comparison between the median defense and additive noise
+/// is tail-driven (see [`Detector::from_cdfs_with_tails`]); these depths
+/// keep both defenses measured by the same, tail-aware test.
+pub const TAIL_QS: &[f64] = &[0.99, 0.999, 0.9999];
+
+/// `Pr[|X − Y| <= delta]` for independent `X ~ Exp(l1)`, `Y ~ Exp(l2)`.
+///
+/// The difference `D = X − Y` is asymmetric Laplace:
+/// `P(D <= t) = 1 − l2/(l1+l2) e^{−l1 t}` for `t >= 0` and
+/// `P(D <= t) = l1/(l1+l2) e^{l2 t}` for `t < 0`.
+///
+/// # Panics
+///
+/// Panics if a rate is non-positive or `delta` is negative.
+pub fn abs_diff_exp_cdf(delta: f64, l1: f64, l2: f64) -> f64 {
+    assert!(l1 > 0.0 && l2 > 0.0, "rates must be positive");
+    assert!(delta >= 0.0, "delta must be non-negative");
+    let s = l1 + l2;
+    let upper = 1.0 - l2 / s * (-l1 * delta).exp();
+    let lower = l1 / s * (-l2 * delta).exp();
+    upper - lower
+}
+
+/// Smallest Δ with `Pr[|X₁ − X′₁| <= Δ] >= prob` (bisection).
+///
+/// This is how the paper sizes Δn for the Fig. 8 comparison
+/// ("the probability of a desynchronization at this event is less than
+/// 0.0001" for `prob = 0.9999`).
+///
+/// # Panics
+///
+/// Panics if `prob` is outside `(0, 1)`.
+pub fn delta_for_desync_prob(l1: f64, l2: f64, prob: f64) -> f64 {
+    assert!(prob > 0.0 && prob < 1.0, "prob must be in (0,1)");
+    let mut hi = 1.0;
+    while abs_diff_exp_cdf(hi, l1, l2) < prob {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "failed to bracket delta");
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if abs_diff_exp_cdf(mid, l1, l2) < prob {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// One row of the Fig. 8 comparison at a fixed confidence level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseComparison {
+    /// Confidence level of the attacker's test.
+    pub confidence: f64,
+    /// Observations needed under StopWatch at this confidence.
+    pub observations: u64,
+    /// Δn used by StopWatch (from the desync-probability rule).
+    pub delta_n: f64,
+    /// Minimum uniform-noise bound `b` giving the attacker the same
+    /// difficulty.
+    pub noise_bound: f64,
+    /// `E[X_{2:3} + Δn]` — StopWatch's expected delay, null case.
+    pub stopwatch_delay_null: f64,
+    /// `E[X′_{2:3} + Δn]` — StopWatch's expected delay, victim case.
+    pub stopwatch_delay_victim: f64,
+    /// `E[X₁ + X_N]` — noise defense expected delay, null case.
+    pub noise_delay_null: f64,
+    /// `E[X′₁ + X_N]` — noise defense expected delay, victim case.
+    pub noise_delay_victim: f64,
+}
+
+/// Computes the Fig. 8 comparison for baseline rate `lambda`, victim rate
+/// `lambda_prime`, at each confidence in `confidences`.
+///
+/// `bins` is the χ² bin count (10 reproduces the paper's granularity well);
+/// `desync_prob` is the Δn sizing rule (paper: 0.9999).
+///
+/// # Panics
+///
+/// Panics if rates are non-positive or `lambda_prime >= lambda` is violated
+/// in a way that makes the distributions identical (equal rates).
+pub fn compare_with_uniform_noise(
+    lambda: f64,
+    lambda_prime: f64,
+    confidences: &[f64],
+    bins: usize,
+    desync_prob: f64,
+) -> Vec<NoiseComparison> {
+    assert!(lambda > 0.0 && lambda_prime > 0.0, "rates must be positive");
+    assert!(
+        (lambda - lambda_prime).abs() > 1e-12,
+        "victim must differ from baseline"
+    );
+    let base = Exponential::new(lambda);
+    let victim = Exponential::new(lambda_prime);
+    let delta_n = delta_for_desync_prob(lambda, lambda_prime, desync_prob);
+
+    let med_null = OrderStat::median_of_three(base, base, base);
+    let med_alt = OrderStat::median_of_three(victim, base, base);
+    let stopwatch = Detector::from_cdfs_with_tails(&med_null, &med_alt, bins, TAIL_QS);
+
+    let e_med_null = med_null.mean_nonneg();
+    let e_med_alt = med_alt.mean_nonneg();
+
+    confidences
+        .iter()
+        .map(|&confidence| {
+            let observations = stopwatch.observations_needed(confidence);
+            let noise_bound = min_noise_bound(lambda, lambda_prime, confidence, observations, bins);
+            NoiseComparison {
+                confidence,
+                observations,
+                delta_n,
+                noise_bound,
+                stopwatch_delay_null: e_med_null + delta_n,
+                stopwatch_delay_victim: e_med_alt + delta_n,
+                noise_delay_null: 1.0 / lambda + noise_bound / 2.0,
+                noise_delay_victim: 1.0 / lambda_prime + noise_bound / 2.0,
+            }
+        })
+        .collect()
+}
+
+/// Minimum uniform-noise bound `b` such that distinguishing
+/// `X₁ + U(0,b)` from `X′₁ + U(0,b)` at `confidence` needs at least
+/// `target_observations` samples.
+///
+/// The χ² divergence is monotone decreasing in `b`, so we bisect.
+///
+/// # Panics
+///
+/// Panics on non-positive rates, equal rates, or a zero observation target.
+pub fn min_noise_bound(
+    lambda: f64,
+    lambda_prime: f64,
+    confidence: f64,
+    target_observations: u64,
+    bins: usize,
+) -> f64 {
+    assert!(lambda > 0.0 && lambda_prime > 0.0, "rates must be positive");
+    assert!(target_observations > 0, "target must be positive");
+    let needed = |b: f64| -> u64 {
+        let null = ExpPlusUniform::new(lambda, b);
+        let alt = ExpPlusUniform::new(lambda_prime, b);
+        Detector::from_cdfs_with_tails(&null, &alt, bins, TAIL_QS).observations_needed(confidence)
+    };
+    // If no noise at all already suffices, b = 0.
+    let bare = Detector::from_cdfs_with_tails(
+        &Exponential::new(lambda),
+        &Exponential::new(lambda_prime),
+        bins,
+        TAIL_QS,
+    )
+    .observations_needed(confidence);
+    if bare >= target_observations {
+        return 0.0;
+    }
+    let mut hi = 1.0;
+    while needed(hi) < target_observations {
+        hi *= 2.0;
+        assert!(hi < 1e9, "noise bound failed to bracket");
+    }
+    let mut lo = 0.0;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= 0.0 {
+            break;
+        }
+        if needed(mid) < target_observations {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::PAPER_CONFIDENCES;
+
+    #[test]
+    fn abs_diff_cdf_properties() {
+        assert!(abs_diff_exp_cdf(0.0, 1.0, 0.5) < 1e-12);
+        let mut prev = 0.0;
+        for i in 1..50 {
+            let d = i as f64 * 0.2;
+            let p = abs_diff_exp_cdf(d, 1.0, 0.5);
+            assert!(p >= prev && p <= 1.0);
+            prev = p;
+        }
+        assert!(abs_diff_exp_cdf(100.0, 1.0, 0.5) > 0.999999);
+    }
+
+    #[test]
+    fn abs_diff_cdf_symmetric_in_rates() {
+        // |X - Y| distribution is symmetric under swapping the rates.
+        for &d in &[0.1, 0.5, 2.0] {
+            assert!(
+                (abs_diff_exp_cdf(d, 1.0, 0.5) - abs_diff_exp_cdf(d, 0.5, 1.0)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn abs_diff_matches_monte_carlo() {
+        use crate::dist::Sample;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = Exponential::new(1.0);
+        let y = Exponential::new(0.5);
+        let n = 200_000;
+        let mut within = 0u32;
+        let delta = 1.5;
+        for _ in 0..n {
+            if (x.sample(&mut rng) - y.sample(&mut rng)).abs() <= delta {
+                within += 1;
+            }
+        }
+        let emp = within as f64 / n as f64;
+        let ana = abs_diff_exp_cdf(delta, 1.0, 0.5);
+        assert!((emp - ana).abs() < 0.005, "{emp} vs {ana}");
+    }
+
+    #[test]
+    fn delta_for_desync_hits_target() {
+        let d = delta_for_desync_prob(1.0, 0.5, 0.9999);
+        let p = abs_diff_exp_cdf(d, 1.0, 0.5);
+        assert!((p - 0.9999).abs() < 1e-9, "p={p}");
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn noise_bound_increases_with_target() {
+        let b1 = min_noise_bound(1.0, 0.5, 0.9, 100, 10);
+        let b2 = min_noise_bound(1.0, 0.5, 0.9, 1000, 10);
+        assert!(b2 > b1, "{b2} !> {b1}");
+    }
+
+    #[test]
+    fn noise_bound_zero_when_target_trivial() {
+        assert_eq!(min_noise_bound(1.0, 0.5, 0.99, 1, 10), 0.0);
+    }
+
+    #[test]
+    fn comparison_scales_like_paper() {
+        // Fig. 8a: StopWatch delay stays near-flat in confidence while the
+        // noise bound (and so noise delay) grows.
+        let rows = compare_with_uniform_noise(1.0, 0.5, &PAPER_CONFIDENCES, 10, 0.9999);
+        assert_eq!(rows.len(), PAPER_CONFIDENCES.len());
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        // StopWatch delay does not depend on confidence at all.
+        assert!((first.stopwatch_delay_null - last.stopwatch_delay_null).abs() < 1e-12);
+        // Noise delay grows with confidence.
+        assert!(last.noise_delay_null > first.noise_delay_null);
+        // At the top confidence, noise is costlier than StopWatch (the
+        // paper's headline claim for distinctive victims).
+        assert!(last.noise_delay_null > last.stopwatch_delay_null);
+    }
+
+    #[test]
+    fn comparison_null_and_victim_delays_close_under_stopwatch() {
+        // E[X_{2:3}+Δn] ≈ E[X'_{2:3}+Δn]: their gap is exactly what the
+        // attacker exploits, and the median squeezes it.
+        let rows = compare_with_uniform_noise(1.0, 10.0 / 11.0, &PAPER_CONFIDENCES, 10, 0.9999);
+        for r in &rows {
+            let gap = (r.stopwatch_delay_victim - r.stopwatch_delay_null).abs();
+            let raw_gap = (11.0 / 10.0_f64 - 1.0).abs();
+            assert!(gap < raw_gap, "median should shrink the mean gap");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "differ")]
+    fn equal_rates_panic() {
+        compare_with_uniform_noise(1.0, 1.0, &[0.9], 10, 0.9999);
+    }
+}

@@ -1,0 +1,316 @@
+//! Order statistics of independent (not necessarily identically distributed)
+//! random variables — the mathematical heart of StopWatch's median
+//! microaggregation (paper Appendix).
+//!
+//! For independent `X₁..X_m` with CDFs `F₁..F_m`, the CDF of the r-th
+//! smallest is (Güngör et al., Result 2.4, as cited by the paper):
+//!
+//! ```text
+//! F_{r:m}(x) = Σ_{ℓ=r}^{m} (-1)^{ℓ-r} C(ℓ-1, r-1) e_ℓ(F₁(x), …, F_m(x))
+//! ```
+//!
+//! where `e_ℓ` is the ℓ-th elementary symmetric polynomial (the sum over all
+//! size-ℓ subsets of the product of their CDF values). For the median of
+//! three this reduces to the paper's closed form
+//! `F_{2:3} = F₁F₂ + F₁F₃ + F₂F₃ − 2·F₁F₂F₃`.
+
+use crate::dist::{Cdf, Sample};
+use rand::Rng;
+
+/// Elementary symmetric polynomials `e_0..e_n` of `vals`, via the standard
+/// DP over `∏ (1 + v_i t)`.
+fn elem_sym(vals: &[f64]) -> Vec<f64> {
+    let mut e = vec![0.0; vals.len() + 1];
+    e[0] = 1.0;
+    for (i, &v) in vals.iter().enumerate() {
+        for k in (1..=i + 1).rev() {
+            e[k] += v * e[k - 1];
+        }
+    }
+    e
+}
+
+fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Evaluates `F_{r:m}(x)` for the given component CDF values at a point.
+///
+/// `r` is 1-based: `r = 1` is the minimum, `r = m` the maximum.
+///
+/// # Panics
+///
+/// Panics if `r` is 0 or exceeds the number of components.
+///
+/// # Examples
+///
+/// ```
+/// use timestats::order_stats::order_stat_cdf_at;
+/// // Median of three identical fair values F(x) = 1/2:
+/// // e2 - 2 e3 = 3/4 - 2/8 = 1/2.
+/// let f = order_stat_cdf_at(&[0.5, 0.5, 0.5], 2);
+/// assert!((f - 0.5).abs() < 1e-12);
+/// ```
+pub fn order_stat_cdf_at(component_cdf_values: &[f64], r: usize) -> f64 {
+    let m = component_cdf_values.len();
+    assert!(r >= 1 && r <= m, "order statistic index out of range");
+    for &v in component_cdf_values {
+        debug_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "CDF value out of [0,1]");
+    }
+    let e = elem_sym(component_cdf_values);
+    let mut acc = 0.0;
+    for l in r..=m {
+        let sign = if (l - r) % 2 == 0 { 1.0 } else { -1.0 };
+        acc += sign * binomial(l as u64 - 1, r as u64 - 1) * e[l];
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// The distribution of the r-th order statistic of independent components.
+///
+/// # Examples
+///
+/// ```
+/// use timestats::dist::{Cdf, Exponential};
+/// use timestats::order_stats::OrderStat;
+/// let base = Exponential::new(1.0);
+/// let med = OrderStat::median_of_three(base, base, base);
+/// // Median of three Exp(1): F(x) = 3F² - 2F³.
+/// let f = base.cdf(1.0);
+/// assert!((med.cdf(1.0) - (3.0 * f * f - 2.0 * f * f * f)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrderStat<D> {
+    components: Vec<D>,
+    r: usize,
+}
+
+impl<D: Cdf> OrderStat<D> {
+    /// Builds the r-th order statistic (1-based) of the given components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or `r` is out of `1..=m`.
+    pub fn new(components: Vec<D>, r: usize) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        assert!(
+            r >= 1 && r <= components.len(),
+            "order statistic index out of range"
+        );
+        OrderStat { components, r }
+    }
+
+    /// The median of three independent components — StopWatch's
+    /// microaggregation function.
+    pub fn median_of_three(a: D, b: D, c: D) -> Self {
+        OrderStat::new(vec![a, b, c], 2)
+    }
+
+    /// The median of an odd number `m` of components (Sec. IX discusses
+    /// raising the replica count from 3 to 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component count is even or zero.
+    pub fn median_of(components: Vec<D>) -> Self {
+        let m = components.len();
+        assert!(m % 2 == 1 && m > 0, "median needs an odd component count");
+        OrderStat::new(components, m / 2 + 1)
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[D] {
+        &self.components
+    }
+
+    /// The (1-based) order index r.
+    pub fn rank(&self) -> usize {
+        self.r
+    }
+}
+
+impl<D: Cdf> Cdf for OrderStat<D> {
+    fn cdf(&self, x: f64) -> f64 {
+        let vals: Vec<f64> = self.components.iter().map(|c| c.cdf(x)).collect();
+        order_stat_cdf_at(&vals, self.r)
+    }
+}
+
+impl<D: Cdf + Sample> Sample for OrderStat<D> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let mut draws: Vec<f64> = self.components.iter().map(|c| c.sample(rng)).collect();
+        draws.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN draw"));
+        draws[self.r - 1]
+    }
+}
+
+/// Median of three values (not distributions) — used by the runtime median
+/// agreement on proposed delivery times.
+///
+/// # Examples
+///
+/// ```
+/// use timestats::order_stats::median3;
+/// assert_eq!(median3(3, 1, 2), 2);
+/// assert_eq!(median3(9, 9, 1), 9);
+/// ```
+pub fn median3<T: Ord + Copy>(a: T, b: T, c: T) -> T {
+    a.max(b).min(a.min(b).max(c))
+}
+
+/// Median of an odd-length slice (by value ordering).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or has even length.
+pub fn median_odd<T: Ord + Copy>(xs: &[T]) -> T {
+    assert!(!xs.is_empty() && xs.len() % 2 == 1, "need odd-length input");
+    let mut v: Vec<T> = xs.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Cdf, Exponential, Sample};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn elem_sym_matches_manual() {
+        let e = elem_sym(&[2.0, 3.0, 5.0]);
+        assert_eq!(e[0], 1.0);
+        assert_eq!(e[1], 10.0);
+        assert_eq!(e[2], 31.0); // 6 + 10 + 15
+        assert_eq!(e[3], 30.0);
+    }
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(1, 1), 1.0);
+        assert_eq!(binomial(2, 1), 2.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn median3_closed_form_matches_general_formula() {
+        // F_{2:3} = F1F2 + F1F3 + F2F3 - 2 F1F2F3 (paper appendix).
+        let cases = [
+            [0.1, 0.5, 0.9],
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [0.3, 0.3, 0.3],
+            [0.25, 0.5, 0.75],
+        ];
+        for [f1, f2, f3] in cases {
+            let closed = f1 * f2 + f1 * f3 + f2 * f3 - 2.0 * f1 * f2 * f3;
+            let general = order_stat_cdf_at(&[f1, f2, f3], 2);
+            assert!((closed - general).abs() < 1e-12, "{f1},{f2},{f3}");
+        }
+    }
+
+    #[test]
+    fn min_and_max_special_cases() {
+        // F_{1:m} = 1 - Π(1-Fi), F_{m:m} = ΠFi.
+        let vals = [0.2, 0.6, 0.7];
+        let min = order_stat_cdf_at(&vals, 1);
+        let expect_min = 1.0 - (1.0 - 0.2) * (1.0 - 0.6) * (1.0 - 0.7);
+        assert!((min - expect_min).abs() < 1e-12);
+        let max = order_stat_cdf_at(&vals, 3);
+        assert!((max - 0.2 * 0.6 * 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_three_matches_monte_carlo() {
+        let base = Exponential::new(1.0);
+        let victim = Exponential::new(0.5);
+        let med = OrderStat::median_of_three(victim, base, base);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| med.sample(&mut rng)).collect();
+        for &x in &[0.3, 0.7, 1.0, 2.0, 4.0] {
+            let emp = samples.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
+            assert!(
+                (med.cdf(x) - emp).abs() < 0.005,
+                "x={x}: {} vs {}",
+                med.cdf(x),
+                emp
+            );
+        }
+    }
+
+    #[test]
+    fn median_of_five_matches_monte_carlo() {
+        let comps = vec![
+            Exponential::new(1.0),
+            Exponential::new(1.0),
+            Exponential::new(0.5),
+            Exponential::new(1.0),
+            Exponential::new(1.0),
+        ];
+        let med = OrderStat::median_of(comps);
+        assert_eq!(med.rank(), 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| med.sample(&mut rng)).collect();
+        for &x in &[0.5, 1.0, 2.0] {
+            let emp = samples.iter().filter(|&&v| v <= x).count() as f64 / n as f64;
+            assert!((med.cdf(x) - emp).abs() < 0.006, "x={x}");
+        }
+    }
+
+    #[test]
+    fn order_stat_cdf_is_monotone() {
+        let med = OrderStat::median_of_three(
+            Exponential::new(1.0),
+            Exponential::new(0.5),
+            Exponential::new(2.0),
+        );
+        let mut prev = 0.0;
+        for i in 0..200 {
+            let x = i as f64 * 0.05;
+            let f = med.cdf(x);
+            assert!(f >= prev - 1e-12, "non-monotone at {x}");
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn median3_values() {
+        assert_eq!(median3(1, 2, 3), 2);
+        assert_eq!(median3(3, 2, 1), 2);
+        assert_eq!(median3(2, 3, 1), 2);
+        assert_eq!(median3(5, 5, 5), 5);
+        assert_eq!(median3(1, 1, 9), 1);
+        assert_eq!(median3(9, 1, 9), 9);
+    }
+
+    #[test]
+    fn median_odd_slice() {
+        assert_eq!(median_odd(&[5, 1, 4, 2, 3]), 3);
+        assert_eq!(median_odd(&[7]), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd-length")]
+    fn median_even_panics() {
+        median_odd(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn order_stat_bad_rank_panics() {
+        OrderStat::new(vec![Exponential::new(1.0)], 2);
+    }
+}

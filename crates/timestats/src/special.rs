@@ -1,0 +1,294 @@
+//! Special functions needed for the paper's statistical machinery:
+//! log-gamma, regularized incomplete gamma, error function, and the χ²
+//! distribution (CDF and quantile).
+//!
+//! Implemented from scratch (no external numerics crate is in the offline
+//! set); accuracy targets are ~1e-10 relative, far tighter than the
+//! experiment needs.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// # Panics
+///
+/// Panics for `x <= 0` (not needed by this crate).
+///
+/// # Examples
+///
+/// ```
+/// use timestats::special::ln_gamma;
+/// assert!((ln_gamma(1.0)).abs() < 1e-12);          // Γ(1) = 1
+/// assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10); // Γ(5) = 24
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// Uses the series expansion for `x < a + 1` and the continued fraction for
+/// the complement otherwise (Numerical Recipes style).
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "argument must be non-negative");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 - P(a, x)`.
+pub fn reg_upper_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    assert!(x >= 0.0, "argument must be non-negative");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_fraction(a, x)
+    }
+}
+
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_cont_fraction(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// The error function, via `erf(x) = P(1/2, x²)` for `x >= 0`.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else if x == 0.0 {
+        0.0
+    } else {
+        reg_lower_gamma(0.5, x * x)
+    }
+}
+
+/// Standard normal CDF.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// CDF of the χ² distribution with `k` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x < 0`.
+pub fn chi2_cdf(x: f64, k: u32) -> f64 {
+    assert!(k > 0, "degrees of freedom must be positive");
+    assert!(x >= 0.0, "chi-square support is non-negative");
+    reg_lower_gamma(k as f64 / 2.0, x / 2.0)
+}
+
+/// Quantile (inverse CDF) of the χ² distribution with `k` degrees of freedom.
+///
+/// Solved by bracketing + bisection; accurate to ~1e-10 in probability.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)` or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use timestats::special::chi2_quantile;
+/// // Known value: χ²₁(0.95) ≈ 3.841
+/// assert!((chi2_quantile(0.95, 1) - 3.841).abs() < 1e-3);
+/// // χ²₉(0.99) ≈ 21.666
+/// assert!((chi2_quantile(0.99, 9) - 21.666).abs() < 1e-3);
+/// ```
+pub fn chi2_quantile(p: f64, k: u32) -> f64 {
+    assert!(k > 0, "degrees of freedom must be positive");
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1), got {p}");
+    let mut hi = k as f64 + 10.0;
+    while chi2_cdf(hi, k) < p {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "chi2_quantile failed to bracket");
+    }
+    let mut lo = 0.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(mid, k) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(n) = (n-1)!
+        let facts: [(f64, f64); 5] = [(1.0, 1.0), (2.0, 1.0), (3.0, 2.0), (4.0, 6.0), (6.0, 120.0)];
+        for (x, f) in facts {
+            assert!((ln_gamma(x) - f.ln()).abs() < 1e-10, "Γ({x})");
+        }
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+        // Reflection region: Γ(1/4) ≈ 3.6256099082
+        assert!((ln_gamma(0.25) - 3.625_609_908_2_f64.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity() {
+        for &a in &[0.5, 1.0, 2.5, 10.0, 50.0] {
+            for &x in &[0.1, 1.0, 5.0, 30.0, 100.0] {
+                let p = reg_lower_gamma(a, x);
+                let q = reg_upper_gamma(a, x);
+                assert!((p + q - 1.0).abs() < 1e-12, "a={a} x={x}");
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}
+        for &x in &[0.0, 0.5, 1.0, 3.0, 10.0] {
+            assert!((reg_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert_eq!(erf(0.0), 0.0);
+        assert!((erf(1.0) - 0.842_700_792_949_715).abs() < 1e-10);
+        assert!((erf(-1.0) + 0.842_700_792_949_715).abs() < 1e-10);
+        assert!((erf(2.0) - 0.995_322_265_018_953).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        for &x in &[0.3, 1.0, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chi2_cdf_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.5;
+            let c = chi2_cdf(x, 5);
+            assert!(c >= prev && (0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn chi2_quantile_tables() {
+        // Standard table values.
+        let cases: [(f64, u32, f64); 6] = [
+            (0.95, 1, 3.8415),
+            (0.99, 1, 6.6349),
+            (0.95, 9, 16.919),
+            (0.99, 9, 21.666),
+            (0.90, 4, 7.7794),
+            (0.70, 9, 10.656),
+        ];
+        for (p, k, want) in cases {
+            let got = chi2_quantile(p, k);
+            assert!((got - want).abs() < 2e-3, "p={p} k={k}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn chi2_quantile_roundtrip() {
+        for &k in &[1u32, 3, 9, 20] {
+            for &p in &[0.1, 0.5, 0.7, 0.95, 0.999] {
+                let x = chi2_quantile(p, k);
+                assert!((chi2_cdf(x, k) - p).abs() < 1e-9, "k={k} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn chi2_zero_df_panics() {
+        chi2_cdf(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn chi2_quantile_bad_p_panics() {
+        chi2_quantile(1.0, 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! The guest VM abstraction.
+//!
+//! A guest is a *deterministic state machine*: its behaviour is a function
+//! of the sequence of injected events (packets, disk completions, timer
+//! ticks — each delivered at a defined virtual time) plus its own logic.
+//! Exactly the determinism the paper enforces for uniprocessor VMs — which
+//! is why three replicas fed the same injection schedule emit identical
+//! output streams.
+//!
+//! Guest code reacts to events by queueing [`GuestAction`]s: bounded
+//! computation, disk I/O, and packet sends. Between events the VM runs its
+//! queued actions and then its idle loop (which retires branches, so
+//! virtual time keeps advancing).
+
+use netsim::packet::{Body, EndpointId, Packet};
+use simkit::time::VirtNanos;
+use std::collections::VecDeque;
+use storage::block::BlockRange;
+use storage::device::DiskOp;
+
+/// Work the guest asks its (virtual) hardware to do, in program order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuestAction {
+    /// Execute `branches` branches of computation.
+    Compute {
+        /// Branch count to retire.
+        branches: u64,
+    },
+    /// Issue a disk read; the result arrives later via
+    /// [`GuestProgram::on_disk_done`].
+    DiskRead {
+        /// Blocks to read.
+        range: BlockRange,
+    },
+    /// Issue a disk write (completion interrupt likewise delayed by Δd).
+    DiskWrite {
+        /// Blocks to write.
+        range: BlockRange,
+        /// Content hash to store.
+        value: u64,
+    },
+    /// Emit a network packet (under StopWatch, tunneled to the egress node).
+    Send {
+        /// The packet (src will be the guest's endpoint).
+        packet: Packet,
+    },
+    /// Invoke [`GuestProgram::on_call`] when execution reaches this point
+    /// (a deterministic self-callback: "after the work queued so far, run
+    /// this continuation").
+    Call {
+        /// Caller-defined token passed back to `on_call`.
+        token: u64,
+    },
+}
+
+/// What the guest sees when one of its handlers runs: the virtualized
+/// platform clocks at the current VM exit, and its action queue.
+#[derive(Debug)]
+pub struct GuestEnv<'a> {
+    /// Guest time (virtual under StopWatch) at this VM exit.
+    pub now: VirtNanos,
+    /// PIT timer interrupts delivered so far.
+    pub pit_ticks: u64,
+    /// `rdtsc` value.
+    pub tsc: u64,
+    /// CMOS RTC seconds.
+    pub rtc_secs: u64,
+    /// The guest's virtualized branch counter.
+    pub branches: u64,
+    actions: &'a mut VecDeque<GuestAction>,
+}
+
+impl<'a> GuestEnv<'a> {
+    /// Creates an environment view (used by the slot executor).
+    pub fn new(
+        now: VirtNanos,
+        pit_ticks: u64,
+        tsc: u64,
+        rtc_secs: u64,
+        branches: u64,
+        actions: &'a mut VecDeque<GuestAction>,
+    ) -> Self {
+        GuestEnv {
+            now,
+            pit_ticks,
+            tsc,
+            rtc_secs,
+            branches,
+            actions,
+        }
+    }
+
+    /// Queues `branches` of computation.
+    pub fn compute(&mut self, branches: u64) {
+        self.actions.push_back(GuestAction::Compute { branches });
+    }
+
+    /// Queues a disk read.
+    pub fn disk_read(&mut self, range: BlockRange) {
+        self.actions.push_back(GuestAction::DiskRead { range });
+    }
+
+    /// Queues a disk write.
+    pub fn disk_write(&mut self, range: BlockRange, value: u64) {
+        self.actions.push_back(GuestAction::DiskWrite { range, value });
+    }
+
+    /// Queues a packet send from this guest (`src` is overwritten with the
+    /// guest's endpoint by the device model).
+    pub fn send(&mut self, dst: EndpointId, body: Body) {
+        self.actions.push_back(GuestAction::Send {
+            packet: Packet {
+                src: EndpointId(0), // patched by the device model
+                dst,
+                body,
+            },
+        });
+    }
+
+    /// Queues a continuation: [`GuestProgram::on_call`] fires with `token`
+    /// after all previously queued actions have executed.
+    pub fn call_after(&mut self, token: u64) {
+        self.actions.push_back(GuestAction::Call { token });
+    }
+
+    /// Queued actions not yet executed.
+    pub fn queue_len(&self) -> usize {
+        self.actions.len()
+    }
+}
+
+/// A deterministic guest program.
+///
+/// Handlers run at VM exits with interrupts injected at VM entry, matching
+/// the Xen HVM flow the paper modifies. All decisions must be functions of
+/// the handler inputs and [`GuestEnv`] clock reads only — no ambient
+/// randomness, no host state — or replica determinism (and with it the
+/// defense's output voting) breaks.
+pub trait GuestProgram {
+    /// Called once when the VM boots.
+    fn on_boot(&mut self, env: &mut GuestEnv);
+
+    /// A network packet was copied into guest memory and its interrupt
+    /// asserted.
+    fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv);
+
+    /// A disk operation completed (for reads, `data` holds per-block
+    /// content hashes).
+    fn on_disk_done(&mut self, op: DiskOp, range: BlockRange, data: &[u64], env: &mut GuestEnv);
+
+    /// A PIT timer interrupt (only delivered when [`GuestProgram::wants_timer`]).
+    fn on_timer(&mut self, _env: &mut GuestEnv) {}
+
+    /// A continuation queued via [`GuestEnv::call_after`] was reached.
+    fn on_call(&mut self, _token: u64, _env: &mut GuestEnv) {}
+
+    /// Opt into per-tick timer interrupts (off by default; ticks are
+    /// always visible via [`GuestEnv::pit_ticks`]).
+    fn wants_timer(&self) -> bool {
+        false
+    }
+
+    /// Downcast support for extracting recorded observations after a run.
+    /// Programs holding measurement state should override with
+    /// `Some(self)`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+}
+
+/// A trivial guest that idles forever (useful as filler load and in tests).
+#[derive(Debug, Clone, Default)]
+pub struct IdleGuest;
+
+impl GuestProgram for IdleGuest {
+    fn on_boot(&mut self, _env: &mut GuestEnv) {}
+    fn on_packet(&mut self, _packet: &Packet, _env: &mut GuestEnv) {}
+    fn on_disk_done(&mut self, _op: DiskOp, _range: BlockRange, _data: &[u64], _env: &mut GuestEnv) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_queues_actions_in_order() {
+        let mut q = VecDeque::new();
+        let mut env = GuestEnv::new(VirtNanos::ZERO, 0, 0, 0, 0, &mut q);
+        env.compute(100);
+        env.disk_read(BlockRange::new(0, 1));
+        env.send(EndpointId(9), Body::Raw { tag: 1, len: 10 });
+        assert_eq!(env.queue_len(), 3);
+        assert!(matches!(q[0], GuestAction::Compute { branches: 100 }));
+        assert!(matches!(q[1], GuestAction::DiskRead { .. }));
+        assert!(matches!(q[2], GuestAction::Send { .. }));
+    }
+
+    #[test]
+    fn idle_guest_stays_idle() {
+        let mut g = IdleGuest;
+        let mut q = VecDeque::new();
+        let mut env = GuestEnv::new(VirtNanos::ZERO, 0, 0, 0, 0, &mut q);
+        g.on_boot(&mut env);
+        assert_eq!(env.queue_len(), 0);
+        assert!(!g.wants_timer());
+    }
+}

@@ -1,0 +1,268 @@
+//! A physical host: one execution-speed profile, one disk, and the guest
+//! slots it runs (the paper's testbed ran up to `c` one-vCPU guests per
+//! multicore machine; each slot models one pinned vCPU, with cross-guest
+//! interference entering through the shared contention factor and the
+//! shared disk FIFO).
+
+use crate::slot::{ArrivalOutcome, GuestSlot, SlotOutput};
+use crate::speed::SpeedProfile;
+use netsim::link::NetNode;
+use netsim::packet::Packet;
+use simkit::time::{SimTime, VirtNanos};
+use storage::device::{DiskDevice, DiskRequest};
+use storage::model::AccessModel;
+
+/// One physical machine.
+pub struct HostMachine {
+    id: NetNode,
+    profile: SpeedProfile,
+    disk: DiskDevice<Box<dyn AccessModel>>,
+    slots: Vec<GuestSlot>,
+    activity: Vec<f64>,
+}
+
+impl std::fmt::Debug for HostMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostMachine")
+            .field("id", &self.id)
+            .field("slots", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl HostMachine {
+    /// Creates a host.
+    pub fn new(id: NetNode, profile: SpeedProfile, disk: DiskDevice<Box<dyn AccessModel>>) -> Self {
+        HostMachine {
+            id,
+            profile,
+            disk,
+            slots: Vec::new(),
+            activity: Vec::new(),
+        }
+    }
+
+    /// This host's network identity.
+    pub fn id(&self) -> NetNode {
+        self.id
+    }
+
+    /// Adds a guest slot; returns its index on this host.
+    pub fn add_slot(&mut self, slot: GuestSlot) -> usize {
+        self.slots.push(slot);
+        self.activity.push(0.0);
+        self.slots.len() - 1
+    }
+
+    /// Number of slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Immutable access to a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn slot(&self, idx: usize) -> &GuestSlot {
+        &self.slots[idx]
+    }
+
+    /// Mutable access to a slot (for program state extraction).
+    pub fn slot_mut(&mut self, idx: usize) -> &mut GuestSlot {
+        &mut self.slots[idx]
+    }
+
+    /// The host's speed profile.
+    pub fn profile(&self) -> &SpeedProfile {
+        &self.profile
+    }
+
+    /// Declares how busy slot `idx`'s guest currently is (`0..1`); the
+    /// aggregate becomes the host's contention factor slowing *all* guests
+    /// — the cross-VM interference that access-driven attacks feed on, and
+    /// the lever of the Sec. IX collaborating-attacker load attack.
+    pub fn set_slot_activity(&mut self, idx: usize, activity: f64) {
+        assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1]");
+        self.activity[idx] = activity;
+        let total: f64 = self.activity.iter().sum();
+        self.profile.set_contention((total * 0.25).min(0.9));
+    }
+
+    /// Boots slot `idx` at `now`.
+    pub fn boot_slot(&mut self, idx: usize, now: SimTime) -> Vec<SlotOutput> {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.boot(profile, now)
+    }
+
+    /// Runs everything due for slot `idx` at `now`.
+    pub fn process_slot(&mut self, idx: usize, now: SimTime) -> Vec<SlotOutput> {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.process(profile, now)
+    }
+
+    /// Next wake time for slot `idx`.
+    pub fn next_wake(&self, idx: usize, now: SimTime) -> Option<SimTime> {
+        self.slots[idx].next_wake(&self.profile, now)
+    }
+
+    /// Packet arrival at the device model for slot `idx`.
+    pub fn packet_arrival(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        ingress_seq: u64,
+        packet: Packet,
+    ) -> ArrivalOutcome {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.on_packet_arrival(profile, now, ingress_seq, packet)
+    }
+
+    /// Records a delivery-time proposal for slot `idx`.
+    pub fn add_proposal(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        ingress_seq: u64,
+        proposal: VirtNanos,
+    ) -> bool {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.add_proposal(profile, now, ingress_seq, proposal)
+    }
+
+    /// Submits a disk request from slot `idx` to the host disk; returns
+    /// the absolute completion time.
+    pub fn submit_disk(&mut self, request: DiskRequest, now: SimTime) -> SimTime {
+        self.disk.submit(request, now)
+    }
+
+    /// The disk transfer for `(slot, op_id)` completed.
+    pub fn disk_ready(&mut self, idx: usize, now: SimTime, op_id: u64) {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.disk_ready(profile, now, op_id);
+    }
+
+    /// Current virtual time of slot `idx`.
+    pub fn virt_of(&self, idx: usize, now: SimTime) -> VirtNanos {
+        self.slots[idx].virt_at(&self.profile, now)
+    }
+
+    /// Stalls slot `idx` until `t` (fastest-replica pacing).
+    pub fn stall_slot(&mut self, idx: usize, now: SimTime, until: SimTime) {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.stall_until(profile, now, until);
+    }
+
+    /// Refreshes every slot's activity from its busy state; returns `true`
+    /// when the host's contention factor changed (callers then recompute
+    /// pending wakes). This is how one guest's load perturbs the timing of
+    /// its coresident guests — the substrate of access-driven attacks.
+    pub fn refresh_activity(&mut self, now: SimTime) -> bool {
+        // Sync each slot to `now` first so busy-ness is current.
+        for i in 0..self.slots.len() {
+            let (profile, slot) = (&self.profile, &mut self.slots[i]);
+            let _ = slot.next_wake(profile, now); // read-only probe
+        }
+        let before = self.profile.contention();
+        let busy: Vec<f64> = self
+            .slots
+            .iter()
+            .map(|s| if s.is_busy() { 1.0 } else { 0.0 })
+            .collect();
+        for (i, b) in busy.into_iter().enumerate() {
+            self.activity[i] = b;
+        }
+        let total: f64 = self.activity.iter().sum();
+        self.profile.set_contention((total * 0.25).min(0.9));
+        (self.profile.contention() - before).abs() > 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::devices::PlatformClocks;
+    use crate::guest::IdleGuest;
+    use crate::slot::{DefenseMode, SlotConfig};
+    use netsim::packet::EndpointId;
+    use simkit::rng::SimRng;
+    use simkit::time::SimDuration;
+    use storage::block::{BlockRange, DiskImage};
+    use storage::device::DiskOp;
+    use storage::model::Ssd;
+
+    fn host() -> HostMachine {
+        let profile = SpeedProfile::new(
+            1.0e9,
+            0.0,
+            SimDuration::from_millis(10),
+            SimRng::new(1).stream("h0"),
+        );
+        let disk: DiskDevice<Box<dyn AccessModel>> =
+            DiskDevice::new(Box::new(Ssd::sata()), SimRng::new(1).stream("d0"));
+        HostMachine::new(NetNode(0), profile, disk)
+    }
+
+    fn idle_slot() -> GuestSlot {
+        GuestSlot::new(
+            Box::new(IdleGuest),
+            SlotConfig {
+                endpoint: EndpointId(1),
+                exit_every: 50_000,
+                mode: DefenseMode::Baseline,
+                clocks: PlatformClocks::default(),
+            },
+            VirtualClock::new(VirtNanos::ZERO, 1.0, None),
+            DiskImage::new(1024),
+        )
+    }
+
+    #[test]
+    fn add_and_boot_slots() {
+        let mut h = host();
+        let a = h.add_slot(idle_slot());
+        let b = h.add_slot(idle_slot());
+        assert_eq!((a, b), (0, 1));
+        assert!(h.boot_slot(0, SimTime::ZERO).is_empty());
+        assert_eq!(h.slot_count(), 2);
+    }
+
+    #[test]
+    fn activity_raises_contention() {
+        let mut h = host();
+        h.add_slot(idle_slot());
+        h.add_slot(idle_slot());
+        assert_eq!(h.profile().contention(), 0.0);
+        h.set_slot_activity(0, 0.8);
+        let c1 = h.profile().contention();
+        assert!(c1 > 0.0);
+        h.set_slot_activity(1, 0.8);
+        assert!(h.profile().contention() > c1);
+        h.set_slot_activity(0, 0.0);
+        h.set_slot_activity(1, 0.0);
+        assert_eq!(h.profile().contention(), 0.0);
+    }
+
+    #[test]
+    fn disk_submission_roundtrip() {
+        let mut h = host();
+        h.add_slot(idle_slot());
+        let done = h.submit_disk(
+            DiskRequest {
+                op: DiskOp::Read,
+                range: BlockRange::new(0, 1),
+            },
+            SimTime::ZERO,
+        );
+        assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity")]
+    fn bad_activity_panics() {
+        let mut h = host();
+        h.add_slot(idle_slot());
+        h.set_slot_activity(0, 1.5);
+    }
+}

@@ -1,0 +1,37 @@
+//! # vmm — the simulated hypervisor under StopWatch
+//!
+//! The StopWatch prototype is ~1.5 kSLOC of changes inside Xen 4.0.2 plus
+//! ~2 kSLOC in QEMU device models. This crate rebuilds the architectural
+//! joints those changes live at, as a deterministic simulation:
+//!
+//! * [`clock`] — virtual time `virt(instr) = slope·instr + start` with the
+//!   epoch-resynchronization protocol (paper Sec. IV-A);
+//! * [`speed`] — deterministic host speed profiles (branch↔time), with
+//!   jitter and coresident-load contention;
+//! * [`devices`] — emulated PIT / TSC / RTC, all fed from one instant;
+//! * [`guest`] — the deterministic guest-program abstraction;
+//! * [`slot`] — the per-guest VMM machinery: guest-caused VM exits,
+//!   interrupt injection at VM entry, hidden device buffers, Δn proposals
+//!   and median deliveries, Δd disk deliveries, violation detection;
+//! * [`host`] — a physical machine aggregating slots, a disk, and a speed
+//!   profile.
+//!
+//! Cross-host coordination (proposal exchange, pacing, ingress/egress
+//! wiring) lives one level up, in `stopwatch-core`.
+
+pub mod clock;
+pub mod devices;
+pub mod guest;
+pub mod host;
+pub mod slot;
+pub mod speed;
+
+/// One-line import for the common types.
+pub mod prelude {
+    pub use crate::clock::{EpochConfig, VirtualClock};
+    pub use crate::devices::{PlatformClocks, TimePolicy};
+    pub use crate::guest::{GuestAction, GuestEnv, GuestProgram, IdleGuest};
+    pub use crate::host::HostMachine;
+    pub use crate::slot::{ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotOutput};
+    pub use crate::speed::SpeedProfile;
+}

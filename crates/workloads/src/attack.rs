@@ -1,0 +1,331 @@
+//! The Fig. 4 security experiment: an attacker VM measures the virtual
+//! inter-packet delivery times of a probe stream, while a victim VM on one
+//! of the attacker's replica hosts perturbs that host's timing through
+//! shared-hardware contention. Under StopWatch the perturbation is
+//! microaggregated away by the median; under Baseline it shows through.
+//!
+//! Also provides the Sec. IX collaborating-attacker load generator.
+
+use netsim::packet::{Body, EndpointId, Packet};
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime, VirtNanos};
+use stopwatch_core::cloud::ClientApp;
+use storage::block::BlockRange;
+use storage::device::DiskOp;
+use vmm::guest::{GuestEnv, GuestProgram};
+
+/// The attacker guest: records the virtual time at which each probe packet
+/// is delivered (its IO-clock observable).
+#[derive(Debug, Default)]
+pub struct AttackerGuest {
+    arrivals: Vec<VirtNanos>,
+}
+
+impl AttackerGuest {
+    /// Creates the attacker.
+    pub fn new() -> Self {
+        AttackerGuest::default()
+    }
+
+    /// Virtual arrival times recorded so far.
+    pub fn arrivals(&self) -> &[VirtNanos] {
+        &self.arrivals
+    }
+
+    /// Inter-packet deltas in virtual milliseconds — the Fig. 4 observable.
+    pub fn deltas_ms(&self) -> Vec<f64> {
+        self.arrivals
+            .windows(2)
+            .map(|w| (w[1].as_nanos() - w[0].as_nanos()) as f64 / 1.0e6)
+            .collect()
+    }
+}
+
+impl GuestProgram for AttackerGuest {
+    fn on_boot(&mut self, _env: &mut GuestEnv) {}
+
+    fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
+        if matches!(packet.body, Body::Raw { tag: 0xBEEF, .. }) {
+            self.arrivals.push(env.now);
+        }
+    }
+
+    fn on_disk_done(&mut self, _op: DiskOp, _r: BlockRange, _d: &[u64], _env: &mut GuestEnv) {}
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Sends probe packets to the attacker at exponential inter-arrival times
+/// (the paper models packet inter-arrivals as exponential, after
+/// Karagiannis et al.).
+pub struct ProbeClient {
+    me: EndpointId,
+    attacker: EndpointId,
+    remaining: u32,
+    next_at: Option<SimTime>,
+    mean_gap: SimDuration,
+    rng: SimRng,
+}
+
+impl ProbeClient {
+    /// Sends `count` probes with exponential gaps of the given mean.
+    pub fn new(
+        me: EndpointId,
+        attacker: EndpointId,
+        count: u32,
+        mean_gap: SimDuration,
+        seed: u64,
+    ) -> Self {
+        ProbeClient {
+            me,
+            attacker,
+            remaining: count,
+            next_at: None,
+            mean_gap,
+            rng: SimRng::new(seed).stream("probe"),
+        }
+    }
+
+    fn due(&mut self, now: SimTime) -> Vec<Packet> {
+        let mut out = Vec::new();
+        loop {
+            if self.remaining == 0 {
+                break;
+            }
+            let next = match self.next_at {
+                Some(t) => t,
+                None => {
+                    let t = now + self.rng.exp_duration(self.mean_gap);
+                    self.next_at = Some(t);
+                    t
+                }
+            };
+            if next > now {
+                break;
+            }
+            self.remaining -= 1;
+            out.push(Packet {
+                src: self.me,
+                dst: self.attacker,
+                body: Body::Raw {
+                    tag: 0xBEEF,
+                    len: 100,
+                },
+            });
+            let gap = self.rng.exp_duration(self.mean_gap);
+            self.next_at = Some(next + gap);
+        }
+        out
+    }
+}
+
+impl ClientApp for ProbeClient {
+    fn on_start(&mut self, now: SimTime) -> Vec<Packet> {
+        self.due(now)
+    }
+
+    fn on_packet(&mut self, _packet: &Packet, _now: SimTime) -> Vec<Packet> {
+        Vec::new()
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> Vec<Packet> {
+        self.due(now)
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// The victim: a guest that works in bursts (serving a file continuously,
+/// in the paper's run), perturbing its host's timing while busy.
+pub struct VictimGuest {
+    burst_branches: u64,
+    period_ticks: u64,
+    duty_on: bool,
+}
+
+impl VictimGuest {
+    /// A victim computing `burst_branches` every `period_ticks` PIT ticks
+    /// (4 ms each at 250 Hz).
+    pub fn new(burst_branches: u64, period_ticks: u64) -> Self {
+        VictimGuest {
+            burst_branches,
+            period_ticks: period_ticks.max(1),
+            duty_on: true,
+        }
+    }
+}
+
+impl GuestProgram for VictimGuest {
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        env.compute(self.burst_branches);
+    }
+
+    fn on_packet(&mut self, _packet: &Packet, _env: &mut GuestEnv) {}
+
+    fn on_disk_done(&mut self, _op: DiskOp, _r: BlockRange, _d: &[u64], _env: &mut GuestEnv) {}
+
+    fn on_timer(&mut self, env: &mut GuestEnv) {
+        if env.pit_ticks % self.period_ticks == 0 && self.duty_on {
+            env.compute(self.burst_branches);
+        }
+    }
+
+    fn wants_timer(&self) -> bool {
+        true
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The Sec. IX collaborating attacker: a second attacker VM that induces
+/// heavy sustained load on one machine, trying to marginalize the replica
+/// of the first attacker that runs there.
+pub struct LoadGuest {
+    chunk: u64,
+}
+
+impl LoadGuest {
+    /// A guest that computes continuously in chunks.
+    pub fn new(chunk: u64) -> Self {
+        LoadGuest { chunk: chunk.max(1) }
+    }
+}
+
+impl GuestProgram for LoadGuest {
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        env.compute(self.chunk);
+        env.call_after(0);
+    }
+
+    fn on_packet(&mut self, _packet: &Packet, _env: &mut GuestEnv) {}
+
+    fn on_disk_done(&mut self, _op: DiskOp, _r: BlockRange, _d: &[u64], _env: &mut GuestEnv) {}
+
+    fn on_call(&mut self, _token: u64, env: &mut GuestEnv) {
+        env.compute(self.chunk);
+        env.call_after(0);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Outcome of one attack measurement run.
+#[derive(Debug, Clone)]
+pub struct AttackTrace {
+    /// Inter-packet virtual deltas (ms) observed by the attacker.
+    pub deltas_ms: Vec<f64>,
+}
+
+/// Runs the Fig. 4 scenario and returns the attacker's observations.
+///
+/// * `stopwatch`: protect the attacker VM with StopWatch (vs. baseline Xen);
+/// * `victim_present`: place a victim VM on the attacker's first host;
+/// * `probes`: number of probe packets;
+/// * `seed`: run seed.
+pub fn run_attack_scenario(
+    stopwatch: bool,
+    victim_present: bool,
+    probes: u32,
+    seed: u64,
+) -> AttackTrace {
+    use stopwatch_core::cloud::CloudBuilder;
+    use stopwatch_core::config::CloudConfig;
+
+    let mut cfg = CloudConfig::fast_test();
+    cfg.seed = seed;
+    cfg.ips_jitter = 0.03;
+    cfg.client_tick = SimDuration::from_millis(2);
+    let mut b = CloudBuilder::new(cfg, 3);
+    let attacker = if stopwatch {
+        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(AttackerGuest::new()))
+    } else {
+        b.add_baseline_vm(0, Box::new(AttackerGuest::new()))
+    };
+    if victim_present {
+        // Victim coresides with the attacker's replica on host 0 only.
+        // Busy ~half the time in 200 ms-scale bursts.
+        b.add_baseline_vm(0, Box::new(VictimGuest::new(100_000_000, 50)));
+    }
+    let probe = ProbeClient::new(
+        EndpointId(2000),
+        attacker.endpoint,
+        probes,
+        SimDuration::from_millis(40),
+        seed ^ 0x5eed,
+    );
+    b.add_client(Box::new(probe));
+    let mut sim = b.build();
+    sim.run_until_clients_done(SimTime::from_secs(600));
+    // Let the tail of in-flight deliveries drain.
+    let drain = sim.now() + SimDuration::from_millis(500);
+    sim.run_until(drain);
+    let guest = sim
+        .cloud
+        .guest_program::<AttackerGuest>(attacker, 0)
+        .expect("attacker downcast");
+    AttackTrace {
+        deltas_ms: guest.deltas_ms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacker_records_probes_baseline() {
+        let trace = run_attack_scenario(false, false, 40, 7);
+        assert!(trace.deltas_ms.len() >= 30, "got {}", trace.deltas_ms.len());
+        let mean: f64 = trace.deltas_ms.iter().sum::<f64>() / trace.deltas_ms.len() as f64;
+        // Mean probe gap is 40 ms.
+        assert!((20.0..80.0).contains(&mean), "mean delta {mean}");
+    }
+
+    #[test]
+    fn attacker_records_probes_stopwatch() {
+        let trace = run_attack_scenario(true, false, 40, 7);
+        assert!(trace.deltas_ms.len() >= 30);
+        assert!(trace.deltas_ms.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn victim_shifts_baseline_distribution() {
+        // Without StopWatch the victim's bursts visibly shift the
+        // attacker's observed inter-packet deltas.
+        let clean = run_attack_scenario(false, false, 120, 11);
+        let dirty = run_attack_scenario(false, true, 120, 11);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mc, md) = (mean(&clean.deltas_ms), mean(&dirty.deltas_ms));
+        let shift = (mc - md).abs() / mc;
+        assert!(shift > 0.01, "victim shifted baseline mean by only {shift}");
+    }
+
+    #[test]
+    fn stopwatch_dampens_victim_shift() {
+        let clean_sw = run_attack_scenario(true, false, 120, 11);
+        let dirty_sw = run_attack_scenario(true, true, 120, 11);
+        let clean_bl = run_attack_scenario(false, false, 120, 11);
+        let dirty_bl = run_attack_scenario(false, true, 120, 11);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let shift_sw = (mean(&clean_sw.deltas_ms) - mean(&dirty_sw.deltas_ms)).abs()
+            / mean(&clean_sw.deltas_ms);
+        let shift_bl = (mean(&clean_bl.deltas_ms) - mean(&dirty_bl.deltas_ms)).abs()
+            / mean(&clean_bl.deltas_ms);
+        assert!(
+            shift_sw < shift_bl,
+            "StopWatch shift {shift_sw} should be below baseline shift {shift_bl}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # workloads — the guest programs and clients of the paper's evaluation
+//!
+//! * [`web`] — file retrieval over HTTP/TCP and UDP-NAK (Fig. 5);
+//! * [`nfs`] — NFS server + nhfsstone generator with the paper's op mix
+//!   (Fig. 6);
+//! * [`parsec`] — the five PARSEC profiles (ferret, blackscholes, canneal,
+//!   dedup, streamcluster) calibrated to the paper's runtimes and disk
+//!   interrupt counts (Fig. 7);
+//! * [`attack`] — attacker/victim/collaborator guests and the probe client
+//!   (Fig. 4, Sec. IX).
+
+pub mod attack;
+pub mod nfs;
+pub mod parsec;
+pub mod web;
+
+/// One-line import for the common types.
+pub mod prelude {
+    pub use crate::attack::{
+        run_attack_scenario, AttackTrace, AttackerGuest, LoadGuest, ProbeClient, VictimGuest,
+    };
+    pub use crate::nfs::{NfsOp, NfsServerGuest, NhfsstoneClient, PAPER_MIX};
+    pub use crate::parsec::{profile, CompletionWaiter, ParsecGuest, ParsecProfile, PARSEC};
+    pub use crate::web::{
+        DownloadResult, FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest,
+    };
+}

@@ -1,0 +1,43 @@
+//! The Fig. 6 scenario as a runnable example: an NFS server under an
+//! nhfsstone-style load with the paper's operation mix, measuring latency
+//! per op and TCP packets per op at one offered rate.
+//!
+//! Run with: `cargo run --release --example nfs_service [ops_per_sec]`
+
+use stopwatch_repro::prelude::*;
+
+fn run(stopwatch: bool, rate: f64, ops: u64) -> (f64, f64, f64) {
+    let mut builder = CloudBuilder::new(CloudConfig::default(), 3);
+    let vm = if stopwatch {
+        builder.add_stopwatch_vm(&[0, 1, 2], || Box::new(NfsServerGuest::new()))
+    } else {
+        builder.add_baseline_vm(0, Box::new(NfsServerGuest::new()))
+    };
+    let client = builder.add_client(Box::new(NhfsstoneClient::new(
+        EndpointId(2000),
+        vm.endpoint,
+        rate,
+        ops,
+        42,
+    )));
+    let mut sim = builder.build();
+    sim.run_until_clients_done(SimTime::from_secs(300));
+    let c = sim.cloud.client_app::<NhfsstoneClient>(client).unwrap();
+    let done = c.completed().max(1) as f64;
+    (
+        c.mean_latency_ms(),
+        c.sent_segments as f64 / done,
+        c.received_segments as f64 / done,
+    )
+}
+
+fn main() {
+    let rate: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let ops = 200;
+    println!("nhfsstone: {ops} ops at {rate} ops/s, paper op mix, 5 client processes\n");
+    let (base, _, _) = run(false, rate, ops);
+    let (sw, c2s, s2c) = run(true, rate, ops);
+    println!("baseline  mean latency/op: {base:7.2} ms");
+    println!("stopwatch mean latency/op: {sw:7.2} ms  ({:.2}x)", sw / base);
+    println!("packets per op (stopwatch run): {c2s:.2} client->server, {s2c:.2} server->client");
+}

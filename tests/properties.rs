@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) on the core invariants that the
+//! paper's security argument rests on.
+
+use proptest::prelude::*;
+use stopwatch_repro::prelude::*;
+use timestats::ks::median_attenuation;
+use timestats::median3;
+use timestats::order_stats::order_stat_cdf_at;
+
+proptest! {
+    /// Theorem 3: the median of three strictly attenuates the KS distance
+    /// whenever the two baseline components overlap — for arbitrary
+    /// exponential rate pairs.
+    #[test]
+    fn theorem3_attenuation(
+        lambda in 0.2f64..4.0,
+        ratio in 0.05f64..0.95,
+        f2_rate in 0.2f64..4.0,
+        f3_rate in 0.2f64..4.0,
+    ) {
+        let base = Exponential::new(lambda);
+        let victim = Exponential::new(lambda * ratio);
+        let f2 = Exponential::new(f2_rate);
+        let f3 = Exponential::new(f3_rate);
+        let (med, raw) = median_attenuation(&base, &victim, &f2, &f3);
+        prop_assert!(med < raw + 1e-9, "median {med} vs raw {raw}");
+    }
+
+    /// Theorem 4: with identically distributed second and third components
+    /// the attenuation factor is at most 1/2.
+    #[test]
+    fn theorem4_half_bound(lambda in 0.2f64..4.0, ratio in 0.05f64..0.95) {
+        let base = Exponential::new(lambda);
+        let victim = Exponential::new(lambda * ratio);
+        let (med, raw) = median_attenuation(&base, &victim, &base, &base);
+        prop_assert!(med <= 0.5 * raw + 1e-6, "median {med} vs half of {raw}");
+    }
+
+    /// The general order-statistic CDF is a valid CDF value and agrees with
+    /// the min/max closed forms.
+    #[test]
+    fn order_stat_cdf_valid(vals in prop::collection::vec(0.0f64..=1.0, 1..7)) {
+        let m = vals.len();
+        let mut prev = 1.0f64;
+        for r in 1..=m {
+            let f = order_stat_cdf_at(&vals, r);
+            prop_assert!((0.0..=1.0).contains(&f));
+            // F_{r:m} is non-increasing in r at a fixed point.
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+        let min_f = 1.0 - vals.iter().map(|v| 1.0 - v).product::<f64>();
+        let max_f: f64 = vals.iter().product();
+        prop_assert!((order_stat_cdf_at(&vals, 1) - min_f).abs() < 1e-9);
+        prop_assert!((order_stat_cdf_at(&vals, m) - max_f).abs() < 1e-9);
+    }
+
+    /// median3 returns one of its inputs, bounded by min and max — the
+    /// property that makes the runtime median agreement safe: the adopted
+    /// delivery time is always some replica's proposal.
+    #[test]
+    fn median3_is_a_proposal(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let m = median3(a, b, c);
+        prop_assert!([a, b, c].contains(&m));
+        prop_assert!(m >= a.min(b).min(c));
+        prop_assert!(m <= a.max(b).max(c));
+    }
+
+    /// One outlier proposal cannot move the median outside the other two
+    /// values' range (the defense against a victim-influenced replica).
+    #[test]
+    fn median3_outlier_resistance(honest1 in 0u64..1000, honest2 in 0u64..1000, outlier in 0u64..u64::MAX) {
+        let m = median3(honest1, honest2, outlier);
+        let lo = honest1.min(honest2);
+        let hi = honest1.max(honest2);
+        prop_assert!(m >= lo && m <= hi);
+    }
+
+    /// Virtual clocks with identical epoch updates stay identical, and
+    /// virtual time is monotone, for arbitrary update sequences.
+    #[test]
+    fn virtual_clock_epochs_deterministic(
+        updates in prop::collection::vec((1u64..10_000_000, 1u64..10_000_000), 1..12)
+    ) {
+        let cfg = EpochConfig { interval_instr: 100_000, slope_min: 0.25, slope_max: 4.0 };
+        let mut a = VirtualClock::new(VirtNanos::from_nanos(500), 1.0, Some(cfg));
+        let mut b = a.clone();
+        let mut instr = 0u64;
+        let mut last = VirtNanos::ZERO;
+        for (r, d) in updates {
+            instr += 100_000;
+            let v = a.virt(instr);
+            prop_assert!(v >= last, "monotone across epochs");
+            last = v;
+            a.apply_epoch(SimTime::from_nanos(r), SimDuration::from_nanos(d));
+            b.apply_epoch(SimTime::from_nanos(r), SimDuration::from_nanos(d));
+            prop_assert_eq!(a.virt(instr + 50_000), b.virt(instr + 50_000));
+        }
+    }
+
+    /// Speed profiles: branch/time conversion round-trips within a couple
+    /// of branches for arbitrary jitter and offsets.
+    #[test]
+    fn speed_profile_roundtrip(
+        jitter in 0.0f64..0.2,
+        start_us in 0u64..100_000,
+        branches in 1u64..200_000_000,
+        seed in 0u64..1000,
+    ) {
+        let p = SpeedProfile::new(
+            1.0e9,
+            jitter,
+            SimDuration::from_millis(10),
+            SimRng::new(seed).stream("h"),
+        );
+        let t0 = SimTime::from_micros(start_us);
+        let t1 = p.time_for_branches(t0, branches);
+        let measured = p.branches_between(t0, t1);
+        prop_assert!(measured.abs_diff(branches) <= 2, "{measured} vs {branches}");
+    }
+
+    /// Greedy placements are always valid for arbitrary cloud shapes.
+    #[test]
+    fn greedy_placement_always_valid(n in 3usize..24, cap in 1usize..8, seed in 0u64..50) {
+        let placed = greedy_packing(n, cap, seed);
+        prop_assert!(validate_placement(&placed, n, cap).is_ok());
+    }
+
+    /// Bose/Theorem-2 placements hit their promised count and validate,
+    /// for every legal (n, c).
+    #[test]
+    fn bose_placement_promise(v in 1usize..6, c_raw in 1usize..16) {
+        let n = 6 * v + 3;
+        let c = (c_raw % ((n - 1) / 2)).max(1);
+        let sys = BoseSystem::new(n).unwrap();
+        let placement = sys.theorem2_placement(c).unwrap();
+        prop_assert_eq!(placement.len(), sys.theorem2_count(c));
+        prop_assert!(validate_placement(&placement, n, c).is_ok());
+    }
+
+    /// PGM delivers every payload in order under arbitrary loss patterns,
+    /// once NAK retransmissions are drained.
+    #[test]
+    fn pgm_reliable_under_loss(loss_mask in prop::collection::vec(any::<bool>(), 1..40)) {
+        let mut tx = PgmSender::new(256);
+        let mut rx = PgmReceiver::new();
+        let n = loss_mask.len();
+        let mut delivered: Vec<usize> = Vec::new();
+        for (i, lost) in loss_mask.iter().enumerate() {
+            let pkt = tx.send(i);
+            if !*lost {
+                let out = rx.on_packet(pkt);
+                delivered.extend(out.delivered);
+                // NAKs answered immediately (the cloud does this over links).
+                for retx in tx.on_nak(&out.nak_missing) {
+                    delivered.extend(rx.on_packet(retx).delivered);
+                }
+            }
+        }
+        // Drain remaining gaps via the periodic NAK path.
+        for _ in 0..n {
+            let naks = rx.pending_naks();
+            if naks.is_empty() {
+                break;
+            }
+            for retx in tx.on_nak(&naks) {
+                delivered.extend(rx.on_packet(retx).delivered);
+            }
+        }
+        // Everything except a possibly-lost tail (no later packet revealed
+        // the gap) is delivered in order.
+        let tail_delivered = delivered.len();
+        prop_assert!(delivered.iter().copied().eq(0..tail_delivered));
+        // If the last send was received, everything must have arrived.
+        if !loss_mask[n - 1] {
+            prop_assert_eq!(tail_delivered, n);
+        }
+    }
+}
+
+#[test]
+fn detector_needs_more_observations_under_median() {
+    // Deterministic spot-check of the headline security property across a
+    // grid of victim distinctiveness values.
+    for lp in [0.3, 0.5, 0.7, 10.0 / 11.0] {
+        let base = Exponential::new(1.0);
+        let victim = Exponential::new(lp);
+        let raw = Detector::from_cdfs(&base, &victim, 10);
+        let m_null = OrderStat::median_of_three(base, base, base);
+        let m_alt = OrderStat::median_of_three(victim, base, base);
+        let med = Detector::from_cdfs(&m_null, &m_alt, 10);
+        for c in [0.8, 0.95] {
+            assert!(
+                med.observations_needed(c) > raw.observations_needed(c),
+                "lp={lp} c={c}"
+            );
+        }
+    }
+}
