@@ -78,7 +78,8 @@ fn run_fig4(quick: bool) {
     }
     println!("== Fig 4b — observations to distinguish (empirical) ==");
     println!("{}", det.render());
-    det.write_csv(&results_dir().join("fig4b_detect.csv")).expect("write csv");
+    det.write_csv(&results_dir().join("fig4b_detect.csv"))
+        .expect("write csv");
     // CDF series for plotting.
     let mut cdf = Table::new(&["delta_ms", "cdf_no_victim", "cdf_with_victim"]);
     let mut all: Vec<f64> = f.null_deltas_ms.clone();
@@ -91,7 +92,8 @@ fn run_fig4(quick: bool) {
         let x = all[i];
         cdf.row(&[f2(x), f4(null.cdf(x)), f4(alt.cdf(x))]);
     }
-    cdf.write_csv(&results_dir().join("fig4a_cdf.csv")).expect("write csv");
+    cdf.write_csv(&results_dir().join("fig4a_cdf.csv"))
+        .expect("write csv");
 }
 
 fn run_fig5(quick: bool) {
@@ -124,7 +126,8 @@ fn run_fig5(quick: bool) {
     }
     println!("== Fig 5 — file retrieval latency ==");
     println!("{}", t.render());
-    t.write_csv(&results_dir().join("fig5_downloads.csv")).expect("write csv");
+    t.write_csv(&results_dir().join("fig5_downloads.csv"))
+        .expect("write csv");
 }
 
 fn run_fig6(quick: bool) {
@@ -155,7 +158,8 @@ fn run_fig6(quick: bool) {
     }
     println!("== Fig 6 — NFS (nhfsstone) ==");
     println!("{}", t.render());
-    t.write_csv(&results_dir().join("fig6_nfs.csv")).expect("write csv");
+    t.write_csv(&results_dir().join("fig6_nfs.csv"))
+        .expect("write csv");
 }
 
 fn run_fig7() {
@@ -186,7 +190,8 @@ fn run_fig7() {
     }
     println!("== Fig 7 — PARSEC (rotating disk) ==");
     println!("{}", t.render());
-    t.write_csv(&results_dir().join("fig7_parsec.csv")).expect("write csv");
+    t.write_csv(&results_dir().join("fig7_parsec.csv"))
+        .expect("write csv");
 
     // The Sec. VII-D conjecture: SSDs shrink the needed Δd and the penalty.
     let ssd = figures::fig7(DiskKind::Ssd, 42);
@@ -201,7 +206,8 @@ fn run_fig7() {
     }
     println!("== Fig 7 ablation — same apps on SSD (Sec. VII-D conjecture) ==");
     println!("{}", t2.render());
-    t2.write_csv(&results_dir().join("fig7_parsec_ssd.csv")).expect("write csv");
+    t2.write_csv(&results_dir().join("fig7_parsec_ssd.csv"))
+        .expect("write csv");
 }
 
 fn run_fig8() {
@@ -250,10 +256,18 @@ fn run_placement() {
     }
     println!("== Sec VIII / Theorem 1 — max edge-disjoint triangle packings ==");
     println!("{}", t1.render());
-    t1.write_csv(&results_dir().join("placement_theorem1.csv")).expect("write csv");
+    t1.write_csv(&results_dir().join("placement_theorem1.csv"))
+        .expect("write csv");
 
     // Theorem 2: constructive placements with capacities.
-    let mut t2 = Table::new(&["n", "capacity", "vms_placed", "bose_promise", "valid", "utilization"]);
+    let mut t2 = Table::new(&[
+        "n",
+        "capacity",
+        "vms_placed",
+        "bose_promise",
+        "valid",
+        "utilization",
+    ]);
     for n in [9usize, 15, 21, 33] {
         for c in [1usize, 2, 3, 4, 7, 10] {
             if c > (n - 1) / 2 {
@@ -274,7 +288,8 @@ fn run_placement() {
     }
     println!("== Sec VIII / Theorem 2 — constructive capacity-constrained placements ==");
     println!("{}", t2.render());
-    t2.write_csv(&results_dir().join("placement_theorem2.csv")).expect("write csv");
+    t2.write_csv(&results_dir().join("placement_theorem2.csv"))
+        .expect("write csv");
 
     // Greedy fallback for non-Bose shapes.
     let mut t3 = Table::new(&["n", "capacity", "greedy_vms", "theorem1_bound"]);
@@ -290,13 +305,23 @@ fn run_placement() {
     }
     println!("== Sec VIII — greedy packing on arbitrary cloud shapes ==");
     println!("{}", t3.render());
-    t3.write_csv(&results_dir().join("placement_greedy.csv")).expect("write csv");
+    t3.write_csv(&results_dir().join("placement_greedy.csv"))
+        .expect("write csv");
 }
 
 fn run_calibrate(quick: bool) {
-    let deltas: &[u64] = if quick { &[2, 8, 12] } else { &[1, 2, 4, 6, 8, 10, 12, 15] };
+    let deltas: &[u64] = if quick {
+        &[2, 8, 12]
+    } else {
+        &[1, 2, 4, 6, 8, 10, 12, 15]
+    };
     let rows = figures::calibrate(deltas, 42);
-    let mut t = Table::new(&["delta_ms", "sync_violations", "dd_violations", "http_latency_ms"]);
+    let mut t = Table::new(&[
+        "delta_ms",
+        "sync_violations",
+        "dd_violations",
+        "http_latency_ms",
+    ]);
     for r in &rows {
         t.row(&[
             r.delta_ms.to_string(),
@@ -307,7 +332,8 @@ fn run_calibrate(quick: bool) {
     }
     println!("== Sec VII-A — Δ calibration (violations vs latency) ==");
     println!("{}", t.render());
-    t.write_csv(&results_dir().join("calibration.csv")).expect("write csv");
+    t.write_csv(&results_dir().join("calibration.csv"))
+        .expect("write csv");
 }
 
 fn run_collab(quick: bool) {
@@ -324,7 +350,8 @@ fn run_collab(quick: bool) {
     }
     println!("== Sec IX — collaborating attacker (marginalize one replica) ==");
     println!("{}", t.render());
-    t.write_csv(&results_dir().join("collab.csv")).expect("write csv");
+    t.write_csv(&results_dir().join("collab.csv"))
+        .expect("write csv");
 }
 
 fn main() {

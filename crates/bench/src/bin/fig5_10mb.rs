@@ -1,16 +1,37 @@
-//! One-shot Fig. 5 measurement at 10 MB (single download per config).
-use bench::figures;
+//! One-shot Fig. 5 measurement at 10 MB, expressed as a harness sweep:
+//! the four arms (HTTP/UDP × baseline/StopWatch) run as one parallel
+//! 4-scenario grid.
+use harness::prelude::*;
+use simkit::time::SimDuration;
 
 fn main() {
-    let rows = figures::fig5(&[10_000_000], 1, 42);
-    let r = &rows[0];
+    let mut spec = SweepSpec::new("fig5-10mb", "web-http")
+        .axis("workload", &["web-http", "web-udp"])
+        .axis("stopwatch", &["false", "true"]);
+    spec.base_params = vec![
+        ("bytes".to_string(), "10000000".to_string()),
+        ("downloads".to_string(), "1".to_string()),
+    ];
+    spec.duration = SimDuration::from_secs(600);
+    let scenarios = spec.scenarios().expect("spec expands");
+    let outcomes = run_scenarios(&scenarios, &RunnerOptions::default());
+    let report = SweepReport::from_outcomes(&spec.name, &outcomes, None);
+    let mean = |cell: &str| -> f64 {
+        report
+            .cells
+            .iter()
+            .find(|c| c.cell == cell)
+            .unwrap_or_else(|| panic!("missing cell {cell}"))
+            .latency_ms
+            .mean
+    };
+    let http_base = mean("workload=web-http,stopwatch=false");
+    let http_sw = mean("workload=web-http,stopwatch=true");
+    let udp_base = mean("workload=web-udp,stopwatch=false");
+    let udp_sw = mean("workload=web-udp,stopwatch=true");
     println!(
-        "10MB: http_base {:.1} http_sw {:.1} ratio {:.2} | udp_base {:.1} udp_sw {:.1} ratio {:.2}",
-        r.http_baseline_ms,
-        r.http_stopwatch_ms,
-        r.http_stopwatch_ms / r.http_baseline_ms,
-        r.udp_baseline_ms,
-        r.udp_stopwatch_ms,
-        r.udp_stopwatch_ms / r.udp_baseline_ms
+        "10MB: http_base {http_base:.1} http_sw {http_sw:.1} ratio {:.2} | udp_base {udp_base:.1} udp_sw {udp_sw:.1} ratio {:.2}",
+        http_sw / http_base,
+        udp_sw / udp_base
     );
 }

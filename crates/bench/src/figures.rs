@@ -1,21 +1,21 @@
 //! Experiment implementations, one per figure of the paper's evaluation.
 //! Each returns plain data rows; the `experiments` binary renders them as
 //! tables and CSV.
+//!
+//! Simulated runs are declared as [`harness`] scenarios and executed
+//! through its parallel runner, so a figure's grid points run concurrently
+//! on all cores and every run shares the one scenario→cloud construction
+//! path (no per-figure cloud wiring).
 
-use netsim::packet::EndpointId;
-use simkit::time::{SimDuration, SimTime, VirtOffset};
-use stopwatch_core::cloud::CloudBuilder;
-use stopwatch_core::config::{CloudConfig, DiskKind};
+use harness::prelude::*;
+use simkit::time::SimDuration;
+use stopwatch_core::config::DiskKind;
 use timestats::detect::{Detector, PAPER_CONFIDENCES};
 use timestats::dist::{Cdf, Exponential};
 use timestats::noise::{compare_with_uniform_noise, NoiseComparison, TAIL_QS};
 use timestats::order_stats::OrderStat;
 use workloads::attack::run_attack_scenario;
-use workloads::nfs::{NfsServerGuest, NhfsstoneClient};
-use workloads::parsec::{CompletionWaiter, ParsecGuest, PARSEC};
-use workloads::web::{
-    FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest,
-};
+use workloads::parsec::PARSEC;
 
 /// Fig. 1a: one point of the analytic median-distribution curves.
 #[derive(Debug, Clone, Copy)]
@@ -147,63 +147,80 @@ pub struct Fig5Row {
     pub udp_stopwatch_ms: f64,
 }
 
-fn http_download_ms(stopwatch: bool, bytes: u64, downloads: u32, seed: u64) -> f64 {
-    let mut cfg = CloudConfig::default();
-    cfg.seed = seed;
-    cfg.broadcast_band = Some((50.0, 100.0));
-    let mut b = CloudBuilder::new(cfg, 3);
-    let vm = if stopwatch {
-        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(FileServerGuest::new()))
-    } else {
-        b.add_baseline_vm(0, Box::new(FileServerGuest::new()))
-    };
-    let client = b.add_client(Box::new(HttpDownloadClient::new(
-        EndpointId(2000),
-        vm.endpoint,
-        1,
-        bytes,
-        downloads,
-    )));
-    let mut sim = b.build();
-    sim.run_until_clients_done(SimTime::from_secs(600));
-    let c = sim.cloud.client_app::<HttpDownloadClient>(client).expect("client");
-    assert!(!c.results().is_empty(), "no downloads completed");
-    c.results().iter().map(|r| r.latency.as_millis_f64()).sum::<f64>() / c.results().len() as f64
+/// The figures' shared scenario shape: a single protected (or baseline)
+/// service VM under the paper's default cloud, measured by one client.
+fn figure_scenario(
+    workload: &str,
+    stopwatch: bool,
+    params: &[(&str, &str)],
+    overrides: &[(&str, &str)],
+    seed: u64,
+) -> Scenario {
+    let mut s = Scenario::new(workload, seed);
+    s.label = format!("{workload}:sw={stopwatch}#{seed}");
+    s.stopwatch = stopwatch;
+    s.duration = SimDuration::from_secs(600);
+    s.workload_params = params
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    s.overrides = overrides
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    s
 }
 
-fn udp_download_ms(stopwatch: bool, bytes: u64, downloads: u32, seed: u64) -> f64 {
-    let mut cfg = CloudConfig::default();
-    cfg.seed = seed;
-    let mut b = CloudBuilder::new(cfg, 3);
-    let vm = if stopwatch {
-        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(UdpFileGuest::new()))
+/// Runs a figure's scenario list on all cores, asserting success.
+fn run_figure(scenarios: &[Scenario]) -> Vec<ScenarioResult> {
+    run_scenarios(scenarios, &RunnerOptions::default())
+        .into_iter()
+        .map(|o| o.result.expect("figure scenario"))
+        .collect()
+}
+
+fn mean_ms(result: &ScenarioResult) -> f64 {
+    assert!(!result.samples_ms.is_empty(), "no operations completed");
+    result.samples_ms.iter().sum::<f64>() / result.samples_ms.len() as f64
+}
+
+/// Like [`mean_ms`] but NaN when nothing completed — for figures whose
+/// overload points may legitimately time out with zero finished ops.
+fn mean_ms_or_nan(result: &ScenarioResult) -> f64 {
+    if result.samples_ms.is_empty() {
+        f64::NAN
     } else {
-        b.add_baseline_vm(0, Box::new(UdpFileGuest::new()))
-    };
-    let client = b.add_client(Box::new(UdpDownloadClient::new(
-        EndpointId(2000),
-        vm.endpoint,
-        1,
-        bytes,
-        downloads,
-    )));
-    let mut sim = b.build();
-    sim.run_until_clients_done(SimTime::from_secs(600));
-    let c = sim.cloud.client_app::<UdpDownloadClient>(client).expect("client");
-    assert!(!c.results().is_empty(), "no downloads completed");
-    c.results().iter().map(|r| r.latency.as_millis_f64()).sum::<f64>() / c.results().len() as f64
+        mean_ms(result)
+    }
 }
 
 /// Runs Fig. 5 for the given file sizes, `downloads` repetitions each.
+/// All `4 × sizes` grid points execute in parallel.
 pub fn fig5(sizes: &[u64], downloads: u32, seed: u64) -> Vec<Fig5Row> {
+    let downloads = downloads.to_string();
+    let mut scenarios = Vec::new();
+    for &bytes in sizes {
+        let bytes_s = bytes.to_string();
+        let params = [
+            ("bytes", bytes_s.as_str()),
+            ("downloads", downloads.as_str()),
+        ];
+        for workload in ["web-http", "web-udp"] {
+            for stopwatch in [false, true] {
+                scenarios.push(figure_scenario(workload, stopwatch, &params, &[], seed));
+            }
+        }
+    }
+    let results = run_figure(&scenarios);
     sizes
         .iter()
-        .map(|&bytes| Fig5Row {
+        .zip(results.chunks_exact(4))
+        .map(|(&bytes, chunk)| Fig5Row {
             bytes,
-            http_baseline_ms: http_download_ms(false, bytes, downloads, seed),
-            http_stopwatch_ms: http_download_ms(true, bytes, downloads, seed),
-            udp_baseline_ms: udp_download_ms(false, bytes, downloads, seed),
-            udp_stopwatch_ms: udp_download_ms(true, bytes, downloads, seed),
+            http_baseline_ms: mean_ms(&chunk[0]),
+            http_stopwatch_ms: mean_ms(&chunk[1]),
+            udp_baseline_ms: mean_ms(&chunk[2]),
+            udp_stopwatch_ms: mean_ms(&chunk[3]),
         })
         .collect()
 }
@@ -223,46 +240,31 @@ pub struct Fig6Row {
     pub server_to_client_per_op: f64,
 }
 
-fn nfs_run(stopwatch: bool, rate: f64, ops: u64, seed: u64) -> (f64, f64, f64) {
-    let mut cfg = CloudConfig::default();
-    cfg.seed = seed;
-    let mut b = CloudBuilder::new(cfg, 3);
-    let vm = if stopwatch {
-        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(NfsServerGuest::new()))
-    } else {
-        b.add_baseline_vm(0, Box::new(NfsServerGuest::new()))
-    };
-    let client = b.add_client(Box::new(NhfsstoneClient::new(
-        EndpointId(2000),
-        vm.endpoint,
-        rate,
-        ops,
-        seed,
-    )));
-    let mut sim = b.build();
-    sim.run_until_clients_done(SimTime::from_secs(600));
-    let c = sim.cloud.client_app::<NhfsstoneClient>(client).expect("client");
-    let done = c.completed().max(1);
-    (
-        c.mean_latency_ms(),
-        c.sent_segments as f64 / done as f64,
-        c.received_segments as f64 / done as f64,
-    )
-}
-
 /// Runs Fig. 6 for the given offered rates, `ops` operations per run.
+/// Both defense arms of every rate execute in parallel.
 pub fn fig6(rates: &[f64], ops: u64, seed: u64) -> Vec<Fig6Row> {
+    let ops = ops.to_string();
+    let mut scenarios = Vec::new();
+    for &rate in rates {
+        let rate_s = rate.to_string();
+        let params = [("rate", rate_s.as_str()), ("ops", ops.as_str())];
+        for stopwatch in [false, true] {
+            scenarios.push(figure_scenario("nfs", stopwatch, &params, &[], seed));
+        }
+    }
+    let results = run_figure(&scenarios);
     rates
         .iter()
-        .map(|&rate| {
-            let (baseline_ms, _, _) = nfs_run(false, rate, ops, seed);
-            let (stopwatch_ms, c2s, s2c) = nfs_run(true, rate, ops, seed);
+        .zip(results.chunks_exact(2))
+        .map(|(&rate, chunk)| {
+            let sw = &chunk[1];
+            let done = sw.completed.max(1) as f64;
             Fig6Row {
                 rate,
-                baseline_ms,
-                stopwatch_ms,
-                client_to_server_per_op: c2s,
-                server_to_client_per_op: s2c,
+                baseline_ms: mean_ms_or_nan(&chunk[0]),
+                stopwatch_ms: mean_ms_or_nan(sw),
+                client_to_server_per_op: sw.extra("sent_segments") / done,
+                server_to_client_per_op: sw.extra("received_segments") / done,
             }
         })
         .collect()
@@ -287,41 +289,41 @@ pub struct Fig7Row {
     pub paper_disk_interrupts: u64,
 }
 
-fn parsec_run(name: &str, stopwatch: bool, disk: DiskKind, seed: u64) -> (f64, u64) {
-    let prof = workloads::parsec::profile(name).expect("known app");
-    let mut cfg = CloudConfig::default();
-    cfg.seed = seed;
-    cfg.disk = disk;
-    if disk == DiskKind::Ssd {
-        // The Sec. VII-D conjecture: faster media shrink the worst-case
-        // access time that sizes Δd. SSD worst case is ~3 ms here.
-        cfg.delta_d = VirtOffset::from_millis(3);
+fn parsec_scenario(name: &str, stopwatch: bool, disk: DiskKind, seed: u64) -> Scenario {
+    // The Sec. VII-D conjecture: faster media shrink the worst-case access
+    // time that sizes Δd. SSD worst case is ~3 ms here. Computation
+    // benchmarks ran without background chatter.
+    let mut overrides = vec![("broadcast_band", "off")];
+    match disk {
+        DiskKind::Rotating => overrides.push(("disk", "rotating")),
+        DiskKind::Ssd => {
+            overrides.push(("disk", "ssd"));
+            overrides.push(("delta_d_ms", "3"));
+        }
     }
-    cfg.broadcast_band = None; // computation benchmarks ran without clients
-    let mut b = CloudBuilder::new(cfg, 3);
-    let monitor_ep = EndpointId(2000);
-    let vm = if stopwatch {
-        b.add_stopwatch_vm(&[0, 1, 2], move || Box::new(ParsecGuest::new(prof, monitor_ep)))
-    } else {
-        b.add_baseline_vm(0, Box::new(ParsecGuest::new(prof, monitor_ep)))
-    };
-    let client = b.add_client(Box::new(CompletionWaiter::new(1)));
-    let mut sim = b.build();
-    sim.run_until_clients_done(SimTime::from_secs(120));
-    let w = sim.cloud.client_app::<CompletionWaiter>(client).expect("waiter");
-    assert_eq!(w.arrivals().len(), 1, "{name} did not complete");
-    let ms = w.arrivals()[0].as_millis_f64();
-    let (h, s) = sim.cloud.vm_replicas(vm)[0];
-    let irqs = sim.cloud.host(h).slot(s).counters().get("disk_irq");
-    (ms, irqs)
+    let mut s = figure_scenario(&format!("parsec:{name}"), stopwatch, &[], &overrides, seed);
+    s.duration = SimDuration::from_secs(120);
+    s
+}
+
+fn parsec_row(baseline: &ScenarioResult, protected: &ScenarioResult) -> (f64, f64, u64) {
+    assert_eq!(protected.completed, 1, "app did not complete");
+    assert_eq!(baseline.completed, 1, "baseline app did not complete");
+    // Replicas are deterministic and identical, so one replica's disk
+    // interrupts are the summed counter over the actual replica count.
+    let irqs = protected.counter("disk_irq") / protected.replicas.max(1);
+    (mean_ms(baseline), mean_ms(protected), irqs)
 }
 
 /// Runs one PARSEC app pair (baseline + StopWatch); used by the Criterion
 /// benches to track a single figure point cheaply.
 pub fn fig7_app(name: &str, disk: DiskKind, seed: u64) -> Fig7Row {
     let p = workloads::parsec::profile(name).expect("known app");
-    let (baseline_ms, _) = parsec_run(name, false, disk, seed);
-    let (stopwatch_ms, disk_interrupts) = parsec_run(name, true, disk, seed);
+    let results = run_figure(&[
+        parsec_scenario(name, false, disk, seed),
+        parsec_scenario(name, true, disk, seed),
+    ]);
+    let (baseline_ms, stopwatch_ms, disk_interrupts) = parsec_row(&results[0], &results[1]);
     Fig7Row {
         name: p.name,
         baseline_ms,
@@ -333,13 +335,24 @@ pub fn fig7_app(name: &str, disk: DiskKind, seed: u64) -> Fig7Row {
     }
 }
 
-/// Runs Fig. 7 (all five PARSEC apps, baseline and StopWatch).
+/// Runs Fig. 7 (all five PARSEC apps, baseline and StopWatch, all ten
+/// runs in parallel).
 pub fn fig7(disk: DiskKind, seed: u64) -> Vec<Fig7Row> {
+    let scenarios: Vec<Scenario> = PARSEC
+        .iter()
+        .flat_map(|p| {
+            [
+                parsec_scenario(p.name, false, disk, seed),
+                parsec_scenario(p.name, true, disk, seed),
+            ]
+        })
+        .collect();
+    let results = run_figure(&scenarios);
     PARSEC
         .iter()
-        .map(|p| {
-            let (baseline_ms, _) = parsec_run(p.name, false, disk, seed);
-            let (stopwatch_ms, disk_interrupts) = parsec_run(p.name, true, disk, seed);
+        .zip(results.chunks_exact(2))
+        .map(|(p, chunk)| {
+            let (baseline_ms, stopwatch_ms, disk_interrupts) = parsec_row(&chunk[0], &chunk[1]);
             Fig7Row {
                 name: p.name,
                 baseline_ms,
@@ -373,41 +386,32 @@ pub struct CalibrationRow {
 
 /// Sweeps Δn = Δd over `deltas_ms`, measuring violation counts and
 /// latency — reproducing how the paper sized Δn (7–12 ms) and Δd
-/// (8–15 ms) for its platform.
+/// (8–15 ms) for its platform. All grid points run in parallel.
 pub fn calibrate(deltas_ms: &[u64], seed: u64) -> Vec<CalibrationRow> {
-    deltas_ms
+    let scenarios: Vec<Scenario> = deltas_ms
         .iter()
         .map(|&d| {
-            let mut cfg = CloudConfig::default();
-            cfg.seed = seed;
-            cfg.delta_n = VirtOffset::from_millis(d);
-            cfg.delta_d = VirtOffset::from_millis(d);
-            let mut b = CloudBuilder::new(cfg, 3);
-            let vm = b.add_stopwatch_vm(&[0, 1, 2], || Box::new(FileServerGuest::new()));
-            let client = b.add_client(Box::new(HttpDownloadClient::new(
-                EndpointId(2000),
-                vm.endpoint,
-                1,
-                100_000,
-                3,
-            )));
-            let mut sim = b.build();
-            sim.run_until_clients_done(SimTime::from_secs(120));
-            let lat = {
-                let c = sim.cloud.client_app::<HttpDownloadClient>(client).expect("client");
-                if c.results().is_empty() {
-                    f64::NAN
-                } else {
-                    c.results().iter().map(|r| r.latency.as_millis_f64()).sum::<f64>()
-                        / c.results().len() as f64
-                }
-            };
-            CalibrationRow {
-                delta_ms: d,
-                sync_violations: sim.cloud.total_counter("sync_violations"),
-                dd_violations: sim.cloud.total_counter("dd_violations"),
-                latency_ms: lat,
-            }
+            let d_s = d.to_string();
+            let mut s = figure_scenario(
+                "web-http",
+                true,
+                &[("bytes", "100000"), ("downloads", "3")],
+                &[("delta_n_ms", d_s.as_str()), ("delta_d_ms", d_s.as_str())],
+                seed,
+            );
+            s.duration = SimDuration::from_secs(120);
+            s
+        })
+        .collect();
+    let results = run_figure(&scenarios);
+    deltas_ms
+        .iter()
+        .zip(&results)
+        .map(|(&delta_ms, r)| CalibrationRow {
+            delta_ms,
+            sync_violations: r.counter("sync_violations"),
+            dd_violations: r.counter("dd_violations"),
+            latency_ms: mean_ms_or_nan(r),
         })
         .collect()
 }
@@ -427,59 +431,61 @@ pub struct CollabRow {
 
 /// Runs the collaborating-attacker experiment: a load VM tries to
 /// marginalize one attacker replica from the median; more replicas make
-/// the attack harder (Sec. IX suggests going from 3 to 5).
+/// the attack harder (Sec. IX suggests going from 3 to 5). The
+/// `(replicas × load)` grid runs in parallel.
 pub fn collab(probes: u32, seed: u64) -> Vec<CollabRow> {
-    use workloads::attack::{AttackerGuest, LoadGuest, ProbeClient, VictimGuest};
-
-    let run = |replicas: usize, load: bool| -> f64 {
-        let hosts = replicas;
-        let mut cfg = CloudConfig::fast_test();
-        cfg.seed = seed;
-        cfg.replicas = replicas;
-        cfg.client_tick = SimDuration::from_millis(2);
-        let mut b = CloudBuilder::new(cfg, hosts);
-        let host_list: Vec<usize> = (0..replicas).collect();
-        let attacker = b.add_stopwatch_vm(&host_list, || Box::new(AttackerGuest::new()));
-        // The victim always coresides with replica 0 (what the attacker
-        // wants to sense); the collaborator loads the same host to push
-        // replica 0 out of the median.
-        b.add_baseline_vm(0, Box::new(VictimGuest::new(100_000_000, 50)));
-        if load {
-            b.add_baseline_vm(0, Box::new(LoadGuest::new(50_000_000)));
-        }
-        b.add_client(Box::new(ProbeClient::new(
-            EndpointId(2000),
-            attacker.endpoint,
-            probes,
-            SimDuration::from_millis(40),
-            seed ^ 0xc0,
-        )));
-        let mut sim = b.build();
-        sim.run_until_clients_done(SimTime::from_secs(600));
-        let drain = sim.now() + SimDuration::from_millis(500);
-        sim.run_until(drain);
-        let g = sim
-            .cloud
-            .guest_program::<AttackerGuest>(attacker, 0)
-            .expect("attacker");
-        let deltas = g.deltas_ms();
-        deltas.iter().sum::<f64>() / deltas.len().max(1) as f64
+    let probes = probes.to_string();
+    let grid: Vec<(usize, bool)> = [3usize, 5]
+        .iter()
+        .flat_map(|&r| [(r, false), (r, true)])
+        .collect();
+    let scenarios: Vec<Scenario> = grid
+        .iter()
+        .map(|&(replicas, load)| {
+            let replicas_s = replicas.to_string();
+            let load_s = load.to_string();
+            // The victim always coresides with replica 0 (what the
+            // attacker wants to sense); the collaborator loads the same
+            // host to push replica 0 out of the median.
+            figure_scenario(
+                "attack",
+                true,
+                &[
+                    ("probes", probes.as_str()),
+                    ("victim", "true"),
+                    ("load", load_s.as_str()),
+                ],
+                &[
+                    ("broadcast_band", "off"),
+                    ("disk", "ssd"),
+                    ("replicas", replicas_s.as_str()),
+                    ("client_tick_ms", "2"),
+                ],
+                seed,
+            )
+        })
+        .collect();
+    let results = run_figure(&scenarios);
+    let mean = |r: &ScenarioResult| -> f64 {
+        r.samples_ms.iter().sum::<f64>() / r.samples_ms.len().max(1) as f64
     };
-
-    let mut rows = Vec::new();
-    for &replicas in &[3usize, 5] {
-        let reference = run(replicas, false);
-        for &load in &[false, true] {
-            let mean = if load { run(replicas, true) } else { reference };
-            rows.push(CollabRow {
+    grid.iter()
+        .zip(&results)
+        .map(|(&(replicas, load_present), r)| {
+            let reference = results
+                .iter()
+                .zip(&grid)
+                .find(|(_, &(rr, ll))| rr == replicas && !ll)
+                .map(|(r, _)| mean(r))
+                .expect("reference arm present");
+            CollabRow {
                 replicas,
-                load_present: load,
-                mean_delta_ms: mean,
-                shift_ms: (mean - reference).abs(),
-            });
-        }
-    }
-    rows
+                load_present,
+                mean_delta_ms: mean(r),
+                shift_ms: (mean(r) - reference).abs(),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

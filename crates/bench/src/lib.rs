@@ -5,6 +5,10 @@
 //! Sec. VIII placement analysis and the Sec. IX collaborating-attacker
 //! study); [`report`] renders tables/CSV. The `experiments` binary drives
 //! them; Criterion benches under `benches/` time representative points.
+//!
+//! Simulated figures are expressed as [`harness`] scenarios and run
+//! through its parallel sweep runner; for free-form grids beyond the
+//! paper's figures, use the `swbench` binary of the `harness` crate.
 
 pub mod figures;
 pub mod report;

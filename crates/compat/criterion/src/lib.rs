@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! This workspace builds without crates.io access, so the subset of the
+//! criterion API its benches use is reimplemented here: [`Criterion`],
+//! [`Bencher::iter`], benchmark groups with [`BenchmarkGroup::sample_size`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Statistics are
+//! deliberately simple — each bench runs `sample_size` timed iterations
+//! after one warm-up and reports mean/min/max to stdout. There is no
+//! HTML report, outlier analysis, or regression detection.
+
+use std::time::{Duration, Instant};
+
+/// Per-bench timing driver handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration outside the measurement.
+        let _ = routine();
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.results.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(name: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("bench {name}: no samples");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().unwrap();
+    let max = results.iter().max().unwrap();
+    println!(
+        "bench {name}: mean {mean:?} min {min:?} max {max:?} (n={})",
+        results.len()
+    );
+}
+
+/// A named group of benches sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one bench in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), &b.results);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The top-level bench driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone bench.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.default_samples,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.results);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            samples,
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_samples() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("count", |b| b.iter(|| count += 1));
+        g.finish();
+        // 5 timed + 1 warm-up.
+        assert_eq!(count, 6);
+    }
+}

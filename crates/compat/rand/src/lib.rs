@@ -1,0 +1,244 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in hermetic environments with no crates.io access,
+//! so the small API surface it uses from `rand` 0.9 is reimplemented here:
+//! [`Rng::random`], [`Rng::random_range`], [`SeedableRng::seed_from_u64`],
+//! and [`rngs::StdRng`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — not the upstream ChaCha12 `StdRng`, but deterministic,
+//! well-distributed, and more than adequate for simulation draws. Streams
+//! are stable across runs and platforms; they are **not** stable across
+//! swaps between this shim and the real crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.random::<u64>(), b.random::<u64>());
+//! let x: f64 = a.random();
+//! assert!((0.0..1.0).contains(&x));
+//! assert!((3..9).contains(&a.random_range(3u64..9)));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be drawn from the "standard" distribution of a generator:
+/// full-range integers, and floats uniform in `[0, 1)`.
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges a generator can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw in `[0, span)` via 128-bit multiply-shift.
+fn bounded(rng_word: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng_word) * u128::from(span)) >> 64) as u64
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        let span = self.end - self.start;
+        self.start + bounded(rng.next_u64(), span)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        if lo == 0 && hi == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + bounded(rng.next_u64(), hi - lo + 1)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + bounded(rng.next_u64(), span) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + bounded(rng.next_u64(), (hi - lo + 1) as u64) as usize
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_in<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * f64::sample_standard(rng)
+    }
+}
+
+/// The user-facing generator trait: raw words plus typed draws.
+pub trait Rng {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T` from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_in(self)
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let xa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let xc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut seen_lo = false;
+        for _ in 0..10_000 {
+            let x = r.random_range(10u64..13);
+            assert!((10..13).contains(&x));
+            seen_lo |= x == 10;
+            let y = r.random_range(0usize..=2);
+            assert!(y <= 2);
+            let z = r.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&z));
+        }
+        assert!(seen_lo, "lower bound never drawn");
+    }
+
+    #[test]
+    fn full_u64_inclusive_range() {
+        let mut r = StdRng::seed_from_u64(5);
+        // Must not overflow the span computation.
+        let _ = r.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut r = StdRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,258 @@
+//! `swbench` — the sweep driver of the StopWatch reproduction.
+//!
+//! ```text
+//! swbench list
+//!     Print the named sweep presets.
+//!
+//! swbench run <preset> [--quick] [--threads N] [--out FILE] [--baseline CELL]
+//!     Run a named sweep on all cores, print the cell table, write the
+//!     JSON aggregate (default: results/sweep_<preset>.json).
+//!
+//! swbench sweep --workload NAME [--axis KEY=V1,V2,...]... [options]
+//!     Run a free-form cartesian sweep.
+//!     Axis keys: cfg.<key> (CloudConfig override), stopwatch, workload,
+//!     anything else is a workload parameter.
+//!     Options:
+//!       --seeds N          seed shards per cell (default 4, base seed 42)
+//!       --seed-base N      first seed (default 42)
+//!       --stopwatch BOOL   default defense arm (default true)
+//!       --param K=V        base workload parameter
+//!       --set K=V          base CloudConfig override
+//!       --duration-s N     simulated-time budget per scenario (default 60)
+//!       --threads N        worker threads (default: all cores)
+//!       --baseline CELL    leakage baseline cell (default: first cell)
+//!       --out FILE         JSON output path
+//!
+//! swbench workloads
+//!     Print the workload registry keys.
+//! ```
+
+use harness::prelude::*;
+use simkit::time::SimDuration;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for p in PRESETS {
+                println!("{:<10} {}", p.name, p.about);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("workloads") => {
+            for name in workloads::registry::workload_names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => match parse_run(&args[1..]).and_then(run_spec) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("sweep") => match parse_sweep(&args[1..]).and_then(run_spec) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        _ => {
+            eprintln!(
+                "usage: swbench list | workloads | run <preset> [opts] | sweep --workload NAME [opts]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("swbench: {message}");
+    ExitCode::FAILURE
+}
+
+/// Everything a sweep invocation needs.
+struct Invocation {
+    spec: SweepSpec,
+    threads: usize,
+    baseline: Option<String>,
+    out: Option<PathBuf>,
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parse_kv(raw: &str, flag: &str) -> Result<(String, String), String> {
+    raw.split_once('=')
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .ok_or_else(|| format!("{flag} wants KEY=VALUE, got {raw:?}"))
+}
+
+/// Flags shared by `run` and `sweep`.
+struct CommonFlags {
+    threads: usize,
+    baseline: Option<String>,
+    out: Option<PathBuf>,
+    quick: bool,
+}
+
+fn parse_common(args: &[String], i: &mut usize, flags: &mut CommonFlags) -> Result<bool, String> {
+    match args[*i].as_str() {
+        "--threads" => {
+            let v = take_value(args, i, "--threads")?;
+            flags.threads = v
+                .parse()
+                .map_err(|_| format!("bad --threads value {v:?}"))?;
+        }
+        "--baseline" => flags.baseline = Some(take_value(args, i, "--baseline")?),
+        "--out" => flags.out = Some(PathBuf::from(take_value(args, i, "--out")?)),
+        "--quick" => flags.quick = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_run(args: &[String]) -> Result<Invocation, String> {
+    let mut name = None;
+    let mut flags = CommonFlags {
+        threads: 0,
+        baseline: None,
+        out: None,
+        quick: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if parse_common(args, &mut i, &mut flags)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            preset_name if name.is_none() => name = Some(preset_name.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+        i += 1;
+    }
+    let name = name.ok_or_else(|| "run needs a preset name (see `swbench list`)".to_string())?;
+    let preset =
+        preset(&name).ok_or_else(|| format!("unknown preset {name:?} (see `swbench list`)"))?;
+    Ok(Invocation {
+        spec: preset.spec(flags.quick),
+        threads: flags.threads,
+        baseline: flags.baseline,
+        out: flags.out,
+    })
+}
+
+fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
+    let mut workload = None;
+    let mut axes: Vec<Axis> = Vec::new();
+    let mut params = Vec::new();
+    let mut overrides = Vec::new();
+    let mut seeds = 4usize;
+    let mut seed_base = 42u64;
+    let mut stopwatch = true;
+    let mut duration_s = 60u64;
+    let mut flags = CommonFlags {
+        threads: 0,
+        baseline: None,
+        out: None,
+        quick: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if parse_common(args, &mut i, &mut flags)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--workload" => workload = Some(take_value(args, &mut i, "--workload")?),
+            "--axis" => {
+                let (key, values) = parse_kv(&take_value(args, &mut i, "--axis")?, "--axis")?;
+                axes.push(Axis {
+                    key,
+                    values: values.split(',').map(str::to_string).collect(),
+                });
+            }
+            "--param" => params.push(parse_kv(&take_value(args, &mut i, "--param")?, "--param")?),
+            "--set" => overrides.push(parse_kv(&take_value(args, &mut i, "--set")?, "--set")?),
+            "--seeds" => {
+                let v = take_value(args, &mut i, "--seeds")?;
+                seeds = v.parse().map_err(|_| format!("bad --seeds value {v:?}"))?;
+            }
+            "--seed-base" => {
+                let v = take_value(args, &mut i, "--seed-base")?;
+                seed_base = v
+                    .parse()
+                    .map_err(|_| format!("bad --seed-base value {v:?}"))?;
+            }
+            "--stopwatch" => {
+                let v = take_value(args, &mut i, "--stopwatch")?;
+                stopwatch = v
+                    .parse()
+                    .map_err(|_| format!("bad --stopwatch value {v:?}"))?;
+            }
+            "--duration-s" => {
+                let v = take_value(args, &mut i, "--duration-s")?;
+                duration_s = v
+                    .parse()
+                    .map_err(|_| format!("bad --duration-s value {v:?}"))?;
+            }
+            flag => return Err(format!("unknown flag {flag:?}")),
+        }
+        i += 1;
+    }
+    let workload = workload.ok_or_else(|| "sweep needs --workload".to_string())?;
+    let mut spec = SweepSpec::new("custom", &workload).seed_shards(seed_base, seeds.max(1));
+    spec.stopwatch = stopwatch;
+    spec.axes = axes;
+    spec.base_params = params;
+    spec.base_overrides = overrides;
+    spec.duration = SimDuration::from_secs(duration_s);
+    Ok(Invocation {
+        spec,
+        threads: flags.threads,
+        baseline: flags.baseline,
+        out: flags.out,
+    })
+}
+
+fn run_spec(inv: Invocation) -> Result<(), String> {
+    let scenarios = inv.spec.scenarios()?;
+    let opts = RunnerOptions {
+        threads: inv.threads,
+        progress: true,
+    };
+    eprintln!(
+        "sweep {:?}: {} scenarios on {} threads",
+        inv.spec.name,
+        scenarios.len(),
+        opts.effective_threads().min(scenarios.len()).max(1)
+    );
+    let started = std::time::Instant::now();
+    let outcomes = run_scenarios(&scenarios, &opts);
+    let wall = started.elapsed();
+    let report = SweepReport::from_outcomes(&inv.spec.name, &outcomes, inv.baseline.as_deref());
+    print!("{}", report.to_table());
+    eprintln!(
+        "{} scenarios in {:.2}s wall ({:.2} scenarios/s)",
+        scenarios.len(),
+        wall.as_secs_f64(),
+        scenarios.len() as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    let out = inv
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("results/sweep_{}.json", inv.spec.name)));
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating {parent:?}: {e}"))?;
+    }
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("JSON aggregate: {}", out.display());
+    if report.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("{} scenario(s) failed", report.failures.len()))
+    }
+}

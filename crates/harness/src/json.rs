@@ -1,0 +1,197 @@
+//! A minimal, dependency-free JSON writer with fully deterministic output.
+//!
+//! Sweep reports must be **byte-identical** across runner thread counts and
+//! across runs (the determinism contract of the harness), so this writer
+//! offers no HashMap-backed objects, no locale formatting, and exactly one
+//! rendering per value:
+//!
+//! * object keys appear in insertion order (callers insert deterministically);
+//! * floats render via Rust's shortest-roundtrip formatting, with the
+//!   non-finite values JSON lacks mapped to `null`;
+//! * strings are escaped per RFC 8259.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by hand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (counters, counts).
+    U64(u64),
+    /// Float; non-finite renders as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Starts an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects — a
+    /// programming error, not a data error).
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            other => panic!("push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::push`].
+    pub fn with(mut self, key: &str, value: Json) -> Json {
+        self.push(key, value);
+        self
+    }
+
+    /// Renders compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    /// Renders with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // Shortest roundtrip form; force a `.0` on integral
+                    // values so the type is stable for consumers.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = write!(out, "{x:.1}");
+                    } else {
+                        let _ = write!(out, "{x}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.iter(), |out, item, ind| {
+                item.write(out, ind)
+            }),
+            Json::Obj(fields) => {
+                write_seq(out, indent, '{', '}', fields.iter(), |out, (k, v), ind| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, ind);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(open);
+    let empty = items.len() == 0;
+    let inner = indent.map(|i| i + 1);
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(ind));
+        }
+        write_item(out, item, inner);
+    }
+    if let Some(ind) = indent {
+        if !empty {
+            out.push('\n');
+            out.push_str(&"  ".repeat(ind));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U64(42).render(), "42");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(3.0).render(), "3.0");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_compact_and_pretty() {
+        let v = Json::obj()
+            .with("name", Json::str("sweep"))
+            .with("xs", Json::Arr(vec![Json::U64(1), Json::U64(2)]))
+            .with("empty", Json::Arr(vec![]));
+        assert_eq!(v.render(), r#"{"name":"sweep","xs":[1,2],"empty":[]}"#);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\"name\": \"sweep\""));
+        assert!(pretty.ends_with("}\n"));
+        assert!(pretty.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let v = Json::obj().with("z", Json::U64(1)).with("a", Json::U64(2));
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+}

@@ -1,0 +1,205 @@
+//! Named sweep presets: the paper's figure-shaped experiments plus the
+//! scaling grids the roadmap tracks, each a ready-to-run [`SweepSpec`].
+//!
+//! `swbench run <name>` starts one; `swbench list` prints this registry.
+//! The `quick` flag shrinks workload sizes and seed counts so a laptop
+//! smoke-run finishes in seconds; the full shapes reproduce the paper's
+//! parameter ranges.
+
+use crate::sweep::SweepSpec;
+use simkit::time::SimDuration;
+
+/// A named preset with a one-line description.
+pub struct Preset {
+    /// Registry key.
+    pub name: &'static str,
+    /// What the sweep measures.
+    pub about: &'static str,
+    build: fn(quick: bool) -> SweepSpec,
+}
+
+impl Preset {
+    /// Materializes the spec.
+    pub fn spec(&self, quick: bool) -> SweepSpec {
+        (self.build)(quick)
+    }
+}
+
+/// Every named preset.
+pub const PRESETS: &[Preset] = &[
+    Preset {
+        name: "delta-n",
+        about: "web latency vs Δn padding, 8-point grid x 8 seeds (Sec. VII-A calibration at scale)",
+        build: |quick| {
+            let spec = SweepSpec::new("delta-n", "web-http")
+                .axis("cfg.delta_n_ms", &[1u64, 2, 4, 6, 8, 10, 12, 15])
+                .seed_shards(42, if quick { 2 } else { 8 });
+            with_params(
+                spec,
+                &[("bytes", if quick { "20000" } else { "100000" }), ("downloads", "2")],
+                &[("broadcast_band", "off"), ("disk", "ssd")],
+            )
+        },
+    },
+    Preset {
+        name: "delta-d",
+        about: "web latency vs Δd padding grid x seeds (disk-completion release times)",
+        build: |quick| {
+            let spec = SweepSpec::new("delta-d", "web-http")
+                .axis("cfg.delta_d_ms", &[2u64, 4, 8, 12, 15])
+                .seed_shards(42, if quick { 2 } else { 8 });
+            with_params(
+                spec,
+                &[("bytes", if quick { "20000" } else { "100000" }), ("downloads", "2")],
+                &[("broadcast_band", "off")],
+            )
+        },
+    },
+    Preset {
+        name: "fig5",
+        about: "file retrieval latency vs size, HTTP and UDP-NAK, baseline vs StopWatch (Fig. 5)",
+        build: |quick| {
+            let sizes: &[u64] = if quick {
+                &[10_000, 100_000]
+            } else {
+                &[1_000, 10_000, 100_000, 1_000_000]
+            };
+            let spec = SweepSpec::new("fig5", "web-http")
+                .axis("workload", &["web-http", "web-udp"])
+                .axis("stopwatch", &["false", "true"])
+                .axis("bytes", sizes)
+                .seed_shards(42, if quick { 1 } else { 3 });
+            let mut spec = with_params(spec, &[("downloads", "2")], &[]);
+            spec.duration = SimDuration::from_secs(600);
+            spec
+        },
+    },
+    Preset {
+        name: "fig6",
+        about: "NFS op latency vs offered load, baseline vs StopWatch (Fig. 6)",
+        build: |quick| {
+            let rates: &[u64] = if quick { &[100, 400] } else { &[25, 50, 100, 200, 400] };
+            let spec = SweepSpec::new("fig6", "nfs")
+                .axis("stopwatch", &["false", "true"])
+                .axis("rate", rates)
+                .seed_shards(42, if quick { 1 } else { 3 });
+            let mut spec =
+                with_params(spec, &[("ops", if quick { "100" } else { "400" })], &[]);
+            spec.duration = SimDuration::from_secs(600);
+            spec
+        },
+    },
+    Preset {
+        name: "attack",
+        about: "attacker-observed probe deltas with/without a coresident victim, both defense arms (Fig. 4)",
+        build: |quick| {
+            let spec = SweepSpec::new("attack", "attack")
+                .axis("stopwatch", &["true", "false"])
+                .axis("victim", &["false", "true"])
+                .seed_shards(42, if quick { 2 } else { 6 });
+            let mut spec = with_params(
+                spec,
+                &[("probes", if quick { "100" } else { "400" })],
+                &[("broadcast_band", "off"), ("client_tick_ms", "4")],
+            );
+            spec.duration = SimDuration::from_secs(600);
+            spec
+        },
+    },
+    Preset {
+        name: "replicas",
+        about: "overhead vs replica count (3 vs 5, Sec. IX marginalization defense)",
+        build: |quick| {
+            let spec = SweepSpec::new("replicas", "web-http")
+                .axis("cfg.replicas", &[3u64, 5])
+                .seed_shards(42, if quick { 2 } else { 6 });
+            with_params(
+                spec,
+                &[("bytes", "50000"), ("downloads", "2")],
+                &[("broadcast_band", "off")],
+            )
+        },
+    },
+    Preset {
+        name: "jitter",
+        about: "pacing effectiveness vs host speed jitter (Sec. V-A)",
+        build: |quick| {
+            let spec = SweepSpec::new("jitter", "web-http")
+                .axis("cfg.ips_jitter", &["0.0", "0.02", "0.05", "0.10"])
+                .seed_shards(42, if quick { 2 } else { 6 });
+            with_params(
+                spec,
+                &[("bytes", "50000"), ("downloads", "2")],
+                &[("broadcast_band", "off")],
+            )
+        },
+    },
+    Preset {
+        name: "parsec",
+        about: "PARSEC completion times across all five apps, baseline vs StopWatch (Fig. 7)",
+        build: |quick| {
+            let apps = [
+                "parsec:ferret",
+                "parsec:blackscholes",
+                "parsec:canneal",
+                "parsec:dedup",
+                "parsec:streamcluster",
+            ];
+            let spec = SweepSpec::new("parsec", "parsec:ferret")
+                .axis("workload", &apps)
+                .axis("stopwatch", &["false", "true"])
+                .seed_shards(42, if quick { 1 } else { 3 });
+            let mut spec = with_params(spec, &[], &[("broadcast_band", "off")]);
+            spec.duration = SimDuration::from_secs(120);
+            spec
+        },
+    },
+];
+
+fn with_params(
+    mut spec: SweepSpec,
+    params: &[(&str, &str)],
+    overrides: &[(&str, &str)],
+) -> SweepSpec {
+    spec.base_params = params
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    spec.base_overrides = overrides
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    spec
+}
+
+/// Looks up a preset by name.
+pub fn preset(name: &str) -> Option<&'static Preset> {
+    PRESETS.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_expand() {
+        for p in PRESETS {
+            let spec = p.spec(true);
+            let scenarios = spec.scenarios().expect(p.name);
+            assert!(!scenarios.is_empty(), "{} expands empty", p.name);
+            assert_eq!(scenarios.len(), spec.scenario_count(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn delta_n_full_is_a_64_scenario_sweep() {
+        let spec = preset("delta-n").unwrap().spec(false);
+        assert_eq!(spec.scenario_count(), 64, "8 grid points x 8 seeds");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(preset("fig5").is_some());
+        assert!(preset("no-such").is_none());
+    }
+}

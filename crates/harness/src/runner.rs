@@ -1,0 +1,173 @@
+//! Parallel scenario execution on std threads.
+//!
+//! The queue is a single atomic cursor over the scenario list: idle
+//! workers steal the next unclaimed index, so long scenarios never block
+//! short ones behind a static partition, and the pool saturates every
+//! core until the list drains. Results land in their scenario's slot, so
+//! the output order — and therefore every aggregate built from it — is
+//! **independent of thread count and scheduling**: each scenario is an
+//! isolated deterministic simulation keyed only by its own spec and seed.
+
+use crate::scenario::{Scenario, ScenarioResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runner knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunnerOptions {
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+    /// Print per-scenario progress lines to stderr.
+    pub progress: bool,
+}
+
+impl RunnerOptions {
+    /// Resolves `threads == 0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One scenario's outcome: its result, or the error message that stopped
+/// it. Build errors and panics are captured per scenario — one bad cell
+/// cannot take down a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// Result or error.
+    pub result: Result<ScenarioResult, String>,
+}
+
+/// Runs every scenario across a work-stealing thread pool and returns the
+/// outcomes **in input order**.
+pub fn run_scenarios(scenarios: &[Scenario], opts: &RunnerOptions) -> Vec<RunOutcome> {
+    let threads = opts.effective_threads().min(scenarios.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutcome>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let total = scenarios.len();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= total {
+                    break;
+                }
+                let scenario = &scenarios[idx];
+                let result = std::panic::catch_unwind(|| scenario.run())
+                    .unwrap_or_else(|panic| Err(panic_message(panic)));
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if opts.progress {
+                    let status = match &result {
+                        Ok(r) if r.clients_done => "ok",
+                        Ok(_) => "timeout",
+                        Err(_) => "ERROR",
+                    };
+                    eprintln!("[{finished}/{total}] {} {status}", scenario.label);
+                }
+                *slots[idx].lock().expect("result slot") = Some(RunOutcome {
+                    label: scenario.label.clone(),
+                    result,
+                });
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("scenario panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("scenario panicked: {s}")
+    } else {
+        "scenario panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepSpec;
+    use simkit::time::SimDuration;
+
+    fn tiny_sweep() -> Vec<Scenario> {
+        let mut spec = SweepSpec::new("t", "idle").seed_shards(5, 6);
+        spec.duration = SimDuration::from_millis(50);
+        spec.drain = SimDuration::ZERO;
+        spec.scenarios().unwrap()
+    }
+
+    #[test]
+    fn outcomes_keep_input_order_at_any_thread_count() {
+        let scenarios = tiny_sweep();
+        let one = run_scenarios(
+            &scenarios,
+            &RunnerOptions {
+                threads: 1,
+                progress: false,
+            },
+        );
+        let four = run_scenarios(
+            &scenarios,
+            &RunnerOptions {
+                threads: 4,
+                progress: false,
+            },
+        );
+        assert_eq!(one.len(), scenarios.len());
+        assert_eq!(one, four, "thread count must not change outcomes");
+        for (outcome, scenario) in one.iter().zip(&scenarios) {
+            assert_eq!(outcome.label, scenario.label);
+            assert!(outcome.result.is_ok());
+        }
+    }
+
+    #[test]
+    fn errors_are_captured_not_fatal() {
+        let mut scenarios = tiny_sweep();
+        scenarios[2].workload = "no-such-workload".to_string();
+        let out = run_scenarios(
+            &scenarios,
+            &RunnerOptions {
+                threads: 3,
+                progress: false,
+            },
+        );
+        assert!(out[2].result.is_err());
+        assert!(out
+            .iter()
+            .enumerate()
+            .all(|(i, o)| i == 2 || o.result.is_ok()));
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let scenarios = tiny_sweep();
+        let out = run_scenarios(
+            &scenarios,
+            &RunnerOptions {
+                threads: 64,
+                progress: false,
+            },
+        );
+        assert_eq!(out.len(), scenarios.len());
+    }
+}

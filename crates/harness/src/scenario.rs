@@ -1,0 +1,284 @@
+//! The declarative unit of work: one isolated, deterministic cloud run.
+//!
+//! A [`Scenario`] names a workload, a defense arm, a replica placement,
+//! [`CloudConfig`] overrides, a seed, and a duration. [`Scenario::run`]
+//! builds a fresh [`CloudSim`] from it, drives the event loop to
+//! completion, and extracts a [`ScenarioResult`] — plain data, safe to
+//! aggregate across threads. Two runs of the same scenario produce
+//! identical results on any machine; that is the property every layer
+//! above this one leans on.
+
+use simkit::time::{SimDuration, SimTime};
+use stopwatch_core::cloud::{CloudBuilder, CloudSim};
+use stopwatch_core::config::CloudConfig;
+use workloads::registry::{self, InstalledWorkload, WorkloadParams};
+
+/// Slot counters folded into every result (summed over all replicas).
+const SLOT_COUNTERS: [&str; 5] = [
+    "net_irq",
+    "disk_irq",
+    "stalls",
+    "sync_violations",
+    "dd_violations",
+];
+
+/// One declarative cloud run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Unique label within a sweep (cell key plus seed).
+    pub label: String,
+    /// The grid cell this scenario belongs to (same for all seed shards).
+    pub cell: String,
+    /// Cell coordinates, in axis order, for report grouping.
+    pub cell_params: Vec<(String, String)>,
+    /// Workload registry key (`"web-http"`, `"parsec:ferret"`, ...).
+    pub workload: String,
+    /// Workload parameters handed to the registry.
+    pub workload_params: Vec<(String, String)>,
+    /// StopWatch protection on (vs. unmodified-Xen baseline).
+    pub stopwatch: bool,
+    /// Host machine count; 0 means "as many as the placement needs".
+    pub hosts: usize,
+    /// Replica hosts of the workload VM; empty means hosts `0..replicas`.
+    pub replica_hosts: Vec<usize>,
+    /// Master seed for this run.
+    pub seed: u64,
+    /// Simulated-time budget; the run stops here even if clients are not
+    /// done (reported via [`ScenarioResult::clients_done`]).
+    pub duration: SimDuration,
+    /// Extra simulated time after clients finish, letting in-flight output
+    /// (e.g. attacker-side deliveries) drain before collection.
+    pub drain: SimDuration,
+    /// `CloudConfig` overrides applied over the default configuration.
+    pub overrides: Vec<(String, String)>,
+}
+
+impl Scenario {
+    /// A minimal scenario: `workload` under StopWatch at `seed`, default
+    /// config, 60 simulated seconds.
+    pub fn new(workload: &str, seed: u64) -> Self {
+        Scenario {
+            label: format!("{workload}#{seed}"),
+            cell: workload.to_string(),
+            cell_params: Vec::new(),
+            workload: workload.to_string(),
+            workload_params: Vec::new(),
+            stopwatch: true,
+            hosts: 0,
+            replica_hosts: Vec::new(),
+            seed,
+            duration: SimDuration::from_secs(60),
+            drain: SimDuration::from_millis(500),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Resolves the effective config and placement.
+    fn resolve(&self) -> Result<(CloudConfig, Vec<usize>, usize), String> {
+        let mut cfg = CloudConfig::default();
+        // The shard seed first, then overrides — so an explicit `seed`
+        // override (e.g. a `cfg.seed` sweep axis) wins over sharding.
+        cfg.seed = self.seed;
+        cfg.apply_all(self.overrides.iter().map(|(k, v)| (k.as_str(), v.as_str())))?;
+        let replica_hosts: Vec<usize> = if self.replica_hosts.is_empty() {
+            (0..cfg.replicas).collect()
+        } else {
+            self.replica_hosts.clone()
+        };
+        let min_hosts = replica_hosts.iter().copied().max().unwrap_or(0) + 1;
+        let hosts = self.hosts.max(min_hosts);
+        Ok((cfg, replica_hosts, hosts))
+    }
+
+    /// Builds the cloud without running it (the hook integration tests and
+    /// custom drivers use).
+    ///
+    /// # Errors
+    ///
+    /// Reports bad overrides, unknown workloads, and bad placements.
+    pub fn build(&self) -> Result<(CloudSim, InstalledWorkload), String> {
+        let (cfg, replica_hosts, hosts) = self.resolve()?;
+        let seed = cfg.seed; // post-override: workload streams follow the cloud
+        let mut b = CloudBuilder::new(cfg, hosts);
+        let params = WorkloadParams::from_pairs(
+            self.workload_params
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str())),
+        );
+        let wl = registry::install(
+            &self.workload,
+            &mut b,
+            self.stopwatch,
+            &replica_hosts,
+            &params,
+            seed,
+        )?;
+        Ok((b.build(), wl))
+    }
+
+    /// Runs the scenario to completion and extracts its measurements.
+    ///
+    /// # Errors
+    ///
+    /// Reports build failures; a run that merely times out is **not** an
+    /// error (it returns with `clients_done == false`).
+    pub fn run(&self) -> Result<ScenarioResult, String> {
+        let (mut sim, wl) = self.build()?;
+        let deadline = SimTime::ZERO + self.duration;
+        let finished_at = sim.run_until_clients_done(deadline);
+        let clients_done = sim.cloud.clients_done();
+        if self.drain > SimDuration::ZERO {
+            sim.run_until(finished_at + self.drain);
+        }
+        let replicas = sim.cloud.vm_replicas(wl.vm()).len() as u64;
+        let outcome = wl.collect(&mut sim);
+        let mut counters: Vec<(String, u64)> = sim
+            .cloud
+            .stats()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        for name in SLOT_COUNTERS {
+            counters.push((name.to_string(), sim.cloud.total_counter(name)));
+        }
+        Ok(ScenarioResult {
+            label: self.label.clone(),
+            cell: self.cell.clone(),
+            cell_params: self.cell_params.clone(),
+            seed: self.seed,
+            samples_ms: outcome.samples_ms,
+            completed: outcome.completed,
+            extra: outcome.extra,
+            clients_done,
+            finished_ms: finished_at.duration_since(SimTime::ZERO).as_millis_f64(),
+            events_executed: sim.sim.events_executed(),
+            replicas,
+            counters,
+        })
+    }
+}
+
+/// What one scenario measured — plain data, deterministic per scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// The grid cell (aggregation key).
+    pub cell: String,
+    /// Cell coordinates.
+    pub cell_params: Vec<(String, String)>,
+    /// The seed that produced this run.
+    pub seed: u64,
+    /// The workload's latency-like samples, ms.
+    pub samples_ms: Vec<f64>,
+    /// Completed operations.
+    pub completed: u64,
+    /// Workload-specific side measurements (summed during aggregation).
+    pub extra: Vec<(String, f64)>,
+    /// Whether every client finished inside the time budget.
+    pub clients_done: bool,
+    /// Simulated time at which clients finished (or the budget ran out).
+    pub finished_ms: f64,
+    /// Events the engine executed (a determinism fingerprint).
+    pub events_executed: u64,
+    /// Replica count of the workload VM (1 for baseline runs).
+    pub replicas: u64,
+    /// Cloud counters plus summed per-slot counters.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ScenarioResult {
+    /// One counter by name (0 if never recorded). Slot counters are sums
+    /// over all replicas; divide by [`ScenarioResult::replicas`] for a
+    /// per-replica figure.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// One workload extra by name (0 if the workload never reported it).
+    pub fn extra(&self, name: &str) -> f64 {
+        self.extra
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::new("web-http", seed);
+        s.workload_params = vec![
+            ("bytes".into(), "20000".into()),
+            ("downloads".into(), "2".into()),
+        ];
+        s.overrides = vec![
+            ("broadcast_band".into(), "off".into()),
+            ("disk".into(), "ssd".into()),
+        ];
+        s
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let a = quick_scenario(3).run().unwrap();
+        let b = quick_scenario(3).run().unwrap();
+        let c = quick_scenario(4).run().unwrap();
+        assert_eq!(a, b, "same seed, same result");
+        assert!(a.clients_done);
+        assert_eq!(a.completed, 2);
+        assert_ne!(
+            a.samples_ms, c.samples_ms,
+            "different seed should perturb measured latencies"
+        );
+        assert!(a.counters.iter().any(|(k, v)| k == "net_irq" && *v > 0));
+    }
+
+    #[test]
+    fn bad_override_and_workload_surface_as_errors() {
+        let mut s = Scenario::new("web-http", 1);
+        s.overrides = vec![("no_such_key".into(), "1".into())];
+        assert!(s.run().is_err());
+        let s2 = Scenario::new("no-such-workload", 1);
+        assert!(s2.run().is_err());
+    }
+
+    #[test]
+    fn hosts_grow_to_fit_placement() {
+        let mut s = Scenario::new("idle", 1);
+        s.replica_hosts = vec![0, 2, 4];
+        s.duration = SimDuration::from_millis(50);
+        let r = s.run().unwrap();
+        assert!(r.clients_done, "no clients means trivially done");
+    }
+
+    #[test]
+    fn explicit_seed_override_beats_shard_seed() {
+        let mut a = quick_scenario(3);
+        a.overrides.push(("seed".into(), "99".into()));
+        let mut b = quick_scenario(4); // different shard seed...
+        b.overrides.push(("seed".into(), "99".into())); // ...same override
+        let ra = a.run().unwrap();
+        let rb = b.run().unwrap();
+        assert_eq!(
+            ra.samples_ms, rb.samples_ms,
+            "seed override must win over sharding"
+        );
+    }
+
+    #[test]
+    fn replicas_override_widens_default_placement() {
+        let mut s = Scenario::new("idle", 1);
+        s.overrides = vec![("replicas".into(), "5".into())];
+        s.duration = SimDuration::from_millis(50);
+        let (sim, wl) = s.build().unwrap();
+        assert_eq!(sim.cloud.vm_replicas(wl.vm()).len(), 5);
+    }
+}

@@ -1,0 +1,275 @@
+//! Declarative parameter sweeps: a [`SweepSpec`] is a cartesian grid of
+//! axes over a base scenario, sharded over seeds, expanding to a flat,
+//! deterministically ordered scenario list.
+//!
+//! Axis keys are routed by namespace:
+//!
+//! * `cfg.<key>` — a [`CloudConfig`](stopwatch_core::config::CloudConfig)
+//!   override (see `CloudConfig::apply` for the key table);
+//! * `stopwatch` — the defense arm, `true`/`false`;
+//! * `workload` — the workload registry key itself;
+//! * anything else — a workload parameter (`bytes`, `rate`, `victim`, ...).
+//!
+//! Expansion order is row-major (first axis slowest), seeds innermost, so
+//! the cell order of every report is the order axes were declared in —
+//! stable under any runner thread count.
+
+use crate::scenario::Scenario;
+use simkit::time::SimDuration;
+
+/// One swept dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// Routed key (see module docs).
+    pub key: String,
+    /// The values the axis takes, in declaration order.
+    pub values: Vec<String>,
+}
+
+impl Axis {
+    /// An axis from anything stringly-typed.
+    pub fn new<K: Into<String>, V: ToString>(key: K, values: &[V]) -> Axis {
+        Axis {
+            key: key.into(),
+            values: values.iter().map(ToString::to_string).collect(),
+        }
+    }
+}
+
+/// A full sweep: base scenario × axes × seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Report name.
+    pub name: String,
+    /// Base workload (an axis named `workload` overrides per cell).
+    pub workload: String,
+    /// Base defense arm (an axis named `stopwatch` overrides per cell).
+    pub stopwatch: bool,
+    /// Host count (0 = sized from the placement).
+    pub hosts: usize,
+    /// Replica placement (empty = hosts `0..replicas`).
+    pub replica_hosts: Vec<usize>,
+    /// Overrides applied to every cell (axes win on conflicts).
+    pub base_overrides: Vec<(String, String)>,
+    /// Workload parameters applied to every cell (axes win on conflicts).
+    pub base_params: Vec<(String, String)>,
+    /// The swept axes.
+    pub axes: Vec<Axis>,
+    /// Seed shards; every cell runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Simulated-time budget per scenario.
+    pub duration: SimDuration,
+    /// Post-completion drain per scenario.
+    pub drain: SimDuration,
+}
+
+impl SweepSpec {
+    /// A sweep of `workload` with no axes and one seed — the base other
+    /// fields are edited onto.
+    pub fn new(name: &str, workload: &str) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            workload: workload.to_string(),
+            stopwatch: true,
+            hosts: 0,
+            replica_hosts: Vec::new(),
+            base_overrides: Vec::new(),
+            base_params: Vec::new(),
+            axes: Vec::new(),
+            seeds: vec![42],
+            duration: SimDuration::from_secs(60),
+            drain: SimDuration::from_millis(500),
+        }
+    }
+
+    /// Adds an axis (builder style).
+    pub fn axis<K: Into<String>, V: ToString>(mut self, key: K, values: &[V]) -> Self {
+        self.axes.push(Axis::new(key, values));
+        self
+    }
+
+    /// Shards over `count` seeds derived from `base` (base, base+1, ...).
+    pub fn seed_shards(mut self, base: u64, count: usize) -> Self {
+        self.seeds = (0..count as u64).map(|i| base + i).collect();
+        self
+    }
+
+    /// Number of scenarios this spec expands to.
+    pub fn scenario_count(&self) -> usize {
+        self.axes
+            .iter()
+            .map(|a| a.values.len().max(1))
+            .product::<usize>()
+            * self.seeds.len()
+    }
+
+    /// Expands the grid to the flat scenario list, row-major over axes,
+    /// seeds innermost.
+    ///
+    /// # Errors
+    ///
+    /// Reports empty axes, empty seed lists, and malformed axis values
+    /// (`stopwatch` axes must be booleans) — before anything runs.
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
+        if self.seeds.is_empty() {
+            return Err(format!("sweep {:?} has no seeds", self.name));
+        }
+        for axis in &self.axes {
+            if axis.values.is_empty() {
+                return Err(format!(
+                    "axis {:?} of sweep {:?} has no values",
+                    axis.key, self.name
+                ));
+            }
+        }
+        let cells = self.axes.iter().map(|a| a.values.len()).product::<usize>();
+        let mut out = Vec::with_capacity(cells * self.seeds.len());
+        // Row-major odometer over the axes.
+        let mut idx = vec![0usize; self.axes.len()];
+        loop {
+            let coords: Vec<(&str, &str)> = self
+                .axes
+                .iter()
+                .zip(&idx)
+                .map(|(a, &i)| (a.key.as_str(), a.values[i].as_str()))
+                .collect();
+            let cell = if coords.is_empty() {
+                self.workload.clone()
+            } else {
+                coords
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            for &seed in &self.seeds {
+                out.push(self.materialize(&cell, &coords, seed)?);
+            }
+            // Advance the odometer; last axis fastest.
+            let mut done = true;
+            for pos in (0..idx.len()).rev() {
+                idx[pos] += 1;
+                if idx[pos] < self.axes[pos].values.len() {
+                    done = false;
+                    break;
+                }
+                idx[pos] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn materialize(
+        &self,
+        cell: &str,
+        coords: &[(&str, &str)],
+        seed: u64,
+    ) -> Result<Scenario, String> {
+        let mut workload = self.workload.clone();
+        let mut stopwatch = self.stopwatch;
+        let mut overrides = self.base_overrides.clone();
+        let mut params = self.base_params.clone();
+        for &(key, value) in coords {
+            if key == "stopwatch" {
+                stopwatch = value
+                    .parse::<bool>()
+                    .map_err(|_| format!("stopwatch axis value {value:?} is not a bool"))?;
+            } else if key == "workload" {
+                workload = value.to_string();
+            } else if let Some(cfg_key) = key.strip_prefix("cfg.") {
+                overrides.push((cfg_key.to_string(), value.to_string()));
+            } else {
+                params.push((key.to_string(), value.to_string()));
+            }
+        }
+        Ok(Scenario {
+            label: format!("{cell}#{seed}"),
+            cell: cell.to_string(),
+            cell_params: coords
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            workload,
+            workload_params: params,
+            stopwatch,
+            hosts: self.hosts,
+            replica_hosts: self.replica_hosts.clone(),
+            seed,
+            duration: self.duration,
+            drain: self.drain,
+            overrides,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_row_major_with_seeds_innermost() {
+        let spec = SweepSpec::new("t", "web-http")
+            .axis("cfg.delta_n_ms", &[2, 8])
+            .axis("stopwatch", &["false", "true"])
+            .seed_shards(10, 2);
+        assert_eq!(spec.scenario_count(), 8);
+        let scenarios = spec.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 8);
+        let labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "cfg.delta_n_ms=2,stopwatch=false#10",
+                "cfg.delta_n_ms=2,stopwatch=false#11",
+                "cfg.delta_n_ms=2,stopwatch=true#10",
+                "cfg.delta_n_ms=2,stopwatch=true#11",
+                "cfg.delta_n_ms=8,stopwatch=false#10",
+                "cfg.delta_n_ms=8,stopwatch=false#11",
+                "cfg.delta_n_ms=8,stopwatch=true#10",
+                "cfg.delta_n_ms=8,stopwatch=true#11",
+            ]
+        );
+        assert!(!scenarios[0].stopwatch);
+        assert!(scenarios[2].stopwatch);
+        assert_eq!(
+            scenarios[4].overrides,
+            vec![("delta_n_ms".to_string(), "8".to_string())]
+        );
+    }
+
+    #[test]
+    fn axis_routing_covers_all_namespaces() {
+        let spec = SweepSpec::new("t", "web-http")
+            .axis("workload", &["web-udp"])
+            .axis("bytes", &[1000]);
+        let scenarios = spec.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        assert_eq!(scenarios[0].workload, "web-udp");
+        assert_eq!(
+            scenarios[0].workload_params,
+            vec![("bytes".to_string(), "1000".to_string())]
+        );
+    }
+
+    #[test]
+    fn empty_axes_and_seeds_error() {
+        let mut spec = SweepSpec::new("t", "idle");
+        spec.seeds.clear();
+        assert!(spec.scenarios().is_err());
+        let spec2 = SweepSpec::new("t", "idle").axis::<_, u64>("bytes", &[]);
+        assert!(spec2.scenarios().is_err());
+        let spec3 = SweepSpec::new("t", "idle").axis("stopwatch", &["maybe"]);
+        assert!(spec3.scenarios().is_err());
+    }
+
+    #[test]
+    fn no_axes_single_cell_named_after_workload() {
+        let spec = SweepSpec::new("t", "nfs").seed_shards(1, 3);
+        let scenarios = spec.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 3);
+        assert!(scenarios.iter().all(|s| s.cell == "nfs"));
+    }
+}

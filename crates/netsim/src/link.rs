@@ -156,7 +156,11 @@ impl Fabric {
         } else {
             rng.uniform_duration(SimDuration::ZERO, model.jitter)
         };
-        let free = self.free_at.get(&(from, to)).copied().unwrap_or(SimTime::ZERO);
+        let free = self
+            .free_at
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let start = now.max(free);
         let done_serializing = start + model.serialization(bytes);
         self.free_at.insert((from, to), done_serializing);
@@ -234,7 +238,9 @@ mod tests {
     #[test]
     fn transmit_lossless_is_some() {
         let mut f = Fabric::new(LinkModel::lan(), SimRng::new(2));
-        assert!(f.transmit(SimTime::ZERO, NetNode(0), NetNode(1), 64).is_some());
+        assert!(f
+            .transmit(SimTime::ZERO, NetNode(0), NetNode(1), 64)
+            .is_some());
     }
 
     #[test]
@@ -249,7 +255,10 @@ mod tests {
         };
         let mut f = Fabric::new(model, SimRng::new(3));
         let arrivals: Vec<SimTime> = (0..10)
-            .map(|_| f.transmit(SimTime::ZERO, NetNode(0), NetNode(1), 1000).unwrap())
+            .map(|_| {
+                f.transmit(SimTime::ZERO, NetNode(0), NetNode(1), 1000)
+                    .unwrap()
+            })
             .collect();
         for (i, t) in arrivals.iter().enumerate() {
             assert_eq!(t.as_nanos(), (i as u64 + 1) * 1_000_000, "packet {i}");
@@ -270,9 +279,12 @@ mod tests {
             loss_prob: 0.0,
         };
         let mut f = Fabric::new(model, SimRng::new(4));
-        f.transmit(SimTime::ZERO, NetNode(0), NetNode(1), 1000).unwrap();
+        f.transmit(SimTime::ZERO, NetNode(0), NetNode(1), 1000)
+            .unwrap();
         // A different pair is unaffected by (0,1)'s queue.
-        let other = f.transmit(SimTime::ZERO, NetNode(0), NetNode(2), 1000).unwrap();
+        let other = f
+            .transmit(SimTime::ZERO, NetNode(0), NetNode(2), 1000)
+            .unwrap();
         assert_eq!(other, SimTime::from_millis(1));
     }
 }

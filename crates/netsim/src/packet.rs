@@ -188,7 +188,10 @@ mod tests {
 
     #[test]
     fn content_hash_equal_for_equal_packets() {
-        assert_eq!(tcp_pkt(5, 100).content_hash(), tcp_pkt(5, 100).content_hash());
+        assert_eq!(
+            tcp_pkt(5, 100).content_hash(),
+            tcp_pkt(5, 100).content_hash()
+        );
     }
 
     #[test]

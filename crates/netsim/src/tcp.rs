@@ -107,7 +107,7 @@ pub struct TcpEndpoint {
     snd_total: u64,
     snd_fin: bool,
     fin_sent: bool,
-    complete_raised_at: u64, // snd_total when SendComplete last fired
+    complete_raised_at: u64,        // snd_total when SendComplete last fired
     app_at: BTreeMap<u64, AppData>, // request data keyed by stream offset
     last_progress: SimTime,
     // Receive side.
@@ -243,7 +243,11 @@ impl TcpEndpoint {
             // A duplicate SYN means our SYN-ACK was likely lost: resend it.
             (TcpState::SynReceived, true, false) if self.role == TcpRole::Server => {
                 out.packets.push(self.emit(
-                    TcpFlags { syn: true, ack: true, fin: false },
+                    TcpFlags {
+                        syn: true,
+                        ack: true,
+                        fin: false,
+                    },
                     0,
                     0,
                     None,
@@ -253,7 +257,11 @@ impl TcpEndpoint {
             // A duplicate SYN-ACK means our handshake ACK was lost.
             (TcpState::Established, true, true) if self.role == TcpRole::Client => {
                 out.packets.push(self.emit(
-                    TcpFlags { syn: false, ack: true, fin: false },
+                    TcpFlags {
+                        syn: false,
+                        ack: true,
+                        fin: false,
+                    },
                     0,
                     self.rcv_next,
                     None,
@@ -397,7 +405,11 @@ impl TcpEndpoint {
                 self.retransmits += 1;
                 self.sent_segments += 1;
                 vec![self.make_segment(
-                    TcpFlags { syn: true, ack: false, fin: false },
+                    TcpFlags {
+                        syn: true,
+                        ack: false,
+                        fin: false,
+                    },
                     0,
                     0,
                     None,
@@ -407,7 +419,11 @@ impl TcpEndpoint {
                 self.last_progress = now;
                 self.retransmits += 1;
                 vec![self.emit(
-                    TcpFlags { syn: true, ack: true, fin: false },
+                    TcpFlags {
+                        syn: true,
+                        ack: true,
+                        fin: false,
+                    },
                     0,
                     0,
                     None,
@@ -516,7 +532,11 @@ mod tests {
 
     /// Runs both endpoints to quiescence with zero network delay, returning
     /// all events seen by each. Deterministic FIFO exchange.
-    fn drain(a: &mut TcpEndpoint, b: &mut TcpEndpoint, first: Vec<Packet>) -> (Vec<TcpEvent>, Vec<TcpEvent>) {
+    fn drain(
+        a: &mut TcpEndpoint,
+        b: &mut TcpEndpoint,
+        first: Vec<Packet>,
+    ) -> (Vec<TcpEvent>, Vec<TcpEvent>) {
         let mut a_events = Vec::new();
         let mut b_events = Vec::new();
         let mut to_b: Vec<Packet> = first;
@@ -542,7 +562,8 @@ mod tests {
 
     fn connected_pair() -> (TcpEndpoint, TcpEndpoint) {
         let cfg = TcpConfig::default();
-        let (mut c, syn) = TcpEndpoint::client(cfg, 1, EndpointId(10), EndpointId(20), SimTime::ZERO);
+        let (mut c, syn) =
+            TcpEndpoint::client(cfg, 1, EndpointId(10), EndpointId(20), SimTime::ZERO);
         let mut s = TcpEndpoint::server(cfg, 1, EndpointId(20), EndpointId(10), SimTime::ZERO);
         let (ce, se) = drain(&mut c, &mut s, vec![syn]);
         assert!(ce.contains(&TcpEvent::Connected));
@@ -563,7 +584,11 @@ mod tests {
     #[test]
     fn request_and_response_stream() {
         let (mut c, mut s) = connected_pair();
-        let req = AppData { kind: 1, a: 7, b: 100_000 };
+        let req = AppData {
+            kind: 1,
+            a: 7,
+            b: 100_000,
+        };
         let pkts = c.send_stream(200, Some(req), false);
         assert_eq!(pkts.len(), 1);
         let (ce, se) = drain(&mut c, &mut s, pkts);
@@ -624,15 +649,20 @@ mod tests {
         // Deliver 2, 0, 1.
         let now = SimTime::ZERO;
         let o2 = c.on_segment(seg(&pkts[2]), now);
-        assert!(o2.events.iter().all(|e| !matches!(e, TcpEvent::Delivered { .. })));
+        assert!(o2
+            .events
+            .iter()
+            .all(|e| !matches!(e, TcpEvent::Delivered { .. })));
         let o0 = c.on_segment(seg(&pkts[0]), now);
-        assert!(o0
-            .events
-            .contains(&TcpEvent::Delivered { new_bytes: 1448, total: 1448 }));
+        assert!(o0.events.contains(&TcpEvent::Delivered {
+            new_bytes: 1448,
+            total: 1448
+        }));
         let o1 = c.on_segment(seg(&pkts[1]), now);
-        assert!(o1
-            .events
-            .contains(&TcpEvent::Delivered { new_bytes: 2 * 1448, total: 3 * 1448 }));
+        assert!(o1.events.contains(&TcpEvent::Delivered {
+            new_bytes: 2 * 1448,
+            total: 3 * 1448
+        }));
     }
 
     #[test]
@@ -658,7 +688,11 @@ mod tests {
         let (mut c, _s) = connected_pair();
         let bogus = TcpSegment {
             conn: 999,
-            flags: TcpFlags { syn: false, ack: true, fin: false },
+            flags: TcpFlags {
+                syn: false,
+                ack: true,
+                fin: false,
+            },
             seq: 0,
             ack: 50,
             len: 0,
@@ -691,7 +725,10 @@ mod tests {
         let cfg = TcpConfig::default();
         let (mut c, _lost_syn) =
             TcpEndpoint::client(cfg, 1, EndpointId(1), EndpointId(2), SimTime::ZERO);
-        assert!(c.on_tick(SimTime::from_millis(100)).is_empty(), "before RTO");
+        assert!(
+            c.on_tick(SimTime::from_millis(100)).is_empty(),
+            "before RTO"
+        );
         let re = c.on_tick(SimTime::from_millis(250));
         assert_eq!(re.len(), 1);
         assert!(seg(&re[0]).flags.syn && !seg(&re[0]).flags.ack);
@@ -706,8 +743,7 @@ mod tests {
     #[test]
     fn lost_synack_recovered_by_duplicate_syn() {
         let cfg = TcpConfig::default();
-        let (mut c, syn) =
-            TcpEndpoint::client(cfg, 1, EndpointId(1), EndpointId(2), SimTime::ZERO);
+        let (mut c, syn) = TcpEndpoint::client(cfg, 1, EndpointId(1), EndpointId(2), SimTime::ZERO);
         let mut s = TcpEndpoint::server(cfg, 1, EndpointId(2), EndpointId(1), SimTime::ZERO);
         // SYN arrives; the SYN-ACK is lost.
         let out = s.on_segment(seg(&syn), SimTime::ZERO);
@@ -726,8 +762,7 @@ mod tests {
     #[test]
     fn server_rto_resends_synack_when_handshake_ack_lost() {
         let cfg = TcpConfig::default();
-        let (mut c, syn) =
-            TcpEndpoint::client(cfg, 1, EndpointId(1), EndpointId(2), SimTime::ZERO);
+        let (mut c, syn) = TcpEndpoint::client(cfg, 1, EndpointId(1), EndpointId(2), SimTime::ZERO);
         let mut s = TcpEndpoint::server(cfg, 1, EndpointId(2), EndpointId(1), SimTime::ZERO);
         let synack = s.on_segment(seg(&syn), SimTime::ZERO).packets;
         // Client becomes Established; its handshake ACK is lost.

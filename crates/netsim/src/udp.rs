@@ -263,9 +263,19 @@ mod tests {
     fn lossless_transfer_completes_with_one_inbound_packet() {
         let now = SimTime::ZERO;
         let mut server = UdpFileServer::new(EndpointId(1));
-        let req = AppData { kind: 0, a: 7, b: 10_000 };
-        let (mut client, reqp) =
-            UdpFileClient::start(EndpointId(2), EndpointId(1), 5, req, now, SimDuration::from_millis(50));
+        let req = AppData {
+            kind: 0,
+            a: 7,
+            b: 10_000,
+        };
+        let (mut client, reqp) = UdpFileClient::start(
+            EndpointId(2),
+            EndpointId(1),
+            5,
+            req,
+            now,
+            SimDuration::from_millis(50),
+        );
         let stream = server.on_datagram(EndpointId(2), useg(&reqp));
         // ceil(10000/1448) = 7 chunks + FIN.
         assert_eq!(stream.len(), 8);
@@ -286,9 +296,19 @@ mod tests {
     fn lost_chunks_recovered_by_nak() {
         let now = SimTime::ZERO;
         let mut server = UdpFileServer::new(EndpointId(1));
-        let req = AppData { kind: 0, a: 7, b: 5 * 1448 };
-        let (mut client, reqp) =
-            UdpFileClient::start(EndpointId(2), EndpointId(1), 5, req, now, SimDuration::from_millis(50));
+        let req = AppData {
+            kind: 0,
+            a: 7,
+            b: 5 * 1448,
+        };
+        let (mut client, reqp) = UdpFileClient::start(
+            EndpointId(2),
+            EndpointId(1),
+            5,
+            req,
+            now,
+            SimDuration::from_millis(50),
+        );
         let mut stream = server.on_datagram(EndpointId(2), useg(&reqp));
         // Drop chunks 1 and 3.
         stream.retain(|p| !matches!(useg(p).kind, UdpKind::Data) || ![1, 3].contains(&useg(p).seq));
@@ -317,7 +337,11 @@ mod tests {
     #[test]
     fn lost_request_retried_on_tick() {
         let now = SimTime::ZERO;
-        let req = AppData { kind: 0, a: 1, b: 1000 };
+        let req = AppData {
+            kind: 0,
+            a: 1,
+            b: 1000,
+        };
         let (mut client, _lost) = UdpFileClient::start(
             EndpointId(2),
             EndpointId(1),
@@ -339,11 +363,24 @@ mod tests {
         // keeps waiting; when the FIN finally arrives late it completes.
         let now = SimTime::ZERO;
         let mut server = UdpFileServer::new(EndpointId(1));
-        let req = AppData { kind: 0, a: 1, b: 2 * 1448 };
-        let (mut client, reqp) =
-            UdpFileClient::start(EndpointId(2), EndpointId(1), 9, req, now, SimDuration::from_millis(50));
+        let req = AppData {
+            kind: 0,
+            a: 1,
+            b: 2 * 1448,
+        };
+        let (mut client, reqp) = UdpFileClient::start(
+            EndpointId(2),
+            EndpointId(1),
+            9,
+            req,
+            now,
+            SimDuration::from_millis(50),
+        );
         let stream = server.on_datagram(EndpointId(2), useg(&reqp));
-        for p in stream.iter().filter(|p| matches!(useg(p).kind, UdpKind::Data)) {
+        for p in stream
+            .iter()
+            .filter(|p| matches!(useg(p).kind, UdpKind::Data))
+        {
             client.on_datagram(useg(p), now);
         }
         assert!(!client.is_complete());
@@ -356,7 +393,11 @@ mod tests {
     #[test]
     fn tiny_file_single_chunk() {
         let mut server = UdpFileServer::new(EndpointId(1));
-        let req = AppData { kind: 0, a: 1, b: 10 };
+        let req = AppData {
+            kind: 0,
+            a: 1,
+            b: 10,
+        };
         let (mut client, reqp) = UdpFileClient::start(
             EndpointId(2),
             EndpointId(1),

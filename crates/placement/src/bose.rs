@@ -59,13 +59,7 @@ impl BoseSystem {
     /// The group `G_0`: `n/3` vertical triangles visiting each node once.
     pub fn group_zero(&self) -> Vec<Triangle> {
         (0..self.q)
-            .map(|a| {
-                Triangle::new(
-                    node(a, 0, self.q),
-                    node(a, 1, self.q),
-                    node(a, 2, self.q),
-                )
-            })
+            .map(|a| Triangle::new(node(a, 0, self.q), node(a, 1, self.q), node(a, 2, self.q)))
             .collect()
     }
 
@@ -284,8 +278,7 @@ mod tests {
                     sys.theorem2_count(c),
                     "n={n} c={c}: count mismatch"
                 );
-                validate_placement(&placement, n, c)
-                    .unwrap_or_else(|e| panic!("n={n} c={c}: {e}"));
+                validate_placement(&placement, n, c).unwrap_or_else(|e| panic!("n={n} c={c}: {e}"));
             }
         }
     }

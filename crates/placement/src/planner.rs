@@ -59,7 +59,8 @@ impl PlacementPlanner {
         let schedule = match strategy {
             Strategy::Bose => {
                 let sys = BoseSystem::new(n).map_err(|e| e.to_string())?;
-                sys.theorem2_placement(capacity).map_err(|e| e.to_string())?
+                sys.theorem2_placement(capacity)
+                    .map_err(|e| e.to_string())?
             }
             Strategy::Greedy => {
                 if n < 3 {
@@ -144,10 +145,7 @@ impl PlacementPlanner {
         for ai in 0..avail.len() {
             for bi in ai + 1..avail.len() {
                 let (a, b) = (avail[ai], avail[bi]);
-                if self
-                    .used_edges
-                    .contains(&Edge::new(NodeId(a), NodeId(b)))
-                {
+                if self.used_edges.contains(&Edge::new(NodeId(a), NodeId(b))) {
                     continue;
                 }
                 for &c in avail.iter().skip(bi + 1) {
@@ -223,10 +221,7 @@ mod tests {
         let mut greedy = PlacementPlanner::new(n, c, Strategy::Greedy).unwrap();
         let kb = bose.place_all();
         let kg = greedy.place_all();
-        assert!(
-            kg * 10 >= kb * 6,
-            "greedy {kg} below 60% of bose {kb}"
-        );
+        assert!(kg * 10 >= kb * 6, "greedy {kg} below 60% of bose {kb}");
     }
 
     #[test]

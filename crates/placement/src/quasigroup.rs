@@ -29,7 +29,10 @@ impl Quasigroup {
     ///
     /// Panics if `q` is even or zero.
     pub fn new(order: usize) -> Self {
-        assert!(order % 2 == 1 && order > 0, "order must be odd and positive");
+        assert!(
+            order % 2 == 1 && order > 0,
+            "order must be odd and positive"
+        );
         Quasigroup {
             order,
             half: (order + 1) / 2,

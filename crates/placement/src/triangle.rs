@@ -57,7 +57,10 @@ impl Triangle {
     ///
     /// Panics if any two nodes coincide.
     pub fn new(a: NodeId, b: NodeId, c: NodeId) -> Self {
-        assert!(a != b && b != c && a != c, "triangle nodes must be distinct");
+        assert!(
+            a != b && b != c && a != c,
+            "triangle nodes must be distinct"
+        );
         let mut nodes = [a, b, c];
         nodes.sort_unstable();
         Triangle { nodes }
@@ -92,7 +95,11 @@ impl Triangle {
 
 impl fmt::Display for Triangle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{{}, {}, {}}}", self.nodes[0], self.nodes[1], self.nodes[2])
+        write!(
+            f,
+            "{{{}, {}, {}}}",
+            self.nodes[0], self.nodes[1], self.nodes[2]
+        )
     }
 }
 
@@ -148,7 +155,10 @@ impl fmt::Display for PlacementError {
                 node,
                 load,
                 capacity,
-            } => write!(f, "machine {node} hosts {load} replicas, capacity {capacity}"),
+            } => write!(
+                f,
+                "machine {node} hosts {load} replicas, capacity {capacity}"
+            ),
         }
     }
 }

@@ -286,9 +286,10 @@ mod tests {
         let mut sim: Sim<Vec<u32>> = Sim::new();
         let mut w = Vec::new();
         for i in 0..5 {
-            sim.schedule(SimTime::from_millis(i as u64), move |_, w: &mut Vec<u32>| {
-                w.push(i)
-            });
+            sim.schedule(
+                SimTime::from_millis(i as u64),
+                move |_, w: &mut Vec<u32>| w.push(i),
+            );
         }
         assert_eq!(sim.step(&mut w, 2), 2);
         assert_eq!(w, vec![0, 1]);

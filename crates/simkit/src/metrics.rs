@@ -235,6 +235,67 @@ impl Samples {
         }
         s
     }
+
+    /// Merges another sample set into this one (observation multiset
+    /// union, like [`Summary::merge`] but keeping exact quantiles).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simkit::metrics::Samples;
+    /// let mut a: Samples = [1.0, 3.0].into_iter().collect();
+    /// let b: Samples = [2.0].into_iter().collect();
+    /// a.merge(&b);
+    /// assert_eq!(a.median(), 2.0);
+    /// ```
+    pub fn merge(&mut self, other: &Samples) {
+        self.xs.extend_from_slice(&other.xs);
+        self.sorted = self.xs.len() <= 1;
+    }
+
+    /// Exports the standard percentile summary used in reports, sorting
+    /// the observations once for all eight statistics.
+    pub fn percentiles(&self) -> Percentiles {
+        if self.is_empty() {
+            return Percentiles::default();
+        }
+        let mut xs = self.xs.clone();
+        xs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        // Same nearest-rank rule as [`Samples::quantile`].
+        let at = |q: f64| xs[(q * (xs.len() - 1) as f64).round() as usize];
+        Percentiles {
+            count: xs.len() as u64,
+            mean: self.mean(),
+            min: xs[0],
+            p50: at(0.5),
+            p90: at(0.9),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: xs[xs.len() - 1],
+        }
+    }
+}
+
+/// A fixed percentile summary of one sample set — the exchange format
+/// merged aggregates are reported in.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Percentiles {
+    /// Number of observations (0 means every other field is 0).
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest observation.
+    pub max: f64,
 }
 
 impl FromIterator<f64> for Samples {
@@ -401,6 +462,29 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_empty_panics() {
         Samples::new().quantile(0.5);
+    }
+
+    #[test]
+    fn samples_merge_matches_combined() {
+        let mut a: Samples = [5.0, 1.0].into_iter().collect();
+        let b: Samples = [3.0, 2.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a.median(), 3.0);
+        assert_eq!(a.quantile(1.0), 5.0);
+        let p = a.percentiles();
+        assert_eq!(p.count, 5);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p50, 3.0);
+        assert_eq!(p.max, 5.0);
+        assert!((p.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let p = Samples::new().percentiles();
+        assert_eq!(p, Percentiles::default());
+        assert_eq!(p.count, 0);
     }
 
     #[test]

@@ -27,14 +27,14 @@ use simkit::metrics::Counters;
 use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime, VirtNanos};
 use std::collections::HashMap;
+use storage::block::DiskImage;
+use storage::device::DiskDevice;
+use storage::model::{AccessModel, RotatingDisk, Ssd};
 use vmm::clock::VirtualClock;
 use vmm::guest::GuestProgram;
 use vmm::host::HostMachine;
 use vmm::slot::{ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotOutput};
 use vmm::speed::SpeedProfile;
-use storage::block::DiskImage;
-use storage::device::DiskDevice;
-use storage::model::{AccessModel, RotatingDisk, Ssd};
 
 /// An external (unreplicated) client machine's application logic.
 ///
@@ -202,7 +202,13 @@ impl Cloud {
         }
     }
 
-    fn handle_outputs(&mut self, sim: &mut Sim<Cloud>, h: usize, s: usize, outputs: Vec<SlotOutput>) {
+    fn handle_outputs(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        h: usize,
+        s: usize,
+        outputs: Vec<SlotOutput>,
+    ) {
         for output in outputs {
             match output {
                 SlotOutput::DiskSubmit { op_id, request } => {
@@ -212,7 +218,9 @@ impl Cloud {
                         cloud.reschedule_wake(sim, h, s);
                     });
                 }
-                SlotOutput::Packet { out_seq, packet, .. } => {
+                SlotOutput::Packet {
+                    out_seq, packet, ..
+                } => {
                     self.route_guest_output(sim, h, s, out_seq, packet);
                 }
             }
@@ -242,7 +250,8 @@ impl Cloud {
             // the second copy.
             let bytes = packet.wire_bytes() + TUNNEL_OVERHEAD;
             if let Some(raw_arrive) =
-                self.fabric.transmit(sim.now(), host_node, self.egress_node, bytes)
+                self.fabric
+                    .transmit(sim.now(), host_node, self.egress_node, bytes)
             {
                 // The tunnel runs over TCP (Sec. VI): per-replica copies
                 // reach the egress in emission order.
@@ -282,9 +291,9 @@ impl Cloud {
     fn deliver_external(&mut self, sim: &mut Sim<Cloud>, from_node: NetNode, packet: Packet) {
         if let Some(&ci) = self.client_by_endpoint.get(&packet.dst) {
             let node = self.clients[ci].node;
-            if let Some(arrive) = self
-                .fabric
-                .transmit(sim.now(), from_node, node, packet.wire_bytes())
+            if let Some(arrive) =
+                self.fabric
+                    .transmit(sim.now(), from_node, node, packet.wire_bytes())
             {
                 sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
                     cloud.stats.incr("client_packets");
@@ -323,7 +332,9 @@ impl Cloud {
                 }
             } else if let Some(&target) = self.client_by_endpoint.get(&pkt.dst) {
                 let tnode = self.clients[target].node;
-                if let Some(arrive) = self.fabric.transmit(sim.now(), node, tnode, pkt.wire_bytes())
+                if let Some(arrive) = self
+                    .fabric
+                    .transmit(sim.now(), node, tnode, pkt.wire_bytes())
                 {
                     sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
                         let now = sim.now();
@@ -420,7 +431,9 @@ impl Cloud {
             }
             let to_node = self.hosts[ph].id();
             let pkt = pgm_pkt.clone();
-            if let Some(arrive) = self.fabric.transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
+            if let Some(arrive) =
+                self.fabric
+                    .transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
             {
                 sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
                     cloud.pgm_receive(sim, vm_idx, peer_idx, sender_replica, pkt.clone());
@@ -450,7 +463,13 @@ impl Cloud {
             }
         }
         if !out.nak_missing.is_empty() {
-            self.send_nak(sim, vm_idx, receiver_replica, sender_replica, out.nak_missing);
+            self.send_nak(
+                sim,
+                vm_idx,
+                receiver_replica,
+                sender_replica,
+                out.nak_missing,
+            );
         }
     }
 
@@ -466,7 +485,10 @@ impl Cloud {
         let replicas = &self.vms[vm_idx].replicas;
         let from_node = self.hosts[replicas[receiver_replica].0].id();
         let to_node = self.hosts[replicas[sender_replica].0].id();
-        if let Some(arrive) = self.fabric.transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES) {
+        if let Some(arrive) = self
+            .fabric
+            .transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
+        {
             sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
                 let Some(tx) = cloud.pgm_tx.get(&(vm_idx, sender_replica)) else {
                     return;
@@ -482,7 +504,13 @@ impl Cloud {
                             .transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
                     {
                         sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                            cloud.pgm_receive(sim, vm_idx, receiver_replica, sender_replica, pkt.clone());
+                            cloud.pgm_receive(
+                                sim,
+                                vm_idx,
+                                receiver_replica,
+                                sender_replica,
+                                pkt.clone(),
+                            );
                         });
                     }
                 }
@@ -517,7 +545,9 @@ impl Cloud {
                 }
             }
         }
-        let Some(pacing) = self.cfg.pacing else { return };
+        let Some(pacing) = self.cfg.pacing else {
+            return;
+        };
         for vm_idx in 0..self.vms.len() {
             if !self.vms[vm_idx].stopwatch {
                 continue;
@@ -575,6 +605,32 @@ impl CloudBuilder {
         }
     }
 
+    /// The configuration this builder was created with.
+    pub fn config(&self) -> &CloudConfig {
+        &self.cfg
+    }
+
+    /// Number of hosts in the cloud under construction.
+    pub fn host_count(&self) -> usize {
+        self.host_count
+    }
+
+    /// The endpoint the *next* [`CloudBuilder::add_stopwatch_vm`] /
+    /// [`CloudBuilder::add_baseline_vm`] call will assign.
+    ///
+    /// Guest programs sometimes need a peer's endpoint at construction time
+    /// (e.g. a monitor a workload reports completion to); scenario factories
+    /// use these hooks to learn endpoints before the VM or client exists.
+    pub fn next_vm_endpoint(&self) -> EndpointId {
+        EndpointId(1000 + self.vms.len() as u64)
+    }
+
+    /// The endpoint the *next* [`CloudBuilder::add_client`] call will
+    /// assign.
+    pub fn next_client_endpoint(&self) -> EndpointId {
+        EndpointId(2000 + self.clients.len() as u64)
+    }
+
     /// Adds a StopWatch-protected VM: `make()` is invoked once per replica
     /// (the replicas must be identical); `hosts` lists the replica hosts.
     ///
@@ -588,30 +644,33 @@ impl CloudBuilder {
     {
         assert_eq!(hosts.len(), self.cfg.replicas, "replica count mismatch");
         assert!(hosts.iter().all(|&h| h < self.host_count), "unknown host");
+        let endpoint = self.next_vm_endpoint();
         let programs = (0..hosts.len()).map(|_| make()).collect();
         self.vms.push((hosts.to_vec(), programs, true));
         VmHandle {
             index: self.vms.len() - 1,
-            endpoint: EndpointId(1000 + self.vms.len() as u64 - 1),
+            endpoint,
         }
     }
 
     /// Adds an unprotected (baseline / unmodified-Xen) VM on one host.
     pub fn add_baseline_vm(&mut self, host: usize, program: Box<dyn GuestProgram>) -> VmHandle {
         assert!(host < self.host_count, "unknown host");
+        let endpoint = self.next_vm_endpoint();
         self.vms.push((vec![host], vec![program], false));
         VmHandle {
             index: self.vms.len() - 1,
-            endpoint: EndpointId(1000 + self.vms.len() as u64 - 1),
+            endpoint,
         }
     }
 
     /// Adds an external client machine.
     pub fn add_client(&mut self, app: Box<dyn ClientApp>) -> ClientHandle {
+        let endpoint = self.next_client_endpoint();
         self.clients.push(app);
         ClientHandle {
             index: self.clients.len() - 1,
-            endpoint: EndpointId(2000 + self.clients.len() as u64 - 1),
+            endpoint,
         }
     }
 
@@ -773,7 +832,9 @@ impl CloudBuilder {
                 pgm_retry(sim, cloud);
             });
         }
-        sim.schedule(SimTime::ZERO, |sim, cloud: &mut Cloud| pgm_retry(sim, cloud));
+        sim.schedule(SimTime::ZERO, |sim, cloud: &mut Cloud| {
+            pgm_retry(sim, cloud)
+        });
         // Background broadcast chatter through the ingress.
         if let Some((lo, hi)) = cloud.cfg.broadcast_band {
             let src = BroadcastSource::new(
@@ -835,9 +896,9 @@ impl CloudSim {
 mod tests {
     use super::*;
     use netsim::packet::Body;
-    use vmm::guest::{GuestEnv, IdleGuest};
     use storage::block::BlockRange;
     use storage::device::DiskOp;
+    use vmm::guest::{GuestEnv, IdleGuest};
 
     /// Guest that echoes every Raw packet back to its source.
     struct Echo;
@@ -940,10 +1001,7 @@ mod tests {
         let t_bl = bl.run_until_clients_done(SimTime::from_secs(5));
         assert!(sw.cloud.client_app::<Pinger>(csw).unwrap().is_done());
         assert!(bl.cloud.client_app::<Pinger>(cbl).unwrap().is_done());
-        assert!(
-            t_bl < t_sw,
-            "baseline {t_bl} should beat stopwatch {t_sw}"
-        );
+        assert!(t_bl < t_sw, "baseline {t_bl} should beat stopwatch {t_sw}");
     }
 
     #[test]
@@ -999,6 +1057,9 @@ mod tests {
             gap <= max_gap + 8_000_000,
             "fastest-vs-second gap {gap} too large"
         );
-        assert!(sim.cloud.total_counter("stalls") > 0, "pacing never engaged");
+        assert!(
+            sim.cloud.total_counter("stalls") > 0,
+            "pacing never engaged"
+        );
     }
 }

@@ -117,6 +117,111 @@ impl CloudConfig {
             ..CloudConfig::default()
         }
     }
+
+    /// Applies one string-keyed override — the entry point sweep harnesses
+    /// use to build a cloud from a declarative scenario.
+    ///
+    /// Recognized keys (values parse as the field's type):
+    ///
+    /// | key | field |
+    /// |---|---|
+    /// | `seed` | [`CloudConfig::seed`] |
+    /// | `replicas` | [`CloudConfig::replicas`] |
+    /// | `delta_n_ms` / `delta_d_ms` | the Δn / Δd offsets, in ms |
+    /// | `exit_every` | [`CloudConfig::exit_every`] |
+    /// | `base_ips` | [`CloudConfig::base_ips`] |
+    /// | `ips_jitter` | [`CloudConfig::ips_jitter`] |
+    /// | `speed_epoch_ms` | [`CloudConfig::speed_epoch`] |
+    /// | `slope` | [`CloudConfig::slope`] |
+    /// | `disk` | `rotating` or `ssd` |
+    /// | `pacing` | `off` or `heartbeat_ms:max_gap_ms` |
+    /// | `broadcast_band` | `off` or `lo:hi` packets/second |
+    /// | `client_tick_ms` | [`CloudConfig::client_tick`] |
+    /// | `image_blocks` | [`CloudConfig::image_blocks`] |
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the key on unknown keys or unparsable
+    /// values, so sweep specs fail loudly instead of silently running the
+    /// default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stopwatch_core::config::CloudConfig;
+    /// let mut cfg = CloudConfig::fast_test();
+    /// cfg.apply("delta_n_ms", "4").unwrap();
+    /// assert_eq!(cfg.delta_n.as_millis_f64(), 4.0);
+    /// assert!(cfg.apply("no_such_knob", "1").is_err());
+    /// ```
+    pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse::<T>()
+                .map_err(|_| format!("bad value {value:?} for config key {key:?}"))
+        }
+        fn parse_pair(key: &str, value: &str) -> Result<(f64, f64), String> {
+            let (a, b) = value
+                .split_once(':')
+                .ok_or_else(|| format!("key {key:?} wants \"lo:hi\", got {value:?}"))?;
+            Ok((parse::<f64>(key, a)?, parse::<f64>(key, b)?))
+        }
+        match key {
+            "seed" => self.seed = parse(key, value)?,
+            "replicas" => self.replicas = parse(key, value)?,
+            "delta_n_ms" => self.delta_n = VirtOffset::from_millis(parse(key, value)?),
+            "delta_d_ms" => self.delta_d = VirtOffset::from_millis(parse(key, value)?),
+            "exit_every" => self.exit_every = parse(key, value)?,
+            "base_ips" => self.base_ips = parse(key, value)?,
+            "ips_jitter" => self.ips_jitter = parse(key, value)?,
+            "speed_epoch_ms" => self.speed_epoch = SimDuration::from_millis(parse(key, value)?),
+            "slope" => self.slope = parse(key, value)?,
+            "disk" => {
+                self.disk = match value {
+                    "rotating" => DiskKind::Rotating,
+                    "ssd" => DiskKind::Ssd,
+                    other => return Err(format!("unknown disk kind {other:?}")),
+                }
+            }
+            "pacing" => {
+                self.pacing = if value == "off" {
+                    None
+                } else {
+                    let (hb, gap) = parse_pair(key, value)?;
+                    Some(PacingConfig {
+                        heartbeat: SimDuration::from_millis_f64(hb),
+                        max_gap_ns: (gap * 1e6) as u64,
+                    })
+                }
+            }
+            "broadcast_band" => {
+                self.broadcast_band = if value == "off" {
+                    None
+                } else {
+                    Some(parse_pair(key, value)?)
+                }
+            }
+            "client_tick_ms" => self.client_tick = SimDuration::from_millis(parse(key, value)?),
+            "image_blocks" => self.image_blocks = parse(key, value)?,
+            other => return Err(format!("unknown config key {other:?}")),
+        }
+        Ok(())
+    }
+
+    /// Applies a list of `(key, value)` overrides in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and reports the first failing pair.
+    pub fn apply_all<'a, I>(&mut self, overrides: I) -> Result<(), String>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        for (key, value) in overrides {
+            self.apply(key, value)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +246,56 @@ mod tests {
         let c = CloudConfig::fast_test();
         assert!(c.broadcast_band.is_none());
         assert_eq!(c.disk, DiskKind::Ssd);
+    }
+
+    #[test]
+    fn apply_overrides_every_documented_key() {
+        let mut c = CloudConfig::default();
+        c.apply_all([
+            ("seed", "9"),
+            ("replicas", "5"),
+            ("delta_n_ms", "4"),
+            ("delta_d_ms", "6"),
+            ("exit_every", "10000"),
+            ("base_ips", "2e9"),
+            ("ips_jitter", "0.05"),
+            ("speed_epoch_ms", "5"),
+            ("slope", "1.5"),
+            ("disk", "ssd"),
+            ("pacing", "1:2"),
+            ("broadcast_band", "10:20"),
+            ("client_tick_ms", "7"),
+            ("image_blocks", "1024"),
+        ])
+        .unwrap();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.replicas, 5);
+        assert_eq!(c.delta_n.as_millis_f64(), 4.0);
+        assert_eq!(c.delta_d.as_millis_f64(), 6.0);
+        assert_eq!(c.exit_every, 10_000);
+        assert_eq!(c.base_ips, 2e9);
+        assert_eq!(c.ips_jitter, 0.05);
+        assert_eq!(c.speed_epoch, SimDuration::from_millis(5));
+        assert_eq!(c.slope, 1.5);
+        assert_eq!(c.disk, DiskKind::Ssd);
+        let pacing = c.pacing.unwrap();
+        assert_eq!(pacing.heartbeat, SimDuration::from_millis(1));
+        assert_eq!(pacing.max_gap_ns, 2_000_000);
+        assert_eq!(c.broadcast_band, Some((10.0, 20.0)));
+        assert_eq!(c.client_tick, SimDuration::from_millis(7));
+        assert_eq!(c.image_blocks, 1024);
+    }
+
+    #[test]
+    fn apply_off_values_and_errors() {
+        let mut c = CloudConfig::default();
+        c.apply("pacing", "off").unwrap();
+        assert!(c.pacing.is_none());
+        c.apply("broadcast_band", "off").unwrap();
+        assert!(c.broadcast_band.is_none());
+        assert!(c.apply("unknown", "1").is_err());
+        assert!(c.apply("seed", "not-a-number").is_err());
+        assert!(c.apply("disk", "floppy").is_err());
+        assert!(c.apply("broadcast_band", "10").is_err());
     }
 }

@@ -17,6 +17,9 @@
 //!
 //! This crate wires the [`vmm`], [`netsim`] and [`storage`] substrates into
 //! a runnable [`cloud::CloudSim`], configured by [`config::CloudConfig`].
+//! The workspace's `DESIGN.md` describes how the pieces fit; sweep
+//! harnesses construct clouds declaratively through
+//! [`config::CloudConfig::apply`] and the builder's endpoint hooks.
 //!
 //! # Examples
 //!

@@ -113,10 +113,7 @@ impl DiskImage {
     ///
     /// Panics if the range extends past the end of the image.
     pub fn write(&mut self, range: BlockRange, value_hash: u64) {
-        assert!(
-            range.end().0 <= self.size_blocks,
-            "write past end of image"
-        );
+        assert!(range.end().0 <= self.size_blocks, "write past end of image");
         for b in range.iter() {
             // Mix the address in so two blocks written with the same value
             // still carry distinct content.
@@ -128,11 +125,9 @@ impl DiskImage {
     /// An order-independent fingerprint of all written content; two
     /// replicas whose guests behaved identically have equal fingerprints.
     pub fn content_fingerprint(&self) -> u64 {
-        self.blocks
-            .iter()
-            .fold(0u64, |acc, (addr, val)| {
-                acc ^ addr.wrapping_mul(0x100_0000_01b3) ^ val.rotate_left((addr % 63) as u32)
-            })
+        self.blocks.iter().fold(0u64, |acc, (addr, val)| {
+            acc ^ addr.wrapping_mul(0x100_0000_01b3) ^ val.rotate_left((addr % 63) as u32)
+        })
     }
 
     /// Number of blocks ever written.

@@ -73,8 +73,7 @@ impl AccessModel for RotatingDisk {
             SimDuration::from_secs_f64(self.seek_min.as_secs_f64() + seek_span * frac.sqrt())
         };
         let rot = rng.uniform_duration(SimDuration::ZERO, self.rotation);
-        let transfer =
-            SimDuration::from_secs_f64(range.bytes() as f64 / self.transfer_bps as f64);
+        let transfer = SimDuration::from_secs_f64(range.bytes() as f64 / self.transfer_bps as f64);
         seek + rot + transfer
     }
 
@@ -137,12 +136,18 @@ mod tests {
         let mut r = rng();
         let n = 500;
         let seq: f64 = (0..n)
-            .map(|_| d.access_time(BlockRange::new(1000, 8), 1000, &mut r).as_millis_f64())
+            .map(|_| {
+                d.access_time(BlockRange::new(1000, 8), 1000, &mut r)
+                    .as_millis_f64()
+            })
             .sum::<f64>()
             / n as f64;
         let far = d.total_blocks - 10;
         let rand: f64 = (0..n)
-            .map(|_| d.access_time(BlockRange::new(far, 8), 0, &mut r).as_millis_f64())
+            .map(|_| {
+                d.access_time(BlockRange::new(far, 8), 0, &mut r)
+                    .as_millis_f64()
+            })
             .sum::<f64>()
             / n as f64;
         assert!(rand > seq + 5.0, "random {rand} vs sequential {seq}");

@@ -307,10 +307,8 @@ mod tests {
             n_with >= 5 * n_without,
             "expected >=5x gap, got {n_with} vs {n_without}"
         );
-        let without_t =
-            Detector::from_cdfs_with_tails(&base, &victim, 10, &[0.99, 0.999, 0.9999]);
-        let with_t =
-            Detector::from_cdfs_with_tails(&m_null, &m_alt, 10, &[0.99, 0.999, 0.9999]);
+        let without_t = Detector::from_cdfs_with_tails(&base, &victim, 10, &[0.99, 0.999, 0.9999]);
+        let with_t = Detector::from_cdfs_with_tails(&m_null, &m_alt, 10, &[0.99, 0.999, 0.9999]);
         assert!(
             with_t.observations_needed(0.95) > 5 * without_t.observations_needed(0.95),
             "tail-binned gap should also hold"

@@ -462,6 +462,9 @@ mod tests {
             }
         }
         let generic = Opaque(&d).mean_nonneg();
-        assert!((generic - d.mean_nonneg()).abs() < 1e-3, "generic {generic}");
+        assert!(
+            (generic - d.mean_nonneg()).abs() < 1e-3,
+            "generic {generic}"
+        );
     }
 }

@@ -218,9 +218,7 @@ mod tests {
     fn abs_diff_cdf_symmetric_in_rates() {
         // |X - Y| distribution is symmetric under swapping the rates.
         for &d in &[0.1, 0.5, 2.0] {
-            assert!(
-                (abs_diff_exp_cdf(d, 1.0, 0.5) - abs_diff_exp_cdf(d, 0.5, 1.0)).abs() < 1e-12
-            );
+            assert!((abs_diff_exp_cdf(d, 1.0, 0.5) - abs_diff_exp_cdf(d, 0.5, 1.0)).abs() < 1e-12);
         }
     }
 

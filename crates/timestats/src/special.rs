@@ -266,7 +266,10 @@ mod tests {
         ];
         for (p, k, want) in cases {
             let got = chi2_quantile(p, k);
-            assert!((got - want).abs() < 2e-3, "p={p} k={k}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() < 2e-3,
+                "p={p} k={k}: got {got}, want {want}"
+            );
         }
     }
 

@@ -195,10 +195,7 @@ mod tests {
         let mut c = VirtualClock::new(VirtNanos::ZERO, 1.0, Some(cfg));
         let virt_end = c.virt(1000);
         // Real time ran ahead: virt should speed up.
-        c.apply_epoch(
-            SimTime::from_nanos(5_000),
-            SimDuration::from_nanos(2_000),
-        );
+        c.apply_epoch(SimTime::from_nanos(5_000), SimDuration::from_nanos(2_000));
         assert_eq!(c.virt(1000), virt_end, "continuity at the epoch boundary");
         // slope = (5000 - 1000 + 2000)/1000 = 6.
         assert!((c.slope() - 6.0).abs() < 1e-12);

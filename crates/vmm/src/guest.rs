@@ -102,7 +102,8 @@ impl<'a> GuestEnv<'a> {
 
     /// Queues a disk write.
     pub fn disk_write(&mut self, range: BlockRange, value: u64) {
-        self.actions.push_back(GuestAction::DiskWrite { range, value });
+        self.actions
+            .push_back(GuestAction::DiskWrite { range, value });
     }
 
     /// Queues a packet send from this guest (`src` is overwritten with the
@@ -175,7 +176,13 @@ pub struct IdleGuest;
 impl GuestProgram for IdleGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
     fn on_packet(&mut self, _packet: &Packet, _env: &mut GuestEnv) {}
-    fn on_disk_done(&mut self, _op: DiskOp, _range: BlockRange, _data: &[u64], _env: &mut GuestEnv) {
+    fn on_disk_done(
+        &mut self,
+        _op: DiskOp,
+        _range: BlockRange,
+        _data: &[u64],
+        _env: &mut GuestEnv,
+    ) {
     }
 }
 

@@ -346,7 +346,12 @@ impl GuestSlot {
         }
         for (&id, d) in &self.disk {
             if d.data.is_some() {
-                consider((self.injection_branch(d.deliver), d.deliver, IrqClass::Disk, id));
+                consider((
+                    self.injection_branch(d.deliver),
+                    d.deliver,
+                    IrqClass::Disk,
+                    id,
+                ));
             }
         }
         for (&seq, n) in &self.net {
@@ -512,7 +517,9 @@ impl GuestSlot {
         packet: Packet,
     ) -> ArrivalOutcome {
         match self.cfg.mode {
-            DefenseMode::StopWatch { delta_n, replicas, .. } => {
+            DefenseMode::StopWatch {
+                delta_n, replicas, ..
+            } => {
                 let proposal = self.virt_at_last_exit(profile, now) + delta_n;
                 self.net.insert(
                     ingress_seq,
@@ -796,7 +803,11 @@ mod tests {
         let out = slot.process(&p, wake);
         assert_eq!(out.len(), 1);
         match &out[0] {
-            SlotOutput::Packet { out_seq, packet, virt } => {
+            SlotOutput::Packet {
+                out_seq,
+                packet,
+                virt,
+            } => {
                 assert_eq!(*out_seq, 0);
                 assert_eq!(packet.src, EndpointId(7));
                 assert_eq!(virt.as_nanos(), 11_500_000);
@@ -866,7 +877,10 @@ mod tests {
         assert_eq!(slot.counters().get("dd_violations"), 0);
         let wake = slot.next_wake(&p, SimTime::from_millis(3)).unwrap();
         let ns = wake.as_nanos();
-        assert!((10_000_000..10_000_050).contains(&ns), "V + Δd wake at {ns}");
+        assert!(
+            (10_000_000..10_000_050).contains(&ns),
+            "V + Δd wake at {ns}"
+        );
         let out2 = slot.process(&p, wake);
         // Handler queues compute + write; the write issues after 1M
         // branches = 1ms later, so not yet.
@@ -935,9 +949,11 @@ mod tests {
         let (log_slow, out_slow) = run(&slow);
         assert_eq!(log_fast, log_slow, "virtual delivery times identical");
         let key = |o: &SlotOutput| match o {
-            SlotOutput::Packet { out_seq, packet, virt } => {
-                (*out_seq, packet.content_hash(), *virt)
-            }
+            SlotOutput::Packet {
+                out_seq,
+                packet,
+                virt,
+            } => (*out_seq, packet.content_hash(), *virt),
             _ => unreachable!(),
         };
         assert_eq!(key(&out_fast[0]), key(&out_slow[0]));
@@ -1026,8 +1042,16 @@ mod tests {
         assert_eq!(out2.len(), 2);
         match (&out2[0], &out2[1]) {
             (
-                SlotOutput::Packet { packet: a, virt: va, .. },
-                SlotOutput::Packet { packet: b, virt: vb, .. },
+                SlotOutput::Packet {
+                    packet: a,
+                    virt: va,
+                    ..
+                },
+                SlotOutput::Packet {
+                    packet: b,
+                    virt: vb,
+                    ..
+                },
             ) => {
                 assert!(matches!(a.body, Body::Raw { tag: 42, .. }));
                 assert!(matches!(b.body, Body::Raw { tag: 43, .. }));

@@ -229,6 +229,9 @@ mod tests {
     #[test]
     fn time_for_zero_branches_is_identity() {
         let p = profile(0.05);
-        assert_eq!(p.time_for_branches(SimTime::from_millis(7), 0), SimTime::from_millis(7));
+        assert_eq!(
+            p.time_for_branches(SimTime::from_millis(7), 0),
+            SimTime::from_millis(7)
+        );
     }
 }

@@ -197,7 +197,9 @@ pub struct LoadGuest {
 impl LoadGuest {
     /// A guest that computes continuously in chunks.
     pub fn new(chunk: u64) -> Self {
-        LoadGuest { chunk: chunk.max(1) }
+        LoadGuest {
+            chunk: chunk.max(1),
+        }
     }
 }
 

@@ -7,11 +7,14 @@
 //!   dedup, streamcluster) calibrated to the paper's runtimes and disk
 //!   interrupt counts (Fig. 7);
 //! * [`attack`] — attacker/victim/collaborator guests and the probe client
-//!   (Fig. 4, Sec. IX).
+//!   (Fig. 4, Sec. IX);
+//! * [`registry`] — the named workload factory sweep harnesses build
+//!   scenarios from.
 
 pub mod attack;
 pub mod nfs;
 pub mod parsec;
+pub mod registry;
 pub mod web;
 
 /// One-line import for the common types.
@@ -21,6 +24,10 @@ pub mod prelude {
     };
     pub use crate::nfs::{NfsOp, NfsServerGuest, NhfsstoneClient, PAPER_MIX};
     pub use crate::parsec::{profile, CompletionWaiter, ParsecGuest, ParsecProfile, PARSEC};
+    pub use crate::registry::{
+        install as install_workload, workload_names, InstalledWorkload, WorkloadOutcome,
+        WorkloadParams,
+    };
     pub use crate::web::{
         DownloadResult, FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest,
     };

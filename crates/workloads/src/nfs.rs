@@ -152,7 +152,9 @@ impl NfsServerGuest {
         if *self.in_service.get(&conn).unwrap_or(&false) {
             return;
         }
-        let Some(q) = self.queues.get(&conn) else { return };
+        let Some(q) = self.queues.get(&conn) else {
+            return;
+        };
         let Some(&head) = q.front() else { return };
         self.in_service.insert(conn, true);
         env.compute(head.op.cpu_branches());
@@ -173,7 +175,9 @@ impl NfsServerGuest {
     }
 
     fn finish_head(&mut self, conn: u64, env: &mut GuestEnv) {
-        let Some(q) = self.queues.get_mut(&conn) else { return };
+        let Some(q) = self.queues.get_mut(&conn) else {
+            return;
+        };
         let Some(head) = q.pop_front() else { return };
         self.in_service.insert(conn, false);
         self.ops_done += 1;
@@ -210,10 +214,13 @@ impl GuestProgram for NfsServerGuest {
         for ev in out.events {
             if let TcpEvent::Request(app) = ev {
                 if let Some(op) = NfsOp::from_code(app.kind) {
-                    self.queues.entry(seg.conn).or_default().push_back(PendingOp {
-                        op,
-                        block: app.a % 1_000_000,
-                    });
+                    self.queues
+                        .entry(seg.conn)
+                        .or_default()
+                        .push_back(PendingOp {
+                            op,
+                            block: app.a % 1_000_000,
+                        });
                     self.maybe_start(seg.conn, env);
                 }
             }
@@ -325,7 +332,11 @@ impl NhfsstoneClient {
         if self.latencies.is_empty() {
             return f64::NAN;
         }
-        self.latencies.iter().map(|l| l.as_millis_f64()).sum::<f64>() / self.latencies.len() as f64
+        self.latencies
+            .iter()
+            .map(|l| l.as_millis_f64())
+            .sum::<f64>()
+            / self.latencies.len() as f64
     }
 
     /// Operations completed.
@@ -510,6 +521,9 @@ mod tests {
         let (base, _, _) = run_nfs(false, 50.0, 25);
         let (sw, _, _) = run_nfs(true, 50.0, 25);
         assert!(sw > base, "StopWatch {sw}ms vs baseline {base}ms");
-        assert!(sw < base * 20.0, "overhead should stay bounded: {sw} vs {base}");
+        assert!(
+            sw < base * 20.0,
+            "overhead should stay bounded: {sw} vs {base}"
+        );
     }
 }

@@ -219,7 +219,9 @@ mod tests {
         let mut b = CloudBuilder::new(cfg, 3);
         let monitor_ep = EndpointId(2000);
         let vm = if stopwatch {
-            b.add_stopwatch_vm(&[0, 1, 2], move || Box::new(ParsecGuest::new(prof, monitor_ep)))
+            b.add_stopwatch_vm(&[0, 1, 2], move || {
+                Box::new(ParsecGuest::new(prof, monitor_ep))
+            })
         } else {
             b.add_baseline_vm(0, Box::new(ParsecGuest::new(prof, monitor_ep)))
         };

@@ -1,0 +1,475 @@
+//! Named workload factory: build any of the paper's workloads into a
+//! [`CloudBuilder`] from a string key plus string-keyed parameters, and
+//! extract its measurements afterward without knowing the concrete types.
+//!
+//! This is the joint between the declarative sweep layer (`harness`) and
+//! the concrete guests/clients of this crate: a scenario names a workload
+//! (`"web-http"`, `"parsec:ferret"`, ...) and the registry does the
+//! wiring. Every workload reports its results the same way — a vector of
+//! latency-like samples in milliseconds plus a completion count — which is
+//! what sweep aggregation consumes.
+
+use crate::attack::{AttackerGuest, LoadGuest, ProbeClient, VictimGuest};
+use crate::nfs::{NfsServerGuest, NhfsstoneClient};
+use crate::parsec::{profile, CompletionWaiter, ParsecGuest, PARSEC};
+use crate::web::{FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest};
+use simkit::time::SimDuration;
+use std::collections::BTreeMap;
+use stopwatch_core::cloud::{ClientHandle, CloudBuilder, CloudSim, VmHandle};
+use vmm::guest::IdleGuest;
+
+/// String-keyed workload parameters (grid-cell coordinates land here).
+///
+/// Unknown keys are rejected at install time so a typo in a sweep axis
+/// fails loudly instead of silently running defaults.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadParams {
+    map: BTreeMap<String, String>,
+}
+
+impl WorkloadParams {
+    /// An empty parameter set (workload defaults apply).
+    pub fn new() -> Self {
+        WorkloadParams::default()
+    }
+
+    /// Builds from `(key, value)` pairs; later pairs win.
+    pub fn from_pairs<'a, I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut p = WorkloadParams::new();
+        for (k, v) in pairs {
+            p.set(k, v);
+        }
+        p
+    }
+
+    /// Sets one parameter.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.map.insert(key.to_string(), value.to_string());
+    }
+
+    fn ensure_known(&self, workload: &str, allowed: &[&str]) -> Result<(), String> {
+        for key in self.map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!(
+                    "workload {workload:?} does not take parameter {key:?} (allowed: {allowed:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("bad value {raw:?} for workload parameter {key:?}")),
+        }
+    }
+}
+
+/// Which concrete workload was installed (drives result extraction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Idle,
+    WebHttp,
+    WebUdp,
+    Nfs,
+    Parsec,
+    Attack,
+}
+
+/// Handle to a workload wired into a cloud, used to pull measurements out
+/// of the finished simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct InstalledWorkload {
+    kind: Kind,
+    vm: VmHandle,
+    client: Option<ClientHandle>,
+}
+
+/// What a workload measured, in registry-neutral form.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadOutcome {
+    /// Per-operation latency-like samples in milliseconds. For the attack
+    /// workload these are the attacker-observed inter-packet deltas — the
+    /// quantity whose distribution leaks (or, under StopWatch, does not).
+    pub samples_ms: Vec<f64>,
+    /// Completed operations (downloads, NFS ops, finished apps, probes).
+    pub completed: u64,
+    /// Workload-specific side measurements (e.g. `sent_segments` /
+    /// `received_segments` for the TCP workloads — Fig. 6b's
+    /// packets-per-op accounting).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl InstalledWorkload {
+    /// The workload's protected VM.
+    pub fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    /// The workload's measuring client, if it has one.
+    pub fn client(&self) -> Option<ClientHandle> {
+        self.client
+    }
+
+    /// Extracts the measurements after a run.
+    pub fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
+        match self.kind {
+            Kind::Idle => WorkloadOutcome::default(),
+            Kind::WebHttp => {
+                let c = sim
+                    .cloud
+                    .client_app::<HttpDownloadClient>(self.client.expect("web-http has a client"))
+                    .expect("client type");
+                let samples: Vec<f64> = c
+                    .results()
+                    .iter()
+                    .map(|r| r.latency.as_millis_f64())
+                    .collect();
+                WorkloadOutcome {
+                    completed: samples.len() as u64,
+                    samples_ms: samples,
+                    extra: vec![
+                        ("sent_segments".to_string(), c.sent_segments as f64),
+                        ("received_segments".to_string(), c.received_segments as f64),
+                    ],
+                }
+            }
+            Kind::WebUdp => {
+                let c = sim
+                    .cloud
+                    .client_app::<UdpDownloadClient>(self.client.expect("web-udp has a client"))
+                    .expect("client type");
+                let samples: Vec<f64> = c
+                    .results()
+                    .iter()
+                    .map(|r| r.latency.as_millis_f64())
+                    .collect();
+                WorkloadOutcome {
+                    completed: samples.len() as u64,
+                    samples_ms: samples,
+                    extra: vec![("sent_datagrams".to_string(), c.sent_datagrams as f64)],
+                }
+            }
+            Kind::Nfs => {
+                let c = sim
+                    .cloud
+                    .client_app::<NhfsstoneClient>(self.client.expect("nfs has a client"))
+                    .expect("client type");
+                WorkloadOutcome {
+                    samples_ms: c.latencies().iter().map(|l| l.as_millis_f64()).collect(),
+                    completed: c.completed(),
+                    extra: vec![
+                        ("sent_segments".to_string(), c.sent_segments as f64),
+                        ("received_segments".to_string(), c.received_segments as f64),
+                    ],
+                }
+            }
+            Kind::Parsec => {
+                let c = sim
+                    .cloud
+                    .client_app::<CompletionWaiter>(self.client.expect("parsec has a client"))
+                    .expect("client type");
+                let samples: Vec<f64> = c.arrivals().iter().map(|t| t.as_millis_f64()).collect();
+                WorkloadOutcome {
+                    completed: samples.len() as u64,
+                    samples_ms: samples,
+                    extra: Vec::new(),
+                }
+            }
+            Kind::Attack => {
+                let g = sim
+                    .cloud
+                    .guest_program::<AttackerGuest>(self.vm, 0)
+                    .expect("attacker program");
+                let samples = g.deltas_ms();
+                WorkloadOutcome {
+                    completed: samples.len() as u64,
+                    samples_ms: samples,
+                    extra: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+/// Every installable workload name (parsec apps enumerated).
+pub fn workload_names() -> Vec<String> {
+    let mut names = vec![
+        "idle".to_string(),
+        "web-http".to_string(),
+        "web-udp".to_string(),
+        "nfs".to_string(),
+        "attack".to_string(),
+    ];
+    names.extend(PARSEC.iter().map(|p| format!("parsec:{}", p.name)));
+    names
+}
+
+/// Wires workload `name` into the builder: the protected (or baseline) VM
+/// on `replica_hosts`, plus its measuring client.
+///
+/// With `stopwatch` false the VM is an unprotected baseline instance on
+/// `replica_hosts[0]` — the comparison arm of every paper figure.
+///
+/// # Errors
+///
+/// Unknown workload names, unknown/bad parameters, and empty
+/// `replica_hosts` are reported as messages.
+pub fn install(
+    name: &str,
+    b: &mut CloudBuilder,
+    stopwatch: bool,
+    replica_hosts: &[usize],
+    params: &WorkloadParams,
+    seed: u64,
+) -> Result<InstalledWorkload, String> {
+    if replica_hosts.is_empty() {
+        return Err("workload needs at least one replica host".to_string());
+    }
+    let add_vm =
+        |b: &mut CloudBuilder, make: &dyn Fn() -> Box<dyn vmm::guest::GuestProgram>| -> VmHandle {
+            if stopwatch {
+                b.add_stopwatch_vm(replica_hosts, make)
+            } else {
+                b.add_baseline_vm(replica_hosts[0], make())
+            }
+        };
+
+    if let Some(app) = name.strip_prefix("parsec:") {
+        params.ensure_known(name, &[])?;
+        let prof = profile(app).ok_or_else(|| {
+            format!(
+                "unknown PARSEC app {app:?} (have: {:?})",
+                PARSEC.iter().map(|p| p.name).collect::<Vec<_>>()
+            )
+        })?;
+        let monitor = b.next_client_endpoint();
+        let vm = add_vm(b, &move || Box::new(ParsecGuest::new(prof, monitor)));
+        let client = b.add_client(Box::new(CompletionWaiter::new(1)));
+        return Ok(InstalledWorkload {
+            kind: Kind::Parsec,
+            vm,
+            client: Some(client),
+        });
+    }
+
+    match name {
+        "idle" => {
+            params.ensure_known(name, &[])?;
+            let vm = add_vm(b, &|| Box::new(IdleGuest));
+            Ok(InstalledWorkload {
+                kind: Kind::Idle,
+                vm,
+                client: None,
+            })
+        }
+        "web-http" => {
+            params.ensure_known(name, &["bytes", "downloads", "file_id"])?;
+            let bytes = params.get("bytes", 100_000u64)?;
+            let downloads = params.get("downloads", 3u32)?;
+            let file_id = params.get("file_id", 1u64)?;
+            let vm = add_vm(b, &|| Box::new(FileServerGuest::new()));
+            let me = b.next_client_endpoint();
+            let client = b.add_client(Box::new(HttpDownloadClient::new(
+                me,
+                vm.endpoint,
+                file_id,
+                bytes,
+                downloads,
+            )));
+            Ok(InstalledWorkload {
+                kind: Kind::WebHttp,
+                vm,
+                client: Some(client),
+            })
+        }
+        "web-udp" => {
+            params.ensure_known(name, &["bytes", "downloads", "file_id"])?;
+            let bytes = params.get("bytes", 100_000u64)?;
+            let downloads = params.get("downloads", 3u32)?;
+            let file_id = params.get("file_id", 1u64)?;
+            let vm = add_vm(b, &|| Box::new(UdpFileGuest::new()));
+            let me = b.next_client_endpoint();
+            let client = b.add_client(Box::new(UdpDownloadClient::new(
+                me,
+                vm.endpoint,
+                file_id,
+                bytes,
+                downloads,
+            )));
+            Ok(InstalledWorkload {
+                kind: Kind::WebUdp,
+                vm,
+                client: Some(client),
+            })
+        }
+        "nfs" => {
+            params.ensure_known(name, &["rate", "ops"])?;
+            let rate = params.get("rate", 100.0f64)?;
+            let ops = params.get("ops", 200u64)?;
+            let vm = add_vm(b, &|| Box::new(NfsServerGuest::new()));
+            let me = b.next_client_endpoint();
+            let client = b.add_client(Box::new(NhfsstoneClient::new(
+                me,
+                vm.endpoint,
+                rate,
+                ops,
+                seed,
+            )));
+            Ok(InstalledWorkload {
+                kind: Kind::Nfs,
+                vm,
+                client: Some(client),
+            })
+        }
+        "attack" => {
+            params.ensure_known(
+                name,
+                &[
+                    "probes",
+                    "gap_ms",
+                    "victim",
+                    "victim_burst",
+                    "victim_period",
+                    "load",
+                    "load_chunk",
+                ],
+            )?;
+            let probes = params.get("probes", 300u32)?;
+            let gap_ms = params.get("gap_ms", 40u64)?;
+            let victim = params.get("victim", false)?;
+            let victim_burst = params.get("victim_burst", 100_000_000u64)?;
+            let victim_period = params.get("victim_period", 50u64)?;
+            let load = params.get("load", false)?;
+            let load_chunk = params.get("load_chunk", 50_000_000u64)?;
+            let vm = add_vm(b, &|| Box::new(AttackerGuest::new()));
+            if victim {
+                // The victim coresides with the attacker's first replica —
+                // the coresidency the attacker is trying to sense (Fig. 4).
+                b.add_baseline_vm(
+                    replica_hosts[0],
+                    Box::new(VictimGuest::new(victim_burst, victim_period)),
+                );
+            }
+            if load {
+                // Sec. IX: a collaborating attacker loads the same host,
+                // trying to marginalize that replica from the median.
+                b.add_baseline_vm(replica_hosts[0], Box::new(LoadGuest::new(load_chunk)));
+            }
+            let me = b.next_client_endpoint();
+            let client = b.add_client(Box::new(ProbeClient::new(
+                me,
+                vm.endpoint,
+                probes,
+                SimDuration::from_millis(gap_ms),
+                seed ^ 0xa77a_c4ed,
+            )));
+            Ok(InstalledWorkload {
+                kind: Kind::Attack,
+                vm,
+                client: Some(client),
+            })
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (have: {:?})",
+            workload_names()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::SimTime;
+    use stopwatch_core::config::CloudConfig;
+
+    fn run(name: &str, stopwatch: bool, params: WorkloadParams) -> WorkloadOutcome {
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        let wl = install(name, &mut b, stopwatch, &[0, 1, 2], &params, 7).expect("install");
+        let mut sim = b.build();
+        sim.run_until_clients_done(SimTime::from_secs(120));
+        let drain = sim.now() + SimDuration::from_millis(500);
+        sim.run_until(drain);
+        wl.collect(&mut sim)
+    }
+
+    #[test]
+    fn names_cover_parsec_apps() {
+        let names = workload_names();
+        assert!(names.iter().any(|n| n == "web-http"));
+        assert!(names.iter().any(|n| n == "parsec:ferret"));
+        assert_eq!(names.len(), 5 + PARSEC.len());
+    }
+
+    #[test]
+    fn unknown_workload_and_params_error() {
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        assert!(install(
+            "no-such",
+            &mut b,
+            true,
+            &[0, 1, 2],
+            &WorkloadParams::new(),
+            1
+        )
+        .is_err());
+        let bad = WorkloadParams::from_pairs([("byts", "10")]);
+        assert!(install("web-http", &mut b, true, &[0, 1, 2], &bad, 1).is_err());
+        let unparsable = WorkloadParams::from_pairs([("bytes", "many")]);
+        assert!(install("web-http", &mut b, true, &[0, 1, 2], &unparsable, 1).is_err());
+        assert!(install(
+            "parsec:quake",
+            &mut b,
+            true,
+            &[0, 1, 2],
+            &WorkloadParams::new(),
+            1
+        )
+        .is_err());
+        assert!(install("idle", &mut b, true, &[], &WorkloadParams::new(), 1).is_err());
+    }
+
+    #[test]
+    fn web_http_roundtrip_collects_samples() {
+        let params = WorkloadParams::from_pairs([("bytes", "20000"), ("downloads", "2")]);
+        let out = run("web-http", true, params);
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.samples_ms.len(), 2);
+        assert!(out.samples_ms.iter().all(|&ms| ms > 0.0));
+    }
+
+    #[test]
+    fn web_udp_baseline_collects_samples() {
+        let params = WorkloadParams::from_pairs([("bytes", "20000"), ("downloads", "1")]);
+        let out = run("web-udp", false, params);
+        assert_eq!(out.completed, 1);
+    }
+
+    #[test]
+    fn nfs_collects_op_latencies() {
+        let params = WorkloadParams::from_pairs([("rate", "200"), ("ops", "40")]);
+        let out = run("nfs", true, params);
+        assert_eq!(out.completed, 40);
+        assert_eq!(out.samples_ms.len(), 40);
+    }
+
+    #[test]
+    fn attack_collects_probe_deltas() {
+        let params = WorkloadParams::from_pairs([("probes", "30"), ("victim", "true")]);
+        let out = run("attack", true, params);
+        assert!(out.completed >= 20, "deltas {}", out.completed);
+    }
+
+    #[test]
+    fn idle_collects_nothing() {
+        let out = run("idle", true, WorkloadParams::new());
+        assert_eq!(out.completed, 0);
+        assert!(out.samples_ms.is_empty());
+    }
+}

@@ -4,7 +4,7 @@
 //! (fast under StopWatch: almost nothing flows inbound).
 
 use netsim::packet::{AppData, Body, EndpointId, Packet};
-use netsim::tcp::{TcpConfig, TcpEndpoint, TcpEvent};
+use netsim::tcp::{TcpConfig, TcpEndpoint, TcpEvent, TcpState};
 use netsim::udp::{UdpClientEvent, UdpFileClient, UdpFileServer};
 use simkit::time::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
@@ -17,7 +17,9 @@ use vmm::guest::{GuestEnv, GuestProgram};
 pub const APP_GET: u32 = 1;
 
 fn file_range(file_id: u64, bytes: u64) -> BlockRange {
-    let blocks = bytes.div_ceil(u64::from(storage::block::BLOCK_BYTES)).max(1) as u32;
+    let blocks = bytes
+        .div_ceil(u64::from(storage::block::BLOCK_BYTES))
+        .max(1) as u32;
     // Files laid out contiguously, 4 MiB apart.
     BlockRange::new(file_id * 1024, blocks.min(4096))
 }
@@ -32,6 +34,7 @@ pub struct FileServerGuest {
     cfg: TcpConfig,
     conns: HashMap<u64, TcpEndpoint>,
     awaiting_disk: VecDeque<(u64, u64)>, // (conn, bytes) FIFO
+    ready_to_send: VecDeque<(u64, u64)>, // disk done, waiting for handshake
     served: u64,
 }
 
@@ -42,6 +45,7 @@ impl FileServerGuest {
             cfg: TcpConfig::default(),
             conns: HashMap::new(),
             awaiting_disk: VecDeque::new(),
+            ready_to_send: VecDeque::new(),
             served: 0,
         }
     }
@@ -56,6 +60,27 @@ impl FileServerGuest {
             env.send(pkt.dst, pkt.body);
         }
         out.events
+    }
+
+    /// Sends every disk-completed response whose connection has finished its
+    /// handshake. A request can overtake the handshake ACK on the fabric, so
+    /// a response may become ready while the connection is still in
+    /// `SynReceived`; it is held here until the ACK lands.
+    fn flush_ready(&mut self, env: &mut GuestEnv) {
+        let mut held = VecDeque::new();
+        while let Some((conn, bytes)) = self.ready_to_send.pop_front() {
+            match self.conns.get_mut(&conn) {
+                Some(ep) if ep.state() == TcpState::Established => {
+                    self.served += 1;
+                    for pkt in ep.send_stream(bytes, None, true) {
+                        env.send(pkt.dst, pkt.body);
+                    }
+                }
+                Some(_) => held.push_back((conn, bytes)),
+                None => {}
+            }
+        }
+        self.ready_to_send = held;
     }
 }
 
@@ -85,6 +110,7 @@ impl GuestProgram for FileServerGuest {
                 }
             }
         }
+        self.flush_ready(env);
     }
 
     fn on_disk_done(&mut self, op: DiskOp, _range: BlockRange, _data: &[u64], env: &mut GuestEnv) {
@@ -94,14 +120,8 @@ impl GuestProgram for FileServerGuest {
         let Some((conn, bytes)) = self.awaiting_disk.pop_front() else {
             return;
         };
-        let now = vnow(env);
-        if let Some(ep) = self.conns.get_mut(&conn) {
-            self.served += 1;
-            let _ = now;
-            for pkt in ep.send_stream(bytes, None, true) {
-                env.send(pkt.dst, pkt.body);
-            }
-        }
+        self.ready_to_send.push_back((conn, bytes));
+        self.flush_ready(env);
     }
 
     fn on_timer(&mut self, env: &mut GuestEnv) {
@@ -114,6 +134,7 @@ impl GuestProgram for FileServerGuest {
         for pkt in out {
             env.send(pkt.dst, pkt.body);
         }
+        self.flush_ready(env);
     }
 
     fn wants_timer(&self) -> bool {

@@ -16,13 +16,25 @@ fn run(stopwatch: bool, udp: bool, bytes: u64) -> f64 {
     };
     let me = EndpointId(2000);
     if udp {
-        let client = builder.add_client(Box::new(UdpDownloadClient::new(me, vm.endpoint, 1, bytes, 1)));
+        let client = builder.add_client(Box::new(UdpDownloadClient::new(
+            me,
+            vm.endpoint,
+            1,
+            bytes,
+            1,
+        )));
         let mut sim = builder.build();
         sim.run_until_clients_done(SimTime::from_secs(300));
         let c = sim.cloud.client_app::<UdpDownloadClient>(client).unwrap();
         c.results()[0].latency.as_millis_f64()
     } else {
-        let client = builder.add_client(Box::new(HttpDownloadClient::new(me, vm.endpoint, 1, bytes, 1)));
+        let client = builder.add_client(Box::new(HttpDownloadClient::new(
+            me,
+            vm.endpoint,
+            1,
+            bytes,
+            1,
+        )));
         let mut sim = builder.build();
         sim.run_until_clients_done(SimTime::from_secs(300));
         let c = sim.cloud.client_app::<HttpDownloadClient>(client).unwrap();
@@ -41,9 +53,15 @@ fn main() {
     let udp_base = run(false, true, bytes);
     let udp_sw = run(true, true, bytes);
     println!("HTTP  baseline : {http_base:9.2} ms");
-    println!("HTTP  StopWatch: {http_sw:9.2} ms   ({:.2}x)", http_sw / http_base);
+    println!(
+        "HTTP  StopWatch: {http_sw:9.2} ms   ({:.2}x)",
+        http_sw / http_base
+    );
     println!("UDP   baseline : {udp_base:9.2} ms");
-    println!("UDP   StopWatch: {udp_sw:9.2} ms   ({:.2}x)", udp_sw / udp_base);
+    println!(
+        "UDP   StopWatch: {udp_sw:9.2} ms   ({:.2}x)",
+        udp_sw / udp_base
+    );
     println!(
         "\nthe paper's point: NAK-based transfer keeps inbound packets out of the\n\
          median machinery, so the StopWatch penalty almost disappears."

@@ -32,12 +32,18 @@ fn run(stopwatch: bool, rate: f64, ops: u64) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let rate: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let rate: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100.0);
     let ops = 200;
     println!("nhfsstone: {ops} ops at {rate} ops/s, paper op mix, 5 client processes\n");
     let (base, _, _) = run(false, rate, ops);
     let (sw, c2s, s2c) = run(true, rate, ops);
     println!("baseline  mean latency/op: {base:7.2} ms");
-    println!("stopwatch mean latency/op: {sw:7.2} ms  ({:.2}x)", sw / base);
+    println!(
+        "stopwatch mean latency/op: {sw:7.2} ms  ({:.2}x)",
+        sw / base
+    );
     println!("packets per op (stopwatch run): {c2s:.2} client->server, {s2c:.2} server->client");
 }

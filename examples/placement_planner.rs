@@ -7,21 +7,45 @@
 use stopwatch_repro::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(21);
-    let c: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let c: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
 
     println!("cloud of {n} machines, capacity {c} guests each");
-    println!("theorem 1 bound (ignoring capacity): {} VMs", max_triangle_packing(n));
-    println!("isolation baseline:                  {} VMs\n", isolation_capacity(n));
+    println!(
+        "theorem 1 bound (ignoring capacity): {} VMs",
+        max_triangle_packing(n)
+    );
+    println!(
+        "isolation baseline:                  {} VMs\n",
+        isolation_capacity(n)
+    );
 
-    let strategy = if n % 6 == 3 && n >= 9 { Strategy::Bose } else { Strategy::Greedy };
+    let strategy = if n % 6 == 3 && n >= 9 {
+        Strategy::Bose
+    } else {
+        Strategy::Greedy
+    };
     let mut planner = PlacementPlanner::new(n, c, strategy).expect("valid configuration");
     let placed = planner.place_all();
-    planner.validate().expect("placement satisfies StopWatch constraints");
+    planner
+        .validate()
+        .expect("placement satisfies StopWatch constraints");
 
-    println!("strategy {strategy:?} placed {placed} VMs ({} replicas)", placed * 3);
+    println!(
+        "strategy {strategy:?} placed {placed} VMs ({} replicas)",
+        placed * 3
+    );
     println!("slot utilization: {:.1}%", planner.utilization() * 100.0);
-    println!("speedup over isolation: {:.2}x\n", planner.speedup_vs_isolation());
+    println!(
+        "speedup over isolation: {:.2}x\n",
+        planner.speedup_vs_isolation()
+    );
     println!("first placements:");
     for (i, tri) in planner.placed().iter().take(8).enumerate() {
         println!("  VM {i}: {tri}");

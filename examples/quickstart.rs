@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use stopwatch_repro::prelude::*;
 use std::any::Any;
+use stopwatch_repro::prelude::*;
 
 /// A guest that echoes every Raw packet back to its sender.
 struct EchoGuest;

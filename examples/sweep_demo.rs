@@ -1,0 +1,37 @@
+//! Sweep harness demo: measure web-retrieval latency and leakage across a
+//! Δn grid with both defense arms, on every core, and print the JSON
+//! aggregate.
+//!
+//! Run with: `cargo run --release --example sweep_demo`
+//!
+//! The same sweep is available from the command line as
+//! `swbench sweep --workload web-http --axis cfg.delta_n_ms=2,6,10 \
+//!  --axis stopwatch=false,true --seeds 4 --param bytes=50000`.
+
+use stopwatch_repro::harness::prelude::*;
+use stopwatch_repro::simkit::time::SimDuration;
+
+fn main() {
+    let mut spec = SweepSpec::new("sweep-demo", "web-http")
+        .axis("cfg.delta_n_ms", &[2u64, 6, 10])
+        .axis("stopwatch", &["false", "true"])
+        .seed_shards(42, 4);
+    spec.base_params = vec![
+        ("bytes".to_string(), "50000".to_string()),
+        ("downloads".to_string(), "2".to_string()),
+    ];
+    spec.base_overrides = vec![("broadcast_band".to_string(), "off".to_string())];
+    spec.duration = SimDuration::from_secs(120);
+
+    let scenarios = spec.scenarios().expect("spec expands");
+    println!(
+        "running {} scenarios ({} cells x {} seeds) ...",
+        scenarios.len(),
+        scenarios.len() / spec.seeds.len(),
+        spec.seeds.len()
+    );
+    let outcomes = run_scenarios(&scenarios, &RunnerOptions::default());
+    let report = SweepReport::from_outcomes(&spec.name, &outcomes, None);
+    print!("{}", report.to_table());
+    println!("{}", report.to_json());
+}

@@ -11,8 +11,9 @@
 //! The original is a Xen 4.0.2 modification; this workspace rebuilds the
 //! entire platform as a deterministic discrete-event simulation and
 //! implements StopWatch inside it, at the same architectural joints. See
-//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
-//! paper-vs-measured results of every figure.
+//! `DESIGN.md` for the system inventory and the sweep architecture;
+//! regenerate the paper's figures with the `experiments` binary of the
+//! `bench` crate (CSVs land in `results/`).
 //!
 //! ## Crate map
 //!
@@ -25,7 +26,8 @@
 //! | [`stopwatch_core`] | the defense: replica coordination, median agreement |
 //! | [`placement`] | Theorems 1–2: triangle packings, Bose construction |
 //! | [`timestats`] | order statistics, χ² detection, KS distance, Fig. 8 |
-//! | [`workloads`] | web/NFS/PARSEC/attacker guests and clients |
+//! | [`workloads`] | web/NFS/PARSEC/attacker guests, clients, registry |
+//! | [`harness`] | parallel scenario sweeps and the `swbench` driver |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@
 //! assert_eq!(sim.cloud.stats().get("egress_divergences"), 0);
 //! ```
 
+pub use harness;
 pub use netsim;
 pub use placement;
 pub use simkit;

@@ -78,7 +78,11 @@ impl PingClient {
     }
 }
 
-fn build_ping_cloud(seed: u64, pings: u32, salt_per_replica: bool) -> (CloudSim, VmHandle, ClientHandle) {
+fn build_ping_cloud(
+    seed: u64,
+    pings: u32,
+    salt_per_replica: bool,
+) -> (CloudSim, VmHandle, ClientHandle) {
     let mut cfg = CloudConfig::fast_test();
     cfg.seed = seed;
     let mut b = CloudBuilder::new(cfg, 3);
@@ -182,7 +186,11 @@ fn five_replica_configuration_works() {
     let mut sim = b.build();
     sim.run_until_clients_done(SimTime::from_secs(10));
     assert_eq!(
-        sim.cloud.client_app::<PingClient>(client).unwrap().replies.len(),
+        sim.cloud
+            .client_app::<PingClient>(client)
+            .unwrap()
+            .replies
+            .len(),
         3
     );
     // All five replicas delivered identically.
@@ -218,8 +226,22 @@ fn multiple_vms_share_the_cloud() {
     }));
     let mut sim = b.build();
     sim.run_until_clients_done(SimTime::from_secs(10));
-    assert_eq!(sim.cloud.client_app::<PingClient>(ca).unwrap().replies.len(), 4);
-    assert_eq!(sim.cloud.client_app::<PingClient>(cb).unwrap().replies.len(), 4);
+    assert_eq!(
+        sim.cloud
+            .client_app::<PingClient>(ca)
+            .unwrap()
+            .replies
+            .len(),
+        4
+    );
+    assert_eq!(
+        sim.cloud
+            .client_app::<PingClient>(cb)
+            .unwrap()
+            .replies
+            .len(),
+        4
+    );
     assert_eq!(sim.cloud.stats().get("egress_divergences"), 0);
 }
 
@@ -243,6 +265,14 @@ fn proposal_loss_recovered_by_pgm() {
     }));
     let mut sim = b.build();
     sim.run_until_clients_done(SimTime::from_secs(30));
-    let replies = sim.cloud.client_app::<PingClient>(client).unwrap().replies.len();
-    assert!(replies >= 8, "most pings must survive 5% proposal loss, got {replies}");
+    let replies = sim
+        .cloud
+        .client_app::<PingClient>(client)
+        .unwrap()
+        .replies
+        .len();
+    assert!(
+        replies >= 8,
+        "most pings must survive 5% proposal loss, got {replies}"
+    );
 }

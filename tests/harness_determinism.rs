@@ -1,0 +1,56 @@
+//! The harness determinism contract: a sweep's JSON aggregate is
+//! byte-identical regardless of runner thread count, because every
+//! scenario is an isolated deterministic simulation and aggregation is a
+//! pure fold in grid order.
+
+use harness::prelude::*;
+use simkit::time::SimDuration;
+
+fn demo_spec() -> SweepSpec {
+    let mut spec = SweepSpec::new("determinism", "web-http")
+        .axis("cfg.delta_n_ms", &[2u64, 10])
+        .axis("stopwatch", &["false", "true"])
+        .seed_shards(7, 2);
+    spec.base_params = vec![
+        ("bytes".to_string(), "20000".to_string()),
+        ("downloads".to_string(), "1".to_string()),
+    ];
+    spec.base_overrides = vec![
+        ("broadcast_band".to_string(), "off".to_string()),
+        ("disk".to_string(), "ssd".to_string()),
+    ];
+    spec.duration = SimDuration::from_secs(60);
+    spec
+}
+
+fn sweep_json(threads: usize) -> String {
+    let spec = demo_spec();
+    let scenarios = spec.scenarios().expect("spec expands");
+    assert_eq!(scenarios.len(), 8, "2 x 2 grid x 2 seeds");
+    let outcomes = run_scenarios(
+        &scenarios,
+        &RunnerOptions {
+            threads,
+            progress: false,
+        },
+    );
+    SweepReport::from_outcomes(&spec.name, &outcomes, None).to_json()
+}
+
+#[test]
+fn sweep_json_is_byte_identical_at_1_2_and_8_threads() {
+    let one = sweep_json(1);
+    let two = sweep_json(2);
+    let eight = sweep_json(8);
+    assert_eq!(one, two, "1-thread vs 2-thread JSON");
+    assert_eq!(two, eight, "2-thread vs 8-thread JSON");
+    // And the run was not vacuous: all cells populated, no failures.
+    assert!(one.contains("\"scenarios\": 8"));
+    assert!(one.contains("\"failures\": []"));
+    assert!(one.contains("cfg.delta_n_ms=10,stopwatch=true"));
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    assert_eq!(sweep_json(4), sweep_json(4), "same spec, same bytes");
+}

@@ -105,11 +105,7 @@ fn coresidency_constraint_limits_shared_hosts() {
     let placed = planner.placed();
     for (i, a) in placed.iter().enumerate() {
         for b in placed.iter().skip(i + 1) {
-            let shared = a
-                .nodes()
-                .iter()
-                .filter(|n| b.nodes().contains(n))
-                .count();
+            let shared = a.nodes().iter().filter(|n| b.nodes().contains(n)).count();
             assert!(shared <= 1, "{a} and {b} share {shared} machines");
         }
     }

@@ -195,9 +195,26 @@ fn attacker_cannot_read_real_time_under_stopwatch() {
         clocks: PlatformClocks::default(),
     };
     let clock = VirtualClock::new(VirtNanos::ZERO, 1.0, None);
-    let fast = SpeedProfile::new(1.2e9, 0.0, SimDuration::from_millis(10), SimRng::new(1).stream("f"));
-    let slow = SpeedProfile::new(0.8e9, 0.0, SimDuration::from_millis(10), SimRng::new(1).stream("s"));
-    let mk = || GuestSlot::new(Box::new(IdleGuest), cfg.clone(), clock.clone(), DiskImage::new(16));
+    let fast = SpeedProfile::new(
+        1.2e9,
+        0.0,
+        SimDuration::from_millis(10),
+        SimRng::new(1).stream("f"),
+    );
+    let slow = SpeedProfile::new(
+        0.8e9,
+        0.0,
+        SimDuration::from_millis(10),
+        SimRng::new(1).stream("s"),
+    );
+    let mk = || {
+        GuestSlot::new(
+            Box::new(IdleGuest),
+            cfg.clone(),
+            clock.clone(),
+            DiskImage::new(16),
+        )
+    };
     let a = mk();
     let b = mk();
     // Same branch count reached at very different real times...
