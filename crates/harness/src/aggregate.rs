@@ -21,6 +21,10 @@ use timestats::detect::Detector;
 use timestats::dist::Empirical;
 use timestats::ks::ks_distance;
 
+/// Version of the JSON report layout. Bumped whenever the report shape
+/// changes; consumers should assert it before parsing.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
 /// Everything measured about one grid cell, merged over its seed shards.
 #[derive(Debug, Clone)]
 pub struct CellAggregate {
@@ -28,6 +32,20 @@ pub struct CellAggregate {
     pub cell: String,
     /// Cell coordinates in axis order.
     pub params: Vec<(String, String)>,
+    /// The workload that ran in this cell.
+    pub workload: String,
+    /// The defense arm of this cell.
+    pub stopwatch: bool,
+    /// The seeds of the merged shards, in run order.
+    pub seeds: Vec<u64>,
+    /// The cell's fully-resolved [`CloudConfig`] knobs (`seed` omitted —
+    /// see `seeds`). With `resolved_params` this makes every cell
+    /// reproducible from the report alone.
+    ///
+    /// [`CloudConfig`]: stopwatch_core::config::CloudConfig
+    pub resolved_config: Vec<(String, String)>,
+    /// The cell's fully-resolved workload parameters.
+    pub resolved_params: Vec<(String, String)>,
     /// Seed-shard runs merged into this cell.
     pub runs: u64,
     /// Runs whose clients did not finish inside the budget.
@@ -114,6 +132,11 @@ impl SweepReport {
                     cells.push(CellAggregate {
                         cell: result.cell.clone(),
                         params: result.cell_params.clone(),
+                        workload: result.workload.clone(),
+                        stopwatch: result.stopwatch,
+                        seeds: Vec::new(),
+                        resolved_config: result.resolved_config.clone(),
+                        resolved_params: result.resolved_params.clone(),
                         runs: 0,
                         timeouts: 0,
                         completed: 0,
@@ -127,6 +150,7 @@ impl SweepReport {
                 }
             };
             cell.runs += 1;
+            cell.seeds.push(result.seed);
             if !result.clients_done {
                 cell.timeouts += 1;
             }
@@ -194,10 +218,33 @@ impl SweepReport {
                 .extra
                 .iter()
                 .fold(Json::obj(), |acc, (k, v)| acc.with(k, Json::F64(*v)));
+            // The cell's fully-resolved construction inputs: workload,
+            // arm, seeds, parameters, and every config knob — enough to
+            // re-run the cell from the report alone.
+            let resolved = Json::obj()
+                .with("workload", Json::str(&c.workload))
+                .with("stopwatch", Json::Bool(c.stopwatch))
+                .with(
+                    "seeds",
+                    Json::Arr(c.seeds.iter().map(|&s| Json::U64(s)).collect()),
+                )
+                .with(
+                    "params",
+                    c.resolved_params
+                        .iter()
+                        .fold(Json::obj(), |acc, (k, v)| acc.with(k, Json::str(v))),
+                )
+                .with(
+                    "config",
+                    c.resolved_config
+                        .iter()
+                        .fold(Json::obj(), |acc, (k, v)| acc.with(k, Json::str(v))),
+                );
             cells.push(
                 Json::obj()
                     .with("cell", Json::str(&c.cell))
                     .with("params", params)
+                    .with("resolved", resolved)
                     .with("runs", Json::U64(c.runs))
                     .with("timeouts", Json::U64(c.timeouts))
                     .with("completed", Json::U64(c.completed))
@@ -237,6 +284,7 @@ impl SweepReport {
             .collect();
         Json::obj()
             .with("sweep", Json::str(&self.name))
+            .with("schema_version", Json::U64(REPORT_SCHEMA_VERSION))
             .with("scenarios", Json::U64(self.scenarios))
             .with("cells", Json::Arr(cells))
             .with("leakage", Json::Arr(leakage))
@@ -327,6 +375,10 @@ mod tests {
                 label: format!("{cell}#{seed}"),
                 cell: cell.to_string(),
                 cell_params: vec![("k".to_string(), cell.to_string())],
+                workload: "test-workload".to_string(),
+                stopwatch: true,
+                resolved_config: vec![("delta_n_ms".to_string(), "10".to_string())],
+                resolved_params: vec![("bytes".to_string(), "100".to_string())],
                 seed,
                 completed: samples.len() as u64,
                 samples_ms: samples,
@@ -351,6 +403,7 @@ mod tests {
         assert_eq!(r.cells.len(), 2);
         assert_eq!(r.cells[0].cell, "a");
         assert_eq!(r.cells[0].runs, 2);
+        assert_eq!(r.cells[0].seeds, vec![1, 2]);
         assert_eq!(r.cells[0].latency_ms.count, 3);
         assert_eq!(r.cells[0].latency_ms.p50, 2.0);
         assert_eq!(r.cells[0].counters.get("net_irq"), 6);
@@ -408,9 +461,15 @@ mod tests {
         assert_eq!(j1, j2);
         for needle in [
             "\"sweep\": \"t\"",
+            &format!("\"schema_version\": {REPORT_SCHEMA_VERSION}"),
             "\"p50\": 2.0",
             "\"p95\": 3.0",
             "\"counters\"",
+            "\"resolved\"",
+            "\"workload\": \"test-workload\"",
+            "\"stopwatch\": true",
+            "\"delta_n_ms\": \"10\"",
+            "\"bytes\": \"100\"",
         ] {
             assert!(j1.contains(needle), "missing {needle} in {j1}");
         }

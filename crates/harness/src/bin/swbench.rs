@@ -25,12 +25,19 @@
 //!
 //! swbench workloads
 //!     Print the workload registry keys.
+//!
+//! swbench describe [workload]
+//!     Print the full typed knob/parameter catalogue: every CloudConfig
+//!     knob (key, type, default, doc) and every registered workload with
+//!     its typed parameters — or just one workload's schema.
 //! ```
 
 use harness::prelude::*;
 use simkit::time::SimDuration;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use stopwatch_core::config::CloudConfig;
+use workloads::registry::{self, Workload};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,11 +49,15 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("workloads") => {
-            for name in workloads::registry::workload_names() {
+            for name in registry::workload_names() {
                 println!("{name}");
             }
             ExitCode::SUCCESS
         }
+        Some("describe") => match describe(args.get(1).map(String::as_str)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
         Some("run") => match parse_run(&args[1..]).and_then(run_spec) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
@@ -57,10 +68,58 @@ fn main() -> ExitCode {
         },
         _ => {
             eprintln!(
-                "usage: swbench list | workloads | run <preset> [opts] | sweep --workload NAME [opts]"
+                "usage: swbench list | workloads | describe [workload] | \
+                 run <preset> [opts] | sweep --workload NAME [opts]"
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Prints the typed knob/parameter catalogue (everything, or one
+/// workload's schema).
+fn describe(which: Option<&str>) -> Result<(), String> {
+    match which {
+        Some(name) => {
+            let w = registry::require(name)?;
+            print_workload(w.as_ref());
+        }
+        None => {
+            println!("CloudConfig knobs (sweep axis `cfg.<key>`, `--set KEY=VALUE`):");
+            for knob in CloudConfig::knobs() {
+                println!(
+                    "  {:<16} {:<14} {:>12}  {}",
+                    knob.key,
+                    knob.ty.to_string(),
+                    knob.default_value(),
+                    knob.doc
+                );
+            }
+            println!();
+            println!(
+                "Workloads (`--workload NAME`, `workload` axis; parameters are axes/--param):"
+            );
+            for w in registry::workloads() {
+                print_workload(w.as_ref());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_workload(w: &dyn Workload) {
+    println!("{:<18} {}", w.name(), w.about());
+    if w.params().is_empty() {
+        println!("  (no parameters)");
+    }
+    for p in w.params() {
+        println!(
+            "  {:<16} {:<14} {:>12}  {}",
+            p.key,
+            p.ty.to_string(),
+            p.default,
+            p.doc
+        );
     }
 }
 
@@ -84,6 +143,8 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, Stri
         .ok_or_else(|| format!("{flag} needs a value"))
 }
 
+/// Splits `KEY=VALUE` on the **first** `=` only, so values containing
+/// `=` survive intact.
 fn parse_kv(raw: &str, flag: &str) -> Result<(String, String), String> {
     raw.split_once('=')
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -171,6 +232,9 @@ fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
             "--workload" => workload = Some(take_value(args, &mut i, "--workload")?),
             "--axis" => {
                 let (key, values) = parse_kv(&take_value(args, &mut i, "--axis")?, "--axis")?;
+                if axes.iter().any(|a| a.key == key) {
+                    return Err(format!("duplicate --axis key {key:?}"));
+                }
                 axes.push(Axis {
                     key,
                     values: values.split(',').map(str::to_string).collect(),
@@ -254,5 +318,66 @@ fn run_spec(inv: Invocation) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} scenario(s) failed", report.failures.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn kv_splits_on_first_equals_only() {
+        let (k, v) = parse_kv("pacing=1:2", "--set").unwrap();
+        assert_eq!((k.as_str(), v.as_str()), ("pacing", "1:2"));
+        let (k, v) = parse_kv("note=a=b=c", "--param").unwrap();
+        assert_eq!((k.as_str(), v.as_str()), ("note", "a=b=c"));
+        assert!(parse_kv("no-equals", "--axis").is_err());
+    }
+
+    #[test]
+    fn duplicate_axis_keys_are_rejected_at_parse_time() {
+        let err = parse_sweep(&argv(&[
+            "--workload",
+            "web-http",
+            "--axis",
+            "bytes=1,2",
+            "--axis",
+            "bytes=3",
+        ]))
+        .err()
+        .expect("duplicate axis");
+        assert!(err.contains("duplicate --axis"), "{err}");
+        assert!(err.contains("\"bytes\""), "{err}");
+    }
+
+    #[test]
+    fn axis_values_containing_equals_survive() {
+        let inv = parse_sweep(&argv(&[
+            "--workload",
+            "web-http",
+            "--axis",
+            "bytes=1000,2000",
+            "--param",
+            "downloads=2",
+        ]))
+        .unwrap();
+        assert_eq!(inv.spec.axes.len(), 1);
+        assert_eq!(inv.spec.axes[0].values, vec!["1000", "2000"]);
+        assert_eq!(
+            inv.spec.base_params,
+            vec![("downloads".to_string(), "2".to_string())]
+        );
+    }
+
+    #[test]
+    fn describe_covers_known_names_and_rejects_typos() {
+        assert!(describe(None).is_ok());
+        assert!(describe(Some("web-http")).is_ok());
+        let err = describe(Some("web-htp")).err().expect("unknown workload");
+        assert!(err.contains("did you mean \"web-http\""), "{err}");
     }
 }

@@ -9,7 +9,9 @@
 //!   isolated, deterministic cloud run (workload, placement, config
 //!   overrides, seed, duration);
 //! * [`sweep`] — [`SweepSpec`](sweep::SweepSpec): cartesian axis grids ×
-//!   seed shards expanding to a flat scenario list;
+//!   seed shards expanding to a flat scenario list, validated against the
+//!   typed knob/parameter schemas (`CloudConfig::knobs`,
+//!   `Workload::params`) before anything runs;
 //! * [`runner`] — a work-stealing std-thread pool whose output is
 //!   independent of thread count;
 //! * [`aggregate`] — per-cell percentile summaries, KS/χ² leakage
@@ -50,7 +52,7 @@ pub mod sweep;
 
 /// One-line import for the common types.
 pub mod prelude {
-    pub use crate::aggregate::{CellAggregate, LeakageVerdict, SweepReport};
+    pub use crate::aggregate::{CellAggregate, LeakageVerdict, SweepReport, REPORT_SCHEMA_VERSION};
     pub use crate::json::Json;
     pub use crate::presets::{preset, PRESETS};
     pub use crate::runner::{run_scenarios, RunOutcome, RunnerOptions};

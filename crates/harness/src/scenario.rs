@@ -75,10 +75,12 @@ impl Scenario {
 
     /// Resolves the effective config and placement.
     fn resolve(&self) -> Result<(CloudConfig, Vec<usize>, usize), String> {
-        let mut cfg = CloudConfig::default();
         // The shard seed first, then overrides — so an explicit `seed`
         // override (e.g. a `cfg.seed` sweep axis) wins over sharding.
-        cfg.seed = self.seed;
+        let mut cfg = CloudConfig {
+            seed: self.seed,
+            ..CloudConfig::default()
+        };
         cfg.apply_all(self.overrides.iter().map(|(k, v)| (k.as_str(), v.as_str())))?;
         let replica_hosts: Vec<usize> = if self.replica_hosts.is_empty() {
             (0..cfg.replicas).collect()
@@ -90,27 +92,63 @@ impl Scenario {
         Ok((cfg, replica_hosts, hosts))
     }
 
+    /// The scenario's effective parameter set.
+    fn params(&self) -> WorkloadParams {
+        WorkloadParams::from_pairs(
+            self.workload_params
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str())),
+        )
+    }
+
+    /// The fully-resolved configuration this scenario runs under: every
+    /// [`CloudConfig`] knob with its effective value, in schema order.
+    /// The `seed` knob is omitted — it is the per-shard
+    /// [`Scenario::seed`], reported separately so cell aggregates (which
+    /// merge shards) stay well-defined.
+    ///
+    /// # Errors
+    ///
+    /// Reports bad overrides.
+    pub fn resolved_config(&self) -> Result<Vec<(String, String)>, String> {
+        let (cfg, _, _) = self.resolve()?;
+        Ok(cfg
+            .resolved()
+            .into_iter()
+            .filter(|(key, _)| key != "seed")
+            .collect())
+    }
+
+    /// The fully-resolved workload parameters: every parameter the
+    /// workload declares, with its explicit or default value, in schema
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Reports unknown workloads and unknown/ill-typed parameters.
+    pub fn resolved_params(&self) -> Result<Vec<(String, String)>, String> {
+        let workload = registry::require(&self.workload)?;
+        let params = self.params();
+        params.validate(&self.workload, workload.params())?;
+        Ok(params.resolved(workload.params()))
+    }
+
     /// Builds the cloud without running it (the hook integration tests and
     /// custom drivers use).
     ///
     /// # Errors
     ///
     /// Reports bad overrides, unknown workloads, and bad placements.
-    pub fn build(&self) -> Result<(CloudSim, InstalledWorkload), String> {
+    pub fn build(&self) -> Result<(CloudSim, Box<dyn InstalledWorkload>), String> {
         let (cfg, replica_hosts, hosts) = self.resolve()?;
         let seed = cfg.seed; // post-override: workload streams follow the cloud
         let mut b = CloudBuilder::new(cfg, hosts);
-        let params = WorkloadParams::from_pairs(
-            self.workload_params
-                .iter()
-                .map(|(k, v)| (k.as_str(), v.as_str())),
-        );
         let wl = registry::install(
             &self.workload,
             &mut b,
             self.stopwatch,
             &replica_hosts,
-            &params,
+            &self.params(),
             seed,
         )?;
         Ok((b.build(), wl))
@@ -123,6 +161,8 @@ impl Scenario {
     /// Reports build failures; a run that merely times out is **not** an
     /// error (it returns with `clients_done == false`).
     pub fn run(&self) -> Result<ScenarioResult, String> {
+        let resolved_config = self.resolved_config()?;
+        let resolved_params = self.resolved_params()?;
         let (mut sim, wl) = self.build()?;
         let deadline = SimTime::ZERO + self.duration;
         let finished_at = sim.run_until_clients_done(deadline);
@@ -145,6 +185,10 @@ impl Scenario {
             label: self.label.clone(),
             cell: self.cell.clone(),
             cell_params: self.cell_params.clone(),
+            workload: self.workload.clone(),
+            stopwatch: self.stopwatch,
+            resolved_config,
+            resolved_params,
             seed: self.seed,
             samples_ms: outcome.samples_ms,
             completed: outcome.completed,
@@ -167,6 +211,18 @@ pub struct ScenarioResult {
     pub cell: String,
     /// Cell coordinates.
     pub cell_params: Vec<(String, String)>,
+    /// The workload that ran.
+    pub workload: String,
+    /// The defense arm it ran under.
+    pub stopwatch: bool,
+    /// Every [`CloudConfig`] knob with its effective value (schema order,
+    /// `seed` omitted — see [`ScenarioResult::seed`]). With
+    /// `resolved_params` this makes the run reproducible from its report
+    /// alone.
+    pub resolved_config: Vec<(String, String)>,
+    /// Every declared workload parameter with its effective value
+    /// (schema order).
+    pub resolved_params: Vec<(String, String)>,
     /// The seed that produced this run.
     pub seed: u64,
     /// The workload's latency-like samples, ms.
@@ -248,6 +304,31 @@ mod tests {
         assert!(s.run().is_err());
         let s2 = Scenario::new("no-such-workload", 1);
         assert!(s2.run().is_err());
+    }
+
+    #[test]
+    fn results_embed_resolved_config_and_params() {
+        let r = quick_scenario(3).run().unwrap();
+        assert_eq!(r.workload, "web-http");
+        assert!(r.stopwatch);
+        let cfg: std::collections::BTreeMap<&str, &str> = r
+            .resolved_config
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        assert_eq!(cfg.get("disk"), Some(&"ssd"), "override recorded");
+        assert_eq!(cfg.get("broadcast_band"), Some(&"off"));
+        assert_eq!(cfg.get("delta_n_ms"), Some(&"10"), "default recorded");
+        assert!(!cfg.contains_key("seed"), "seed reported per shard instead");
+        assert_eq!(
+            r.resolved_params,
+            vec![
+                ("bytes".to_string(), "20000".to_string()),
+                ("downloads".to_string(), "2".to_string()),
+                ("file_id".to_string(), "1".to_string()),
+            ],
+            "explicit values overlaid on schema defaults, schema order"
+        );
     }
 
     #[test]

@@ -5,10 +5,15 @@
 //! Axis keys are routed by namespace:
 //!
 //! * `cfg.<key>` — a [`CloudConfig`](stopwatch_core::config::CloudConfig)
-//!   override (see `CloudConfig::apply` for the key table);
+//!   override (see [`CloudConfig::knobs`] for the schema);
 //! * `stopwatch` — the defense arm, `true`/`false`;
 //! * `workload` — the workload registry key itself;
 //! * anything else — a workload parameter (`bytes`, `rate`, `victim`, ...).
+//!
+//! Every key and value is validated against the merged knob/parameter
+//! schema by [`SweepSpec::validate`] **before** any scenario runs: a typo
+//! fails with an error naming the layer, the offending key, and the
+//! nearest valid key.
 //!
 //! Expansion order is row-major (first axis slowest), seeds innermost, so
 //! the cell order of every report is the order axes were declared in —
@@ -16,6 +21,9 @@
 
 use crate::scenario::Scenario;
 use simkit::time::SimDuration;
+use std::sync::Arc;
+use stopwatch_core::config::CloudConfig;
+use workloads::registry::{self, Workload};
 
 /// One swept dimension.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,13 +111,82 @@ impl SweepSpec {
             * self.seeds.len()
     }
 
+    /// Validates the whole spec against the merged knob/parameter schema
+    /// without expanding it: every workload in play must be registered,
+    /// every `cfg.*` key must be a [`CloudConfig`] knob whose values
+    /// parse, every `stopwatch` value must be a boolean, and every other
+    /// key must be a declared parameter of **every** workload in play
+    /// (with values of the declared type). [`SweepSpec::scenarios`] calls
+    /// this, so a typo anywhere in a spec fails before anything runs.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the sweep, the layer, the offending key, and —
+    /// for plausible typos — the nearest valid key.
+    pub fn validate(&self) -> Result<(), String> {
+        let ctx = |what: &str| format!("sweep {:?} {what}", self.name);
+        for (i, axis) in self.axes.iter().enumerate() {
+            if self.axes[..i].iter().any(|a| a.key == axis.key) {
+                return Err(format!("{}: duplicate axis {:?}", ctx("axes"), axis.key));
+            }
+        }
+        // Which workloads can appear in a cell (a `workload` axis swaps
+        // the base one out per cell).
+        let workload_values: Vec<String> = match self.axes.iter().find(|a| a.key == "workload") {
+            Some(axis) => axis.values.clone(),
+            None => vec![self.workload.clone()],
+        };
+        let mut in_play: Vec<Arc<dyn Workload>> = Vec::new();
+        for name in &workload_values {
+            let w = registry::require(name).map_err(|e| format!("{}: {e}", ctx("workload")))?;
+            in_play.push(w);
+        }
+        let mut scratch = CloudConfig::default();
+        for (key, value) in &self.base_overrides {
+            scratch
+                .apply(key, value)
+                .map_err(|e| format!("{}: {e}", ctx("base override")))?;
+        }
+        for (key, value) in &self.base_params {
+            for w in &in_play {
+                check_param(&ctx("base parameter"), w.as_ref(), key, value)?;
+            }
+        }
+        for axis in &self.axes {
+            let what = ctx(&format!("axis {:?}", axis.key));
+            if axis.key == "workload" {
+                continue; // validated above
+            } else if axis.key == "stopwatch" {
+                for value in &axis.values {
+                    value
+                        .parse::<bool>()
+                        .map_err(|_| format!("{what}: stopwatch value {value:?} is not a bool"))?;
+                }
+            } else if let Some(cfg_key) = axis.key.strip_prefix("cfg.") {
+                for value in &axis.values {
+                    scratch
+                        .apply(cfg_key, value)
+                        .map_err(|e| format!("{what}: {e}"))?;
+                }
+            } else {
+                for w in &in_play {
+                    for value in &axis.values {
+                        check_param(&what, w.as_ref(), &axis.key, value)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Expands the grid to the flat scenario list, row-major over axes,
     /// seeds innermost.
     ///
     /// # Errors
     ///
-    /// Reports empty axes, empty seed lists, and malformed axis values
-    /// (`stopwatch` axes must be booleans) — before anything runs.
+    /// Reports empty axes and empty seed lists, and — via
+    /// [`SweepSpec::validate`] — any key or value the merged
+    /// knob/parameter schema rejects, all before anything runs.
     pub fn scenarios(&self) -> Result<Vec<Scenario>, String> {
         if self.seeds.is_empty() {
             return Err(format!("sweep {:?} has no seeds", self.name));
@@ -122,6 +199,7 @@ impl SweepSpec {
                 ));
             }
         }
+        self.validate()?;
         let cells = self.axes.iter().map(|a| a.values.len()).product::<usize>();
         let mut out = Vec::with_capacity(cells * self.seeds.len());
         // Row-major odometer over the axes.
@@ -205,6 +283,45 @@ impl SweepSpec {
     }
 }
 
+/// Checks one workload-parameter key/value against `workload`'s schema.
+/// An unknown key that names a [`CloudConfig`] knob gets a cross-layer
+/// hint (`cfg.<key>`); other unknown keys get the nearest-parameter
+/// suggestion.
+fn check_param(
+    context: &str,
+    workload: &dyn Workload,
+    key: &str,
+    value: &str,
+) -> Result<(), String> {
+    let specs = workload.params();
+    match specs.iter().find(|s| s.key == key) {
+        Some(spec) => spec.ty.check(value).map_err(|e| {
+            format!(
+                "{context}: workload {:?} parameter {key:?}: {e}",
+                workload.name()
+            )
+        }),
+        None => {
+            if CloudConfig::knob(key).is_some() {
+                return Err(format!(
+                    "{context}: workload {:?} has no parameter {key:?}; \
+                     did you mean the config knob \"cfg.{key}\"?",
+                    workload.name()
+                ));
+            }
+            let keys: Vec<&str> = specs.iter().map(|s| s.key).collect();
+            Err(format!(
+                "{context}: {}",
+                stopwatch_core::schema::unknown_key(
+                    &format!("parameter of workload {:?}", workload.name()),
+                    key,
+                    &keys,
+                )
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +388,91 @@ mod tests {
         let scenarios = spec.scenarios().unwrap();
         assert_eq!(scenarios.len(), 3);
         assert!(scenarios.iter().all(|s| s.cell == "nfs"));
+    }
+
+    #[test]
+    fn unknown_knob_axis_fails_before_expansion_with_suggestion() {
+        let spec = SweepSpec::new("t", "web-http").axis("cfg.delta_q_ms", &[1u64, 2]);
+        let err = spec.scenarios().unwrap_err();
+        assert!(err.contains("axis \"cfg.delta_q_ms\""), "{err}");
+        assert!(err.contains("did you mean \"delta_n_ms\""), "{err}");
+    }
+
+    #[test]
+    fn ill_typed_knob_value_fails_before_expansion() {
+        let spec = SweepSpec::new("t", "web-http").axis("cfg.replicas", &["three"]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("replicas"), "{err}");
+        assert!(err.contains("three"), "{err}");
+    }
+
+    #[test]
+    fn unknown_workload_param_axis_suggests_nearest() {
+        let spec = SweepSpec::new("t", "web-http").axis("byts", &[100u64]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("web-http"), "{err}");
+        assert!(err.contains("did you mean \"bytes\""), "{err}");
+    }
+
+    #[test]
+    fn bare_knob_key_gets_cross_layer_hint() {
+        let spec = SweepSpec::new("t", "web-http").axis("delta_n_ms", &[4u64]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("cfg.delta_n_ms"), "{err}");
+    }
+
+    #[test]
+    fn ill_typed_param_value_fails_before_expansion() {
+        let spec = SweepSpec::new("t", "web-http").axis("bytes", &["many"]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("\"bytes\""), "{err}");
+        assert!(err.contains("many"), "{err}");
+        // Width-exact: `downloads` installs as u32, so an over-u32 value
+        // must already fail here, not at install time inside the sweep.
+        let spec = SweepSpec::new("t", "web-http").axis("downloads", &["5000000000"]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("\"downloads\""), "{err}");
+    }
+
+    #[test]
+    fn unknown_workload_axis_value_suggests_nearest() {
+        let spec = SweepSpec::new("t", "web-http").axis("workload", &["web-http", "web-udpp"]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("did you mean \"web-udp\""), "{err}");
+    }
+
+    #[test]
+    fn params_must_fit_every_workload_in_play() {
+        // `bytes` fits both web workloads but not `idle`.
+        let ok = SweepSpec::new("t", "web-http")
+            .axis("workload", &["web-http", "web-udp"])
+            .axis("bytes", &[1000u64]);
+        assert!(ok.validate().is_ok());
+        let bad = SweepSpec::new("t", "web-http")
+            .axis("workload", &["web-http", "idle"])
+            .axis("bytes", &[1000u64]);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_axis_keys_are_rejected() {
+        let spec = SweepSpec::new("t", "web-http")
+            .axis("bytes", &[1u64])
+            .axis("bytes", &[2u64]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("duplicate axis"), "{err}");
+        assert!(err.contains("\"bytes\""), "{err}");
+    }
+
+    #[test]
+    fn base_overrides_and_params_are_validated_too() {
+        let mut spec = SweepSpec::new("t", "web-http");
+        spec.base_overrides = vec![("delta_q_ms".into(), "1".into())];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("base override"), "{err}");
+        let mut spec = SweepSpec::new("t", "web-http");
+        spec.base_params = vec![("byts".into(), "1".into())];
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("base parameter"), "{err}");
     }
 }

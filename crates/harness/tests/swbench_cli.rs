@@ -1,0 +1,134 @@
+//! `swbench`-level integration tests of the typed experiment API: the
+//! `describe` catalogue and the fail-before-anything-runs error paths
+//! (unknown knob, ill-typed value, unknown workload param, duplicate
+//! axis), each with its did-you-mean suggestion. These drive the real
+//! binary, so they cover arg parsing, sweep validation, and exit codes
+//! end to end — without executing a single scenario.
+
+use std::process::{Command, Output};
+
+fn swbench(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_swbench"))
+        .args(args)
+        .output()
+        .expect("run swbench")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn describe_lists_every_knob_and_workload_with_types_and_defaults() {
+    let out = swbench(&["describe"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Every CloudConfig knob, with type and default visible.
+    for knob in stopwatch_core::config::CloudConfig::knobs() {
+        assert!(stdout.contains(knob.key), "knob {} missing", knob.key);
+    }
+    assert!(
+        stdout.contains("offset_ms"),
+        "knob types missing:\n{stdout}"
+    );
+    assert!(stdout.contains("rotating|ssd"), "enum type missing");
+    assert!(stdout.contains("50:100"), "broadcast_band default missing");
+    // Every registered workload, with params, types and defaults.
+    for name in workloads::registry::workload_names() {
+        assert!(stdout.contains(&name), "workload {name} missing");
+    }
+    assert!(stdout.contains("bytes"), "web params missing");
+    assert!(stdout.contains("100000"), "bytes default missing");
+    assert!(stdout.contains("gap_ms"), "attack params missing");
+    assert!(stdout.contains("(no parameters)"), "idle/parsec marker");
+}
+
+#[test]
+fn describe_one_workload_and_suggest_on_typo() {
+    let out = swbench(&["describe", "nfs"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rate"), "{stdout}");
+    assert!(stdout.contains("ops"), "{stdout}");
+    let out = swbench(&["describe", "nfss"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("did you mean \"nfs\""),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_knob_axis_fails_before_any_scenario_with_suggestion() {
+    let out = swbench(&[
+        "sweep",
+        "--workload",
+        "web-http",
+        "--axis",
+        "cfg.delta_q_ms=1,2",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("cfg.delta_q_ms"), "{err}");
+    assert!(err.contains("did you mean \"delta_n_ms\""), "{err}");
+    assert!(
+        !err.contains("scenarios on"),
+        "ran scenarios despite typo: {err}"
+    );
+}
+
+#[test]
+fn ill_typed_knob_value_fails_fast() {
+    let out = swbench(&["sweep", "--workload", "web-http", "--set", "replicas=three"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("replicas"), "{err}");
+    assert!(err.contains("three"), "{err}");
+}
+
+#[test]
+fn unknown_workload_param_gets_cross_layer_or_nearest_suggestion() {
+    // A bare knob key used as a workload param → points at cfg.<key>.
+    let out = swbench(&["sweep", "--workload", "web-http", "--axis", "delta_n_ms=4"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cfg.delta_n_ms"), "{}", stderr(&out));
+    // A near-miss of a real param → nearest-key suggestion.
+    let out = swbench(&["sweep", "--workload", "web-http", "--param", "byts=10"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("did you mean \"bytes\""),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unknown_workload_name_suggests_nearest() {
+    let out = swbench(&["sweep", "--workload", "web-htp"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("did you mean \"web-http\""),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn duplicate_axis_keys_are_rejected() {
+    let out = swbench(&[
+        "sweep",
+        "--workload",
+        "web-http",
+        "--axis",
+        "bytes=1",
+        "--axis",
+        "bytes=2",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("duplicate --axis"),
+        "{}",
+        stderr(&out)
+    );
+}

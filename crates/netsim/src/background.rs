@@ -50,7 +50,7 @@ impl BroadcastSource {
     }
 
     /// Draws the next broadcast: `(inter-arrival gap, packet)`.
-    pub fn next(&mut self) -> (SimDuration, Packet) {
+    pub fn next_broadcast(&mut self) -> (SimDuration, Packet) {
         let gap = SimDuration::from_secs_f64(self.rng.exponential(self.rate_per_sec));
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -69,8 +69,8 @@ impl BroadcastSource {
         let mut out = Vec::new();
         let mut t = SimTime::ZERO;
         loop {
-            let (gap, pkt) = self.next();
-            t = t + gap;
+            let (gap, pkt) = self.next_broadcast();
+            t += gap;
             if t >= horizon {
                 break;
             }

@@ -35,7 +35,7 @@ impl Quasigroup {
         );
         Quasigroup {
             order,
-            half: (order + 1) / 2,
+            half: order.div_ceil(2),
         }
     }
 

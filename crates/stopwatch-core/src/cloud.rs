@@ -378,6 +378,7 @@ impl Cloud {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one call site; the args are one event's coordinates
     fn host_packet_arrival(
         &mut self,
         sim: &mut Sim<Cloud>,
@@ -581,11 +582,15 @@ impl Cloud {
     }
 }
 
+/// A VM awaiting construction: (replica hosts, one program per replica,
+/// StopWatch-protected?).
+type PendingVm = (Vec<usize>, Vec<Box<dyn GuestProgram>>, bool);
+
 /// Builder for a [`CloudSim`].
 pub struct CloudBuilder {
     cfg: CloudConfig,
     host_count: usize,
-    vms: Vec<(Vec<usize>, Vec<Box<dyn GuestProgram>>, bool)>,
+    vms: Vec<PendingVm>,
     clients: Vec<Box<dyn ClientApp>>,
 }
 
@@ -844,7 +849,7 @@ impl CloudBuilder {
                 SimRng::new(cloud.cfg.seed).stream("broadcast"),
             );
             fn chatter(sim: &mut Sim<Cloud>, _cloud: &mut Cloud, mut src: BroadcastSource) {
-                let (gap, pkt) = src.next();
+                let (gap, pkt) = src.next_broadcast();
                 sim.schedule_in(gap, move |sim, cloud: &mut Cloud| {
                     cloud.stats.incr("broadcasts");
                     cloud.ingress_replicate(sim, pkt.clone());

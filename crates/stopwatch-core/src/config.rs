@@ -1,6 +1,14 @@
 //! Cloud-wide configuration: the paper's platform constants with the knobs
 //! its evaluation varies.
+//!
+//! Every tunable knob is declared once in the [`KnobSpec`] schema
+//! ([`CloudConfig::knobs`]): key, value type, default, doc string, and the
+//! getter/setter pair. [`CloudConfig::apply`] is a thin walk over that
+//! schema, so the knob surface is enumerable (sweep harnesses validate
+//! axis keys against it before anything runs, `swbench describe` prints
+//! it) and a new knob is one table row, not a new `match` arm.
 
+use crate::schema::{self, ValueType};
 use netsim::link::LinkModel;
 use simkit::time::{SimDuration, VirtOffset};
 use vmm::clock::EpochConfig;
@@ -118,32 +126,39 @@ impl CloudConfig {
         }
     }
 
+    /// The full knob schema: every `apply`-able key with its type,
+    /// default, and doc string, in declaration order.
+    pub fn knobs() -> &'static [KnobSpec] {
+        KNOBS
+    }
+
+    /// Looks up one knob by key.
+    pub fn knob(key: &str) -> Option<&'static KnobSpec> {
+        KNOBS.iter().find(|s| s.key == key)
+    }
+
+    /// Every knob's current value as `(key, value)` strings, in schema
+    /// order — the fully-resolved configuration sweep reports embed so a
+    /// run is reproducible from its report alone. Values round-trip
+    /// through [`CloudConfig::apply`].
+    pub fn resolved(&self) -> Vec<(String, String)> {
+        KNOBS
+            .iter()
+            .map(|s| (s.key.to_string(), s.value_of(self)))
+            .collect()
+    }
+
     /// Applies one string-keyed override — the entry point sweep harnesses
-    /// use to build a cloud from a declarative scenario.
-    ///
-    /// Recognized keys (values parse as the field's type):
-    ///
-    /// | key | field |
-    /// |---|---|
-    /// | `seed` | [`CloudConfig::seed`] |
-    /// | `replicas` | [`CloudConfig::replicas`] |
-    /// | `delta_n_ms` / `delta_d_ms` | the Δn / Δd offsets, in ms |
-    /// | `exit_every` | [`CloudConfig::exit_every`] |
-    /// | `base_ips` | [`CloudConfig::base_ips`] |
-    /// | `ips_jitter` | [`CloudConfig::ips_jitter`] |
-    /// | `speed_epoch_ms` | [`CloudConfig::speed_epoch`] |
-    /// | `slope` | [`CloudConfig::slope`] |
-    /// | `disk` | `rotating` or `ssd` |
-    /// | `pacing` | `off` or `heartbeat_ms:max_gap_ms` |
-    /// | `broadcast_band` | `off` or `lo:hi` packets/second |
-    /// | `client_tick_ms` | [`CloudConfig::client_tick`] |
-    /// | `image_blocks` | [`CloudConfig::image_blocks`] |
+    /// use to build a cloud from a declarative scenario. The key is
+    /// resolved against the [`CloudConfig::knobs`] schema; run
+    /// `swbench describe` for the rendered key/type/default/doc table.
     ///
     /// # Errors
     ///
-    /// Returns a message naming the key on unknown keys or unparsable
-    /// values, so sweep specs fail loudly instead of silently running the
-    /// default configuration.
+    /// Returns a message naming the key (and the nearest valid key, for
+    /// plausible typos) on unknown keys or unparsable values, so sweep
+    /// specs fail loudly instead of silently running the default
+    /// configuration.
     ///
     /// # Examples
     ///
@@ -152,60 +167,15 @@ impl CloudConfig {
     /// let mut cfg = CloudConfig::fast_test();
     /// cfg.apply("delta_n_ms", "4").unwrap();
     /// assert_eq!(cfg.delta_n.as_millis_f64(), 4.0);
-    /// assert!(cfg.apply("no_such_knob", "1").is_err());
+    /// let err = cfg.apply("delta_q_ms", "1").unwrap_err();
+    /// assert!(err.contains("did you mean \"delta_n_ms\""));
     /// ```
     pub fn apply(&mut self, key: &str, value: &str) -> Result<(), String> {
-        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
-            value
-                .parse::<T>()
-                .map_err(|_| format!("bad value {value:?} for config key {key:?}"))
-        }
-        fn parse_pair(key: &str, value: &str) -> Result<(f64, f64), String> {
-            let (a, b) = value
-                .split_once(':')
-                .ok_or_else(|| format!("key {key:?} wants \"lo:hi\", got {value:?}"))?;
-            Ok((parse::<f64>(key, a)?, parse::<f64>(key, b)?))
-        }
-        match key {
-            "seed" => self.seed = parse(key, value)?,
-            "replicas" => self.replicas = parse(key, value)?,
-            "delta_n_ms" => self.delta_n = VirtOffset::from_millis(parse(key, value)?),
-            "delta_d_ms" => self.delta_d = VirtOffset::from_millis(parse(key, value)?),
-            "exit_every" => self.exit_every = parse(key, value)?,
-            "base_ips" => self.base_ips = parse(key, value)?,
-            "ips_jitter" => self.ips_jitter = parse(key, value)?,
-            "speed_epoch_ms" => self.speed_epoch = SimDuration::from_millis(parse(key, value)?),
-            "slope" => self.slope = parse(key, value)?,
-            "disk" => {
-                self.disk = match value {
-                    "rotating" => DiskKind::Rotating,
-                    "ssd" => DiskKind::Ssd,
-                    other => return Err(format!("unknown disk kind {other:?}")),
-                }
-            }
-            "pacing" => {
-                self.pacing = if value == "off" {
-                    None
-                } else {
-                    let (hb, gap) = parse_pair(key, value)?;
-                    Some(PacingConfig {
-                        heartbeat: SimDuration::from_millis_f64(hb),
-                        max_gap_ns: (gap * 1e6) as u64,
-                    })
-                }
-            }
-            "broadcast_band" => {
-                self.broadcast_band = if value == "off" {
-                    None
-                } else {
-                    Some(parse_pair(key, value)?)
-                }
-            }
-            "client_tick_ms" => self.client_tick = SimDuration::from_millis(parse(key, value)?),
-            "image_blocks" => self.image_blocks = parse(key, value)?,
-            other => return Err(format!("unknown config key {other:?}")),
-        }
-        Ok(())
+        let Some(spec) = Self::knob(key) else {
+            let keys: Vec<&str> = KNOBS.iter().map(|s| s.key).collect();
+            return Err(schema::unknown_key("config knob", key, &keys));
+        };
+        spec.apply_to(self, value)
     }
 
     /// Applies a list of `(key, value)` overrides in order.
@@ -223,6 +193,251 @@ impl CloudConfig {
         Ok(())
     }
 }
+
+/// One row of the knob schema: a self-describing, introspectable
+/// [`CloudConfig`] tunable. The getter renders the current value in the
+/// exact form the setter parses, so `resolved()` output round-trips.
+pub struct KnobSpec {
+    /// The `apply` key (and `cfg.<key>` sweep-axis name).
+    pub key: &'static str,
+    /// Declared value type (what [`ValueType::check`] validates).
+    pub ty: ValueType,
+    /// One-line description for `swbench describe`.
+    pub doc: &'static str,
+    get: fn(&CloudConfig) -> String,
+    set: fn(&mut CloudConfig, &str) -> Result<(), String>,
+}
+
+impl KnobSpec {
+    /// This knob's value under [`CloudConfig::default`], rendered.
+    pub fn default_value(&self) -> String {
+        (self.get)(&CloudConfig::default())
+    }
+
+    /// This knob's current value in `cfg`, rendered.
+    pub fn value_of(&self, cfg: &CloudConfig) -> String {
+        (self.get)(cfg)
+    }
+
+    /// Parses `value` and stores it in `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the knob on unparsable values.
+    pub fn apply_to(&self, cfg: &mut CloudConfig, value: &str) -> Result<(), String> {
+        (self.set)(cfg, value)
+    }
+}
+
+impl std::fmt::Debug for KnobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnobSpec")
+            .field("key", &self.key)
+            .field("ty", &self.ty)
+            .field("doc", &self.doc)
+            .finish()
+    }
+}
+
+fn parse_knob<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse::<T>()
+        .map_err(|_| format!("bad value {value:?} for config knob {key:?}"))
+}
+
+fn parse_knob_pair(key: &str, value: &str) -> Result<(f64, f64), String> {
+    let (a, b) = value
+        .split_once(':')
+        .ok_or_else(|| format!("config knob {key:?} wants \"lo:hi\" or \"off\", got {value:?}"))?;
+    Ok((parse_knob::<f64>(key, a)?, parse_knob::<f64>(key, b)?))
+}
+
+/// Renders nanoseconds as milliseconds, integral where exact.
+fn fmt_ns_as_ms(ns: u64) -> String {
+    if ns.is_multiple_of(1_000_000) {
+        (ns / 1_000_000).to_string()
+    } else {
+        format!("{}", ns as f64 / 1.0e6)
+    }
+}
+
+/// The knob schema. `CloudConfig::apply` walks this table; adding a knob
+/// is adding a row (the `schema_walk_is_complete` test keeps the table
+/// honest against the struct).
+static KNOBS: &[KnobSpec] = &[
+    KnobSpec {
+        key: "seed",
+        ty: ValueType::Int,
+        doc: "master seed; everything stochastic derives from it",
+        get: |c| c.seed.to_string(),
+        set: |c, v| {
+            c.seed = parse_knob("seed", v)?;
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "replicas",
+        ty: ValueType::Int,
+        doc: "replicas per StopWatch guest (odd, >= 3)",
+        get: |c| c.replicas.to_string(),
+        set: |c, v| {
+            c.replicas = parse_knob("replicas", v)?;
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "delta_n_ms",
+        ty: ValueType::OffsetMs,
+        doc: "Δn: virtual-time offset for network-interrupt proposals, ms",
+        get: |c| fmt_ns_as_ms(c.delta_n.as_nanos()),
+        set: |c, v| {
+            c.delta_n = VirtOffset::from_millis(parse_knob("delta_n_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "delta_d_ms",
+        ty: ValueType::OffsetMs,
+        doc: "Δd: virtual-time offset for disk/DMA completions, ms",
+        get: |c| fmt_ns_as_ms(c.delta_d.as_nanos()),
+        set: |c, v| {
+            c.delta_d = VirtOffset::from_millis(parse_knob("delta_d_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "exit_every",
+        ty: ValueType::Int,
+        doc: "branches between guest-caused VM exits",
+        get: |c| c.exit_every.to_string(),
+        set: |c, v| {
+            c.exit_every = parse_knob("exit_every", v)?;
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "base_ips",
+        ty: ValueType::Float,
+        doc: "host base speed, branches per second",
+        get: |c| format!("{}", c.base_ips),
+        set: |c, v| {
+            c.base_ips = parse_knob("base_ips", v)?;
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "ips_jitter",
+        ty: ValueType::Float,
+        doc: "host speed jitter fraction (uniform, per speed epoch)",
+        get: |c| format!("{}", c.ips_jitter),
+        set: |c, v| {
+            c.ips_jitter = parse_knob("ips_jitter", v)?;
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "speed_epoch_ms",
+        ty: ValueType::DurationMs,
+        doc: "speed-jitter epoch length, ms",
+        get: |c| fmt_ns_as_ms(c.speed_epoch.as_nanos()),
+        set: |c, v| {
+            c.speed_epoch = SimDuration::from_millis(parse_knob("speed_epoch_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "slope",
+        ty: ValueType::Float,
+        doc: "virtual nanoseconds per branch (initial clock slope)",
+        get: |c| format!("{}", c.slope),
+        set: |c, v| {
+            c.slope = parse_knob("slope", v)?;
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "disk",
+        ty: ValueType::Enum(&["rotating", "ssd"]),
+        doc: "disk medium backing the hosts",
+        get: |c| {
+            match c.disk {
+                DiskKind::Rotating => "rotating",
+                DiskKind::Ssd => "ssd",
+            }
+            .to_string()
+        },
+        set: |c, v| {
+            c.disk = match v {
+                "rotating" => DiskKind::Rotating,
+                "ssd" => DiskKind::Ssd,
+                other => return Err(format!("unknown disk kind {other:?} (have: rotating, ssd)")),
+            };
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "pacing",
+        ty: ValueType::PairOrOff,
+        doc: "fastest-replica pacing, \"heartbeat_ms:max_gap_ms\" or \"off\"",
+        get: |c| match &c.pacing {
+            None => "off".to_string(),
+            Some(p) => format!(
+                "{}:{}",
+                p.heartbeat.as_nanos() as f64 / 1.0e6,
+                p.max_gap_ns as f64 / 1.0e6
+            ),
+        },
+        set: |c, v| {
+            c.pacing = if v == "off" {
+                None
+            } else {
+                let (hb, gap) = parse_knob_pair("pacing", v)?;
+                Some(PacingConfig {
+                    heartbeat: SimDuration::from_millis_f64(hb),
+                    max_gap_ns: (gap * 1e6) as u64,
+                })
+            };
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "broadcast_band",
+        ty: ValueType::PairOrOff,
+        doc: "background broadcast band, \"lo:hi\" packets/second or \"off\"",
+        get: |c| match c.broadcast_band {
+            None => "off".to_string(),
+            Some((lo, hi)) => format!("{lo}:{hi}"),
+        },
+        set: |c, v| {
+            c.broadcast_band = if v == "off" {
+                None
+            } else {
+                Some(parse_knob_pair("broadcast_band", v)?)
+            };
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "client_tick_ms",
+        ty: ValueType::DurationMs,
+        doc: "client protocol-timer period (RTO / NAK checks), ms",
+        get: |c| fmt_ns_as_ms(c.client_tick.as_nanos()),
+        set: |c, v| {
+            c.client_tick = SimDuration::from_millis(parse_knob("client_tick_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "image_blocks",
+        ty: ValueType::Int,
+        doc: "guest disk image size in blocks",
+        get: |c| c.image_blocks.to_string(),
+        set: |c, v| {
+            c.image_blocks = parse_knob("image_blocks", v)?;
+            Ok(())
+        },
+    },
+];
 
 #[cfg(test)]
 mod tests {
@@ -297,5 +512,58 @@ mod tests {
         assert!(c.apply("seed", "not-a-number").is_err());
         assert!(c.apply("disk", "floppy").is_err());
         assert!(c.apply("broadcast_band", "10").is_err());
+    }
+
+    #[test]
+    fn unknown_knob_suggests_nearest_key() {
+        let mut c = CloudConfig::default();
+        let err = c.apply("delta_q_ms", "1").unwrap_err();
+        assert!(err.contains("config knob"), "{err}");
+        assert!(err.contains("\"delta_q_ms\""), "{err}");
+        assert!(err.contains("did you mean \"delta_n_ms\""), "{err}");
+        let err = c.apply("replcas", "3").unwrap_err();
+        assert!(err.contains("did you mean \"replicas\""), "{err}");
+    }
+
+    #[test]
+    fn schema_defaults_render_and_round_trip() {
+        // Every knob's rendered default, applied back to a default config,
+        // must be a no-op — the schema's getters and setters agree.
+        let reference = CloudConfig::default().resolved();
+        for spec in CloudConfig::knobs() {
+            let mut c = CloudConfig::default();
+            let default = spec.default_value();
+            spec.ty
+                .check(&default)
+                .unwrap_or_else(|e| panic!("default of {:?} fails its own type: {e}", spec.key));
+            c.apply(spec.key, &default)
+                .unwrap_or_else(|e| panic!("default of {:?} does not re-apply: {e}", spec.key));
+            assert_eq!(c.resolved(), reference, "knob {:?} round-trip", spec.key);
+            assert!(
+                !spec.doc.is_empty(),
+                "knob {:?} lacks a doc string",
+                spec.key
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_covers_every_knob_and_tracks_overrides() {
+        let mut c = CloudConfig::default();
+        c.apply_all([("delta_n_ms", "4"), ("disk", "ssd"), ("pacing", "off")])
+            .unwrap();
+        let resolved = c.resolved();
+        assert_eq!(resolved.len(), CloudConfig::knobs().len());
+        let get = |k: &str| {
+            resolved
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("delta_n_ms"), "4");
+        assert_eq!(get("disk"), "ssd");
+        assert_eq!(get("pacing"), "off");
+        assert_eq!(get("broadcast_band"), "50:100");
     }
 }

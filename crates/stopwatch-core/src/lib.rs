@@ -39,9 +39,11 @@
 
 pub mod cloud;
 pub mod config;
+pub mod schema;
 
 /// One-line import for the common types.
 pub mod prelude {
     pub use crate::cloud::{ClientApp, ClientHandle, Cloud, CloudBuilder, CloudSim, VmHandle};
-    pub use crate::config::{CloudConfig, DiskKind, PacingConfig};
+    pub use crate::config::{CloudConfig, DiskKind, KnobSpec, PacingConfig};
+    pub use crate::schema::ValueType;
 }

@@ -1,0 +1,195 @@
+//! The shared vocabulary of the typed experiment API: value types for
+//! self-describing knob/parameter schemas, plus the did-you-mean machinery
+//! every layer uses to reject typos loudly.
+//!
+//! [`CloudConfig`](crate::config::CloudConfig) declares its knobs as
+//! [`KnobSpec`](crate::config::KnobSpec) rows typed by [`ValueType`]; the
+//! `workloads` crate declares workload parameters the same way. Sweep
+//! harnesses validate every declared key/value against these schemas
+//! *before* anything runs, and error messages name the layer, the
+//! offending key, and the nearest valid key.
+
+use std::fmt;
+
+/// The type of a knob or workload-parameter value, as declared in a
+/// schema. Validation ([`ValueType::check`]) accepts exactly the strings
+/// the corresponding setter will parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// Unsigned integer (`u64`-ranged).
+    Int,
+    /// Unsigned integer (`u32`-ranged) — for knobs/parameters whose
+    /// setter parses `u32`, so pre-run validation is exactly as strict
+    /// as install.
+    Int32,
+    /// Floating-point number.
+    Float,
+    /// `true` / `false`.
+    Bool,
+    /// A length of real time in whole milliseconds.
+    DurationMs,
+    /// A virtual-time offset (Δn / Δd) in whole milliseconds.
+    OffsetMs,
+    /// One of a closed set of names.
+    Enum(&'static [&'static str]),
+    /// `"lo:hi"` float pair, or `"off"`.
+    PairOrOff,
+    /// Free-form string.
+    Str,
+}
+
+impl ValueType {
+    /// Checks that `value` parses as this type, without applying it
+    /// anywhere.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the value and the expected type (for enums, the
+    /// allowed names).
+    pub fn check(&self, value: &str) -> Result<(), String> {
+        let ok = match self {
+            ValueType::Int => value.parse::<u64>().is_ok(),
+            ValueType::Int32 => value.parse::<u32>().is_ok(),
+            ValueType::Float => value.parse::<f64>().is_ok(),
+            ValueType::Bool => value.parse::<bool>().is_ok(),
+            ValueType::DurationMs | ValueType::OffsetMs => value.parse::<u64>().is_ok(),
+            ValueType::Enum(options) => {
+                if !options.contains(&value) {
+                    return Err(format!("value {value:?} is not one of {options:?}"));
+                }
+                true
+            }
+            ValueType::PairOrOff => {
+                value == "off"
+                    || value
+                        .split_once(':')
+                        .is_some_and(|(a, b)| a.parse::<f64>().is_ok() && b.parse::<f64>().is_ok())
+            }
+            ValueType::Str => true,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!("value {value:?} does not parse as {self}"))
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => f.write_str("int"),
+            ValueType::Int32 => f.write_str("int32"),
+            ValueType::Float => f.write_str("float"),
+            ValueType::Bool => f.write_str("bool"),
+            ValueType::DurationMs => f.write_str("duration_ms"),
+            ValueType::OffsetMs => f.write_str("offset_ms"),
+            ValueType::Enum(options) => f.write_str(&options.join("|")),
+            ValueType::PairOrOff => f.write_str("lo:hi|off"),
+            ValueType::Str => f.write_str("str"),
+        }
+    }
+}
+
+/// Levenshtein edit distance (typo metric for key suggestions).
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `wanted`, if any is close enough to be a
+/// plausible typo (edit distance at most a third of the longer length,
+/// plus one).
+pub fn nearest<'a, I>(wanted: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut best: Option<(usize, &'a str)> = None;
+    for candidate in candidates {
+        let d = levenshtein(wanted, candidate);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, candidate));
+        }
+    }
+    let (d, candidate) = best?;
+    let budget = wanted.len().max(candidate.len()) / 3 + 1;
+    (d <= budget).then_some(candidate)
+}
+
+/// The standard unknown-key message: names the layer, the offending key,
+/// the nearest valid key (when one is plausible), and the full valid set.
+pub fn unknown_key(layer: &str, key: &str, candidates: &[&str]) -> String {
+    match nearest(key, candidates.iter().copied()) {
+        Some(suggestion) => {
+            format!("unknown {layer} {key:?}; did you mean {suggestion:?}? (have: {candidates:?})")
+        }
+        None => format!("unknown {layer} {key:?} (have: {candidates:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_accepts_and_rejects_by_type() {
+        assert!(ValueType::Int.check("42").is_ok());
+        assert!(ValueType::Int.check("-1").is_err());
+        assert!(ValueType::Int.check("many").is_err());
+        assert!(ValueType::Int32.check("42").is_ok());
+        assert!(ValueType::Int32.check("5000000000").is_err(), "> u32::MAX");
+        assert!(ValueType::Float.check("2e9").is_ok());
+        assert!(ValueType::Float.check("x").is_err());
+        assert!(ValueType::Bool.check("true").is_ok());
+        assert!(ValueType::Bool.check("maybe").is_err());
+        assert!(ValueType::DurationMs.check("10").is_ok());
+        assert!(ValueType::DurationMs.check("10.5").is_err());
+        let disk = ValueType::Enum(&["rotating", "ssd"]);
+        assert!(disk.check("ssd").is_ok());
+        let err = disk.check("floppy").unwrap_err();
+        assert!(err.contains("rotating"), "{err}");
+        assert!(ValueType::PairOrOff.check("off").is_ok());
+        assert!(ValueType::PairOrOff.check("1:2.5").is_ok());
+        assert!(ValueType::PairOrOff.check("10").is_err());
+        assert!(ValueType::Str.check("anything").is_ok());
+    }
+
+    #[test]
+    fn nearest_finds_plausible_typos_only() {
+        let keys = ["delta_n_ms", "delta_d_ms", "replicas", "bytes"];
+        assert_eq!(nearest("delta_q_ms", keys), Some("delta_n_ms"));
+        assert_eq!(nearest("byts", keys), Some("bytes"));
+        assert_eq!(nearest("replcas", keys), Some("replicas"));
+        assert_eq!(nearest("zzzzzz", keys), None);
+        assert_eq!(nearest("x", [] as [&str; 0]), None);
+    }
+
+    #[test]
+    fn unknown_key_names_layer_key_and_suggestion() {
+        let msg = unknown_key("config knob", "delta_q_ms", &["delta_n_ms", "seed"]);
+        assert!(msg.contains("config knob"), "{msg}");
+        assert!(msg.contains("delta_q_ms"), "{msg}");
+        assert!(msg.contains("did you mean \"delta_n_ms\""), "{msg}");
+        let msg = unknown_key("workload", "zzz", &["web-http"]);
+        assert!(!msg.contains("did you mean"), "{msg}");
+        assert!(msg.contains("web-http"), "{msg}");
+    }
+
+    #[test]
+    fn value_types_render() {
+        assert_eq!(ValueType::Int.to_string(), "int");
+        assert_eq!(ValueType::Enum(&["a", "b"]).to_string(), "a|b");
+        assert_eq!(ValueType::PairOrOff.to_string(), "lo:hi|off");
+    }
+}

@@ -67,9 +67,9 @@ pub fn order_stat_cdf_at(component_cdf_values: &[f64], r: usize) -> f64 {
     }
     let e = elem_sym(component_cdf_values);
     let mut acc = 0.0;
-    for l in r..=m {
-        let sign = if (l - r) % 2 == 0 { 1.0 } else { -1.0 };
-        acc += sign * binomial(l as u64 - 1, r as u64 - 1) * e[l];
+    for (l, &e_l) in e.iter().enumerate().skip(r) {
+        let sign = if (l - r).is_multiple_of(2) { 1.0 } else { -1.0 };
+        acc += sign * binomial(l as u64 - 1, r as u64 - 1) * e_l;
     }
     acc.clamp(0.0, 1.0)
 }

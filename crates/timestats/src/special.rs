@@ -22,6 +22,9 @@
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;
+    // Published Lanczos(g=7) coefficients, kept verbatim; the extra
+    // digits round to the nearest f64.
+    #[allow(clippy::excessive_precision)]
     const COEF: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,

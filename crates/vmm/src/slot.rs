@@ -656,7 +656,7 @@ impl GuestSlot {
             if self.branches_at(profile, t) >= target {
                 return Some(t);
             }
-            t = t + simkit::time::SimDuration::from_nanos(2);
+            t += simkit::time::SimDuration::from_nanos(2);
         }
         Some(t)
     }

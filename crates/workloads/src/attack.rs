@@ -6,10 +6,14 @@
 //!
 //! Also provides the Sec. IX collaborating-attacker load generator.
 
+use crate::registry::{
+    InstallCtx, InstalledWorkload, ParamSpec, Workload, WorkloadOutcome, WorkloadParams,
+};
 use netsim::packet::{Body, EndpointId, Packet};
 use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime, VirtNanos};
-use stopwatch_core::cloud::ClientApp;
+use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmHandle};
+use stopwatch_core::schema::ValueType;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
 use vmm::guest::{GuestEnv, GuestProgram};
@@ -173,7 +177,7 @@ impl GuestProgram for VictimGuest {
     fn on_disk_done(&mut self, _op: DiskOp, _r: BlockRange, _d: &[u64], _env: &mut GuestEnv) {}
 
     fn on_timer(&mut self, env: &mut GuestEnv) {
-        if env.pit_ticks % self.period_ticks == 0 && self.duty_on {
+        if env.pit_ticks.is_multiple_of(self.period_ticks) && self.duty_on {
             env.compute(self.burst_branches);
         }
     }
@@ -279,6 +283,138 @@ pub fn run_attack_scenario(
         .expect("attacker downcast");
     AttackTrace {
         deltas_ms: guest.deltas_ms(),
+    }
+}
+
+/// Parameter schema of the `"attack"` workload.
+const ATTACK_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "probes",
+        ty: ValueType::Int32,
+        default: "300",
+        doc: "probe packets sent at the attacker VM",
+    },
+    ParamSpec {
+        key: "gap_ms",
+        ty: ValueType::DurationMs,
+        default: "40",
+        doc: "mean gap between probe packets, ms",
+    },
+    ParamSpec {
+        key: "victim",
+        ty: ValueType::Bool,
+        default: "false",
+        doc: "coreside a bursty victim with the attacker's first replica",
+    },
+    ParamSpec {
+        key: "victim_burst",
+        ty: ValueType::Int,
+        default: "100000000",
+        doc: "victim compute burst, branches",
+    },
+    ParamSpec {
+        key: "victim_period",
+        ty: ValueType::Int,
+        default: "50",
+        doc: "victim burst period, PIT ticks",
+    },
+    ParamSpec {
+        key: "load",
+        ty: ValueType::Bool,
+        default: "false",
+        doc: "coreside a collaborating load VM (Sec. IX marginalization)",
+    },
+    ParamSpec {
+        key: "load_chunk",
+        ty: ValueType::Int,
+        default: "50000000",
+        doc: "collaborator compute chunk, branches",
+    },
+];
+
+/// The `"attack"` workload: an [`AttackerGuest`] probed by a
+/// [`ProbeClient`], optionally coresident with a [`VictimGuest`] and/or a
+/// collaborating [`LoadGuest`] (Fig. 4, Sec. IX). Samples are the
+/// attacker-observed inter-packet deltas.
+pub struct AttackWorkload;
+
+struct AttackInstalled {
+    vm: VmHandle,
+    client: ClientHandle,
+}
+
+impl InstalledWorkload for AttackInstalled {
+    fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    fn client(&self) -> Option<ClientHandle> {
+        Some(self.client)
+    }
+
+    fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
+        let g = sim
+            .cloud
+            .guest_program::<AttackerGuest>(self.vm, 0)
+            .expect("attacker program");
+        let samples = g.deltas_ms();
+        WorkloadOutcome {
+            completed: samples.len() as u64,
+            samples_ms: samples,
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl Workload for AttackWorkload {
+    fn name(&self) -> &str {
+        "attack"
+    }
+
+    fn about(&self) -> &str {
+        "probe-timing attacker, optional coresident victim/collaborator (Fig. 4, Sec. IX)"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        ATTACK_PARAMS
+    }
+
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String> {
+        let probes = params.get(ATTACK_PARAMS, "probes")?;
+        let gap_ms: u64 = params.get(ATTACK_PARAMS, "gap_ms")?;
+        let victim: bool = params.get(ATTACK_PARAMS, "victim")?;
+        let victim_burst = params.get(ATTACK_PARAMS, "victim_burst")?;
+        let victim_period = params.get(ATTACK_PARAMS, "victim_period")?;
+        let load: bool = params.get(ATTACK_PARAMS, "load")?;
+        let load_chunk = params.get(ATTACK_PARAMS, "load_chunk")?;
+        let vm = ctx.add_vm(b, &|| Box::new(AttackerGuest::new()));
+        if victim {
+            // The victim coresides with the attacker's first replica —
+            // the coresidency the attacker is trying to sense (Fig. 4).
+            b.add_baseline_vm(
+                ctx.replica_hosts[0],
+                Box::new(VictimGuest::new(victim_burst, victim_period)),
+            );
+        }
+        if load {
+            // Sec. IX: a collaborating attacker loads the same host,
+            // trying to marginalize that replica from the median.
+            b.add_baseline_vm(ctx.replica_hosts[0], Box::new(LoadGuest::new(load_chunk)));
+        }
+        let me = b.next_client_endpoint();
+        let client = b.add_client(Box::new(ProbeClient::new(
+            me,
+            vm.endpoint,
+            probes,
+            SimDuration::from_millis(gap_ms),
+            ctx.seed ^ 0xa77a_c4ed,
+        )));
+        Ok(Box::new(AttackInstalled { vm, client }))
     }
 }
 

@@ -8,8 +8,13 @@
 //!   interrupt counts (Fig. 7);
 //! * [`attack`] — attacker/victim/collaborator guests and the probe client
 //!   (Fig. 4, Sec. IX);
-//! * [`registry`] — the named workload factory sweep harnesses build
-//!   scenarios from.
+//! * [`registry`] — the typed workload API: the open [`registry::Workload`]
+//!   trait + registration table sweep harnesses build scenarios from, with
+//!   a self-describing [`registry::ParamSpec`] schema per workload.
+//!
+//! Adding a workload is implementing [`registry::Workload`] (in its own
+//! module, like the ones above) and calling [`registry::register`] — no
+//! central dispatch to edit.
 
 pub mod attack;
 pub mod nfs;
@@ -20,15 +25,20 @@ pub mod web;
 /// One-line import for the common types.
 pub mod prelude {
     pub use crate::attack::{
-        run_attack_scenario, AttackTrace, AttackerGuest, LoadGuest, ProbeClient, VictimGuest,
+        run_attack_scenario, AttackTrace, AttackWorkload, AttackerGuest, LoadGuest, ProbeClient,
+        VictimGuest,
     };
-    pub use crate::nfs::{NfsOp, NfsServerGuest, NhfsstoneClient, PAPER_MIX};
-    pub use crate::parsec::{profile, CompletionWaiter, ParsecGuest, ParsecProfile, PARSEC};
+    pub use crate::nfs::{NfsOp, NfsServerGuest, NfsWorkload, NhfsstoneClient, PAPER_MIX};
+    pub use crate::parsec::{
+        profile, CompletionWaiter, ParsecGuest, ParsecProfile, ParsecWorkload, PARSEC,
+    };
     pub use crate::registry::{
-        install as install_workload, workload_names, InstalledWorkload, WorkloadOutcome,
-        WorkloadParams,
+        find as find_workload, install as install_workload, register as register_workload,
+        require as require_workload, workload_names, workloads, InstallCtx, InstalledWorkload,
+        ParamSpec, Workload, WorkloadOutcome, WorkloadParams,
     };
     pub use crate::web::{
         DownloadResult, FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest,
+        WebHttpWorkload, WebUdpWorkload,
     };
 }

@@ -4,11 +4,15 @@
 //! 32.34% read, 12.37% create) issued by five client processes at a
 //! constant aggregate rate.
 
+use crate::registry::{
+    InstallCtx, InstalledWorkload, ParamSpec, Workload, WorkloadOutcome, WorkloadParams,
+};
 use netsim::packet::{AppData, Body, EndpointId, Packet};
 use netsim::tcp::{TcpConfig, TcpEndpoint, TcpEvent};
 use simkit::time::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
-use stopwatch_core::cloud::ClientApp;
+use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmHandle};
+use stopwatch_core::schema::ValueType;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
 use vmm::guest::{GuestEnv, GuestProgram};
@@ -451,6 +455,90 @@ impl ClientApp for NhfsstoneClient {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+}
+
+/// Parameter schema of the `"nfs"` workload.
+const NFS_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "rate",
+        ty: ValueType::Float,
+        default: "100",
+        doc: "offered load, operations per second (aggregate)",
+    },
+    ParamSpec {
+        key: "ops",
+        ty: ValueType::Int,
+        default: "200",
+        doc: "total operations issued per run",
+    },
+];
+
+/// The `"nfs"` workload: an [`NfsServerGuest`] driven by an
+/// [`NhfsstoneClient`] with the paper's op mix (Fig. 6).
+pub struct NfsWorkload;
+
+struct NfsInstalled {
+    vm: VmHandle,
+    client: ClientHandle,
+}
+
+impl InstalledWorkload for NfsInstalled {
+    fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    fn client(&self) -> Option<ClientHandle> {
+        Some(self.client)
+    }
+
+    fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
+        let c = sim
+            .cloud
+            .client_app::<NhfsstoneClient>(self.client)
+            .expect("client type");
+        WorkloadOutcome {
+            samples_ms: c.latencies().iter().map(|l| l.as_millis_f64()).collect(),
+            completed: c.completed(),
+            extra: vec![
+                ("sent_segments".to_string(), c.sent_segments as f64),
+                ("received_segments".to_string(), c.received_segments as f64),
+            ],
+        }
+    }
+}
+
+impl Workload for NfsWorkload {
+    fn name(&self) -> &str {
+        "nfs"
+    }
+
+    fn about(&self) -> &str {
+        "NFS server under an nhfsstone-style op mix at a constant rate (Fig. 6)"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        NFS_PARAMS
+    }
+
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String> {
+        let rate = params.get(NFS_PARAMS, "rate")?;
+        let ops = params.get(NFS_PARAMS, "ops")?;
+        let vm = ctx.add_vm(b, &|| Box::new(NfsServerGuest::new()));
+        let me = b.next_client_endpoint();
+        let client = b.add_client(Box::new(NhfsstoneClient::new(
+            me,
+            vm.endpoint,
+            rate,
+            ops,
+            ctx.seed,
+        )));
+        Ok(Box::new(NfsInstalled { vm, client }))
     }
 }
 

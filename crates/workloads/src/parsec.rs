@@ -7,9 +7,12 @@
 //! delaying every disk-completion interrupt, so the absolute penalty is
 //! proportional to the number of disk interrupts (Fig. 7b).
 
+use crate::registry::{
+    InstallCtx, InstalledWorkload, ParamSpec, Workload, WorkloadOutcome, WorkloadParams,
+};
 use netsim::packet::{Body, EndpointId, Packet};
 use simkit::time::SimTime;
-use stopwatch_core::cloud::ClientApp;
+use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmHandle};
 use storage::block::BlockRange;
 use storage::device::DiskOp;
 use vmm::guest::{GuestEnv, GuestProgram};
@@ -200,6 +203,79 @@ impl ClientApp for CompletionWaiter {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+}
+
+/// One `"parsec:<app>"` workload: a [`ParsecGuest`] built from its
+/// profile, measured by a [`CompletionWaiter`] (Fig. 7). Each of the five
+/// [`PARSEC`] profiles registers as its own named workload.
+pub struct ParsecWorkload {
+    profile: ParsecProfile,
+    name: String,
+}
+
+impl ParsecWorkload {
+    /// A workload named `parsec:<profile name>`.
+    pub fn new(profile: ParsecProfile) -> Self {
+        ParsecWorkload {
+            name: format!("parsec:{}", profile.name),
+            profile,
+        }
+    }
+}
+
+struct ParsecInstalled {
+    vm: VmHandle,
+    client: ClientHandle,
+}
+
+impl InstalledWorkload for ParsecInstalled {
+    fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    fn client(&self) -> Option<ClientHandle> {
+        Some(self.client)
+    }
+
+    fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
+        let c = sim
+            .cloud
+            .client_app::<CompletionWaiter>(self.client)
+            .expect("client type");
+        let samples: Vec<f64> = c.arrivals().iter().map(|t| t.as_millis_f64()).collect();
+        WorkloadOutcome {
+            completed: samples.len() as u64,
+            samples_ms: samples,
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl Workload for ParsecWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn about(&self) -> &str {
+        "PARSEC app completion time, calibrated to the paper's testbed (Fig. 7)"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &[]
+    }
+
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        _params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String> {
+        let profile = self.profile;
+        let monitor = b.next_client_endpoint();
+        let vm = ctx.add_vm(b, &move || Box::new(ParsecGuest::new(profile, monitor)));
+        let client = b.add_client(Box::new(CompletionWaiter::new(1)));
+        Ok(Box::new(ParsecInstalled { vm, client }))
     }
 }
 

@@ -1,27 +1,46 @@
-//! Named workload factory: build any of the paper's workloads into a
-//! [`CloudBuilder`] from a string key plus string-keyed parameters, and
-//! extract its measurements afterward without knowing the concrete types.
+//! The typed workload API: an open [`Workload`] trait plus a registration
+//! table, replacing the old closed `match` on string keys.
 //!
 //! This is the joint between the declarative sweep layer (`harness`) and
 //! the concrete guests/clients of this crate: a scenario names a workload
-//! (`"web-http"`, `"parsec:ferret"`, ...) and the registry does the
-//! wiring. Every workload reports its results the same way — a vector of
-//! latency-like samples in milliseconds plus a completion count — which is
-//! what sweep aggregation consumes.
+//! (`"web-http"`, `"parsec:ferret"`, ...) and the table does the wiring.
+//! Each workload declares its parameters as [`ParamSpec`] rows — key,
+//! type, default, doc — so the sweep layer can enumerate and type-check
+//! every parameter *before* a scenario runs, and `swbench describe`
+//! prints the catalogue. Adding a workload (a cache-channel guest pair, a
+//! trace replayer, ...) is implementing [`Workload`] and calling
+//! [`register`]; no central dispatch changes.
+//!
+//! Every workload reports its results the same way — a vector of
+//! latency-like samples in milliseconds plus a completion count
+//! ([`WorkloadOutcome`]) — which is what sweep aggregation consumes.
 
-use crate::attack::{AttackerGuest, LoadGuest, ProbeClient, VictimGuest};
-use crate::nfs::{NfsServerGuest, NhfsstoneClient};
-use crate::parsec::{profile, CompletionWaiter, ParsecGuest, PARSEC};
-use crate::web::{FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest};
-use simkit::time::SimDuration;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
 use stopwatch_core::cloud::{ClientHandle, CloudBuilder, CloudSim, VmHandle};
-use vmm::guest::IdleGuest;
+use stopwatch_core::schema::{self, ValueType};
+use vmm::guest::{GuestProgram, IdleGuest};
+
+/// One declared workload parameter: key, type, default, doc. The default
+/// is the string form the parameter's type parses.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// The parameter key (also its sweep-axis name).
+    pub key: &'static str,
+    /// Declared value type.
+    pub ty: ValueType,
+    /// Default value, rendered.
+    pub default: &'static str,
+    /// One-line description for `swbench describe`.
+    pub doc: &'static str,
+}
 
 /// String-keyed workload parameters (grid-cell coordinates land here).
 ///
-/// Unknown keys are rejected at install time so a typo in a sweep axis
-/// fails loudly instead of silently running defaults.
+/// Keys and values are validated against the owning workload's
+/// [`ParamSpec`] schema at install time (and by sweep harnesses before
+/// anything runs), so a typo fails loudly with a did-you-mean suggestion
+/// instead of silently running defaults.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadParams {
     map: BTreeMap<String, String>,
@@ -50,45 +69,98 @@ impl WorkloadParams {
         self.map.insert(key.to_string(), value.to_string());
     }
 
-    fn ensure_known(&self, workload: &str, allowed: &[&str]) -> Result<(), String> {
-        for key in self.map.keys() {
-            if !allowed.contains(&key.as_str()) {
-                return Err(format!(
-                    "workload {workload:?} does not take parameter {key:?} (allowed: {allowed:?})"
+    /// Checks every key against `specs` (unknown keys get a nearest-key
+    /// suggestion) and every value against its declared type.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the workload, the offending key, and — for
+    /// plausible typos — the nearest valid key.
+    pub fn validate(&self, workload: &str, specs: &[ParamSpec]) -> Result<(), String> {
+        for (key, value) in &self.map {
+            let Some(spec) = specs.iter().find(|s| s.key == key.as_str()) else {
+                let keys: Vec<&str> = specs.iter().map(|s| s.key).collect();
+                return Err(schema::unknown_key(
+                    &format!("parameter of workload {workload:?}"),
+                    key,
+                    &keys,
                 ));
-            }
+            };
+            spec.ty
+                .check(value)
+                .map_err(|e| format!("workload {workload:?} parameter {key:?}: {e}"))?;
         }
         Ok(())
     }
 
-    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.map.get(key) {
-            None => Ok(default),
-            Some(raw) => raw
-                .parse::<T>()
-                .map_err(|_| format!("bad value {raw:?} for workload parameter {key:?}")),
-        }
+    /// The fully-resolved parameter set: every declared parameter with its
+    /// explicit or default value, in schema order — what sweep reports
+    /// embed per cell.
+    pub fn resolved(&self, specs: &[ParamSpec]) -> Vec<(String, String)> {
+        specs
+            .iter()
+            .map(|s| {
+                let value = self
+                    .map
+                    .get(s.key)
+                    .cloned()
+                    .unwrap_or_else(|| s.default.to_string());
+                (s.key.to_string(), value)
+            })
+            .collect()
+    }
+
+    /// Typed lookup: the explicit value for `key`, or its schema default.
+    /// Panics if `key` has no [`ParamSpec`] in `specs` — a programming
+    /// error in the calling workload, not a data error.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparsable values (explicit or default) by key.
+    pub fn get<T: std::str::FromStr>(&self, specs: &[ParamSpec], key: &str) -> Result<T, String> {
+        let spec = specs
+            .iter()
+            .find(|s| s.key == key)
+            .unwrap_or_else(|| panic!("no ParamSpec for parameter {key:?}"));
+        let raw = self
+            .map
+            .get(key)
+            .map(String::as_str)
+            .unwrap_or(spec.default);
+        raw.parse::<T>()
+            .map_err(|_| format!("bad value {raw:?} for workload parameter {key:?}"))
     }
 }
 
-/// Which concrete workload was installed (drives result extraction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
-    Idle,
-    WebHttp,
-    WebUdp,
-    Nfs,
-    Parsec,
-    Attack,
+/// What a workload installs against: the defense arm, the replica
+/// placement, and the run's master seed (for client-side randomness).
+#[derive(Debug, Clone, Copy)]
+pub struct InstallCtx<'a> {
+    /// StopWatch protection on (vs. unmodified baseline).
+    pub stopwatch: bool,
+    /// Hosts carrying the workload VM's replicas (baseline runs use the
+    /// first entry only).
+    pub replica_hosts: &'a [usize],
+    /// Master seed for this run.
+    pub seed: u64,
 }
 
-/// Handle to a workload wired into a cloud, used to pull measurements out
-/// of the finished simulation.
-#[derive(Debug, Clone, Copy)]
-pub struct InstalledWorkload {
-    kind: Kind,
-    vm: VmHandle,
-    client: Option<ClientHandle>,
+impl InstallCtx<'_> {
+    /// Adds the workload's protected (or baseline) VM: replicated over
+    /// `replica_hosts` under StopWatch, a single unprotected instance on
+    /// `replica_hosts[0]` otherwise — the comparison arm of every paper
+    /// figure.
+    pub fn add_vm(
+        &self,
+        b: &mut CloudBuilder,
+        make: &dyn Fn() -> Box<dyn GuestProgram>,
+    ) -> VmHandle {
+        if self.stopwatch {
+            b.add_stopwatch_vm(self.replica_hosts, make)
+        } else {
+            b.add_baseline_vm(self.replica_hosts[0], make())
+        }
+    }
 }
 
 /// What a workload measured, in registry-neutral form.
@@ -106,121 +178,176 @@ pub struct WorkloadOutcome {
     pub extra: Vec<(String, f64)>,
 }
 
-impl InstalledWorkload {
+/// Handle to a workload wired into a cloud, used to pull measurements out
+/// of the finished simulation. Each [`Workload`] returns its own
+/// implementation; the sweep layer only sees this interface.
+pub trait InstalledWorkload {
     /// The workload's protected VM.
-    pub fn vm(&self) -> VmHandle {
-        self.vm
-    }
+    fn vm(&self) -> VmHandle;
 
     /// The workload's measuring client, if it has one.
-    pub fn client(&self) -> Option<ClientHandle> {
-        self.client
+    fn client(&self) -> Option<ClientHandle> {
+        None
     }
 
     /// Extracts the measurements after a run.
-    pub fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
-        match self.kind {
-            Kind::Idle => WorkloadOutcome::default(),
-            Kind::WebHttp => {
-                let c = sim
-                    .cloud
-                    .client_app::<HttpDownloadClient>(self.client.expect("web-http has a client"))
-                    .expect("client type");
-                let samples: Vec<f64> = c
-                    .results()
-                    .iter()
-                    .map(|r| r.latency.as_millis_f64())
-                    .collect();
-                WorkloadOutcome {
-                    completed: samples.len() as u64,
-                    samples_ms: samples,
-                    extra: vec![
-                        ("sent_segments".to_string(), c.sent_segments as f64),
-                        ("received_segments".to_string(), c.received_segments as f64),
-                    ],
-                }
-            }
-            Kind::WebUdp => {
-                let c = sim
-                    .cloud
-                    .client_app::<UdpDownloadClient>(self.client.expect("web-udp has a client"))
-                    .expect("client type");
-                let samples: Vec<f64> = c
-                    .results()
-                    .iter()
-                    .map(|r| r.latency.as_millis_f64())
-                    .collect();
-                WorkloadOutcome {
-                    completed: samples.len() as u64,
-                    samples_ms: samples,
-                    extra: vec![("sent_datagrams".to_string(), c.sent_datagrams as f64)],
-                }
-            }
-            Kind::Nfs => {
-                let c = sim
-                    .cloud
-                    .client_app::<NhfsstoneClient>(self.client.expect("nfs has a client"))
-                    .expect("client type");
-                WorkloadOutcome {
-                    samples_ms: c.latencies().iter().map(|l| l.as_millis_f64()).collect(),
-                    completed: c.completed(),
-                    extra: vec![
-                        ("sent_segments".to_string(), c.sent_segments as f64),
-                        ("received_segments".to_string(), c.received_segments as f64),
-                    ],
-                }
-            }
-            Kind::Parsec => {
-                let c = sim
-                    .cloud
-                    .client_app::<CompletionWaiter>(self.client.expect("parsec has a client"))
-                    .expect("client type");
-                let samples: Vec<f64> = c.arrivals().iter().map(|t| t.as_millis_f64()).collect();
-                WorkloadOutcome {
-                    completed: samples.len() as u64,
-                    samples_ms: samples,
-                    extra: Vec::new(),
-                }
-            }
-            Kind::Attack => {
-                let g = sim
-                    .cloud
-                    .guest_program::<AttackerGuest>(self.vm, 0)
-                    .expect("attacker program");
-                let samples = g.deltas_ms();
-                WorkloadOutcome {
-                    completed: samples.len() as u64,
-                    samples_ms: samples,
-                    extra: Vec::new(),
-                }
-            }
-        }
+    fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome;
+}
+
+/// An installable experiment workload: a name, a self-describing
+/// parameter schema, and the wiring that installs it into a
+/// [`CloudBuilder`]. Implementations register via [`register`] (built-ins
+/// are pre-registered) and plug into every sweep layer — `swbench`
+/// grids, presets, and `bench` figures — with no central dispatch.
+pub trait Workload: Send + Sync {
+    /// The registry key (`"web-http"`, `"parsec:ferret"`, ...).
+    fn name(&self) -> &str;
+
+    /// One-line description for `swbench describe`.
+    fn about(&self) -> &str;
+
+    /// The declared parameter schema.
+    fn params(&self) -> &[ParamSpec];
+
+    /// Wires the workload into `b`: its protected (or baseline) VM plus
+    /// its measuring client. `params` has been validated against
+    /// [`Workload::params`] by the caller.
+    ///
+    /// # Errors
+    ///
+    /// Reports wiring failures as messages.
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String>;
+}
+
+/// The "idle" workload: one protected VM running no guest program and no
+/// client — the minimal cloud (overhead floors, placement tests).
+pub struct IdleWorkload;
+
+struct IdleInstalled {
+    vm: VmHandle,
+}
+
+impl InstalledWorkload for IdleInstalled {
+    fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    fn collect(&self, _sim: &mut CloudSim) -> WorkloadOutcome {
+        WorkloadOutcome::default()
     }
 }
 
-/// Every installable workload name (parsec apps enumerated).
-pub fn workload_names() -> Vec<String> {
-    let mut names = vec![
-        "idle".to_string(),
-        "web-http".to_string(),
-        "web-udp".to_string(),
-        "nfs".to_string(),
-        "attack".to_string(),
+impl Workload for IdleWorkload {
+    fn name(&self) -> &str {
+        "idle"
+    }
+
+    fn about(&self) -> &str {
+        "idle guest, no client (overhead floor / placement scaffolding)"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        &[]
+    }
+
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        _params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String> {
+        let vm = ctx.add_vm(b, &|| Box::new(IdleGuest));
+        Ok(Box::new(IdleInstalled { vm }))
+    }
+}
+
+fn builtin_workloads() -> Vec<Arc<dyn Workload>> {
+    let mut table: Vec<Arc<dyn Workload>> = vec![
+        Arc::new(IdleWorkload),
+        Arc::new(crate::web::WebHttpWorkload),
+        Arc::new(crate::web::WebUdpWorkload),
+        Arc::new(crate::nfs::NfsWorkload),
+        Arc::new(crate::attack::AttackWorkload),
     ];
-    names.extend(PARSEC.iter().map(|p| format!("parsec:{}", p.name)));
-    names
+    for profile in crate::parsec::PARSEC {
+        table.push(Arc::new(crate::parsec::ParsecWorkload::new(profile)));
+    }
+    table
+}
+
+fn table() -> &'static RwLock<Vec<Arc<dyn Workload>>> {
+    static TABLE: OnceLock<RwLock<Vec<Arc<dyn Workload>>>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(builtin_workloads()))
+}
+
+/// Registers a workload. A workload with the same name replaces the
+/// existing entry (latest wins); otherwise it is appended, preserving
+/// registration order in [`workload_names`] and `swbench describe`.
+pub fn register(workload: Arc<dyn Workload>) {
+    let mut t = table().write().expect("workload table");
+    match t.iter_mut().find(|w| w.name() == workload.name()) {
+        Some(slot) => *slot = workload,
+        None => t.push(workload),
+    }
+}
+
+/// Looks up a workload by name.
+pub fn find(name: &str) -> Option<Arc<dyn Workload>> {
+    table()
+        .read()
+        .expect("workload table")
+        .iter()
+        .find(|w| w.name() == name)
+        .cloned()
+}
+
+/// Like [`find`], but unknown names become the standard
+/// layer-key-suggestion error message.
+///
+/// # Errors
+///
+/// Names the unknown workload, the nearest registered name (for plausible
+/// typos), and the full registry.
+pub fn require(name: &str) -> Result<Arc<dyn Workload>, String> {
+    find(name).ok_or_else(|| {
+        let names = workload_names();
+        let keys: Vec<&str> = names.iter().map(String::as_str).collect();
+        schema::unknown_key("workload", name, &keys)
+    })
+}
+
+/// A snapshot of every registered workload, in registration order.
+pub fn workloads() -> Vec<Arc<dyn Workload>> {
+    table().read().expect("workload table").clone()
+}
+
+/// Every installable workload name, in registration order.
+pub fn workload_names() -> Vec<String> {
+    table()
+        .read()
+        .expect("workload table")
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
 }
 
 /// Wires workload `name` into the builder: the protected (or baseline) VM
-/// on `replica_hosts`, plus its measuring client.
+/// on `replica_hosts`, plus its measuring client. Parameters are
+/// validated against the workload's schema first.
 ///
 /// With `stopwatch` false the VM is an unprotected baseline instance on
 /// `replica_hosts[0]` — the comparison arm of every paper figure.
 ///
 /// # Errors
 ///
-/// Unknown workload names, unknown/bad parameters, and empty
-/// `replica_hosts` are reported as messages.
+/// Unknown workload names and unknown/ill-typed parameters are reported
+/// with nearest-key suggestions; empty `replica_hosts` is reported as a
+/// message.
 pub fn install(
     name: &str,
     b: &mut CloudBuilder,
@@ -228,165 +355,25 @@ pub fn install(
     replica_hosts: &[usize],
     params: &WorkloadParams,
     seed: u64,
-) -> Result<InstalledWorkload, String> {
+) -> Result<Box<dyn InstalledWorkload>, String> {
     if replica_hosts.is_empty() {
         return Err("workload needs at least one replica host".to_string());
     }
-    let add_vm =
-        |b: &mut CloudBuilder, make: &dyn Fn() -> Box<dyn vmm::guest::GuestProgram>| -> VmHandle {
-            if stopwatch {
-                b.add_stopwatch_vm(replica_hosts, make)
-            } else {
-                b.add_baseline_vm(replica_hosts[0], make())
-            }
-        };
-
-    if let Some(app) = name.strip_prefix("parsec:") {
-        params.ensure_known(name, &[])?;
-        let prof = profile(app).ok_or_else(|| {
-            format!(
-                "unknown PARSEC app {app:?} (have: {:?})",
-                PARSEC.iter().map(|p| p.name).collect::<Vec<_>>()
-            )
-        })?;
-        let monitor = b.next_client_endpoint();
-        let vm = add_vm(b, &move || Box::new(ParsecGuest::new(prof, monitor)));
-        let client = b.add_client(Box::new(CompletionWaiter::new(1)));
-        return Ok(InstalledWorkload {
-            kind: Kind::Parsec,
-            vm,
-            client: Some(client),
-        });
-    }
-
-    match name {
-        "idle" => {
-            params.ensure_known(name, &[])?;
-            let vm = add_vm(b, &|| Box::new(IdleGuest));
-            Ok(InstalledWorkload {
-                kind: Kind::Idle,
-                vm,
-                client: None,
-            })
-        }
-        "web-http" => {
-            params.ensure_known(name, &["bytes", "downloads", "file_id"])?;
-            let bytes = params.get("bytes", 100_000u64)?;
-            let downloads = params.get("downloads", 3u32)?;
-            let file_id = params.get("file_id", 1u64)?;
-            let vm = add_vm(b, &|| Box::new(FileServerGuest::new()));
-            let me = b.next_client_endpoint();
-            let client = b.add_client(Box::new(HttpDownloadClient::new(
-                me,
-                vm.endpoint,
-                file_id,
-                bytes,
-                downloads,
-            )));
-            Ok(InstalledWorkload {
-                kind: Kind::WebHttp,
-                vm,
-                client: Some(client),
-            })
-        }
-        "web-udp" => {
-            params.ensure_known(name, &["bytes", "downloads", "file_id"])?;
-            let bytes = params.get("bytes", 100_000u64)?;
-            let downloads = params.get("downloads", 3u32)?;
-            let file_id = params.get("file_id", 1u64)?;
-            let vm = add_vm(b, &|| Box::new(UdpFileGuest::new()));
-            let me = b.next_client_endpoint();
-            let client = b.add_client(Box::new(UdpDownloadClient::new(
-                me,
-                vm.endpoint,
-                file_id,
-                bytes,
-                downloads,
-            )));
-            Ok(InstalledWorkload {
-                kind: Kind::WebUdp,
-                vm,
-                client: Some(client),
-            })
-        }
-        "nfs" => {
-            params.ensure_known(name, &["rate", "ops"])?;
-            let rate = params.get("rate", 100.0f64)?;
-            let ops = params.get("ops", 200u64)?;
-            let vm = add_vm(b, &|| Box::new(NfsServerGuest::new()));
-            let me = b.next_client_endpoint();
-            let client = b.add_client(Box::new(NhfsstoneClient::new(
-                me,
-                vm.endpoint,
-                rate,
-                ops,
-                seed,
-            )));
-            Ok(InstalledWorkload {
-                kind: Kind::Nfs,
-                vm,
-                client: Some(client),
-            })
-        }
-        "attack" => {
-            params.ensure_known(
-                name,
-                &[
-                    "probes",
-                    "gap_ms",
-                    "victim",
-                    "victim_burst",
-                    "victim_period",
-                    "load",
-                    "load_chunk",
-                ],
-            )?;
-            let probes = params.get("probes", 300u32)?;
-            let gap_ms = params.get("gap_ms", 40u64)?;
-            let victim = params.get("victim", false)?;
-            let victim_burst = params.get("victim_burst", 100_000_000u64)?;
-            let victim_period = params.get("victim_period", 50u64)?;
-            let load = params.get("load", false)?;
-            let load_chunk = params.get("load_chunk", 50_000_000u64)?;
-            let vm = add_vm(b, &|| Box::new(AttackerGuest::new()));
-            if victim {
-                // The victim coresides with the attacker's first replica —
-                // the coresidency the attacker is trying to sense (Fig. 4).
-                b.add_baseline_vm(
-                    replica_hosts[0],
-                    Box::new(VictimGuest::new(victim_burst, victim_period)),
-                );
-            }
-            if load {
-                // Sec. IX: a collaborating attacker loads the same host,
-                // trying to marginalize that replica from the median.
-                b.add_baseline_vm(replica_hosts[0], Box::new(LoadGuest::new(load_chunk)));
-            }
-            let me = b.next_client_endpoint();
-            let client = b.add_client(Box::new(ProbeClient::new(
-                me,
-                vm.endpoint,
-                probes,
-                SimDuration::from_millis(gap_ms),
-                seed ^ 0xa77a_c4ed,
-            )));
-            Ok(InstalledWorkload {
-                kind: Kind::Attack,
-                vm,
-                client: Some(client),
-            })
-        }
-        other => Err(format!(
-            "unknown workload {other:?} (have: {:?})",
-            workload_names()
-        )),
-    }
+    let workload = require(name)?;
+    params.validate(name, workload.params())?;
+    let ctx = InstallCtx {
+        stopwatch,
+        replica_hosts,
+        seed,
+    };
+    workload.install(b, &ctx, params)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkit::time::SimTime;
+    use crate::parsec::PARSEC;
+    use simkit::time::{SimDuration, SimTime};
     use stopwatch_core::config::CloudConfig;
 
     fn run(name: &str, stopwatch: bool, params: WorkloadParams) -> WorkloadOutcome {
@@ -402,9 +389,30 @@ mod tests {
     #[test]
     fn names_cover_parsec_apps() {
         let names = workload_names();
-        assert!(names.iter().any(|n| n == "web-http"));
-        assert!(names.iter().any(|n| n == "parsec:ferret"));
-        assert_eq!(names.len(), 5 + PARSEC.len());
+        for builtin in ["idle", "web-http", "web-udp", "nfs", "attack"] {
+            assert!(names.iter().any(|n| n == builtin), "missing {builtin}");
+        }
+        for p in PARSEC {
+            let name = format!("parsec:{}", p.name);
+            assert!(names.contains(&name), "missing {name}");
+        }
+        // The table is process-global and other tests may register extra
+        // workloads concurrently, so only a lower bound is stable here.
+        assert!(names.len() >= 5 + PARSEC.len());
+    }
+
+    #[test]
+    fn every_registered_workload_has_a_valid_schema() {
+        for w in workloads() {
+            assert!(!w.name().is_empty());
+            assert!(!w.about().is_empty(), "{:?} lacks an about", w.name());
+            for p in w.params() {
+                assert!(!p.doc.is_empty(), "{}.{} lacks a doc", w.name(), p.key);
+                p.ty.check(p.default).unwrap_or_else(|e| {
+                    panic!("{}.{} default fails its own type: {e}", w.name(), p.key)
+                });
+            }
+        }
     }
 
     #[test]
@@ -433,6 +441,77 @@ mod tests {
         )
         .is_err());
         assert!(install("idle", &mut b, true, &[], &WorkloadParams::new(), 1).is_err());
+    }
+
+    #[test]
+    fn errors_carry_nearest_key_suggestions() {
+        let err = require("web-htp").err().expect("unknown workload");
+        assert!(err.contains("did you mean \"web-http\""), "{err}");
+        let err = require("parsec:feret").err().expect("unknown workload");
+        assert!(err.contains("did you mean \"parsec:ferret\""), "{err}");
+        let typo = WorkloadParams::from_pairs([("byts", "10")]);
+        let err = typo
+            .validate("web-http", find("web-http").unwrap().params())
+            .unwrap_err();
+        assert!(err.contains("did you mean \"bytes\""), "{err}");
+        assert!(err.contains("web-http"), "{err}");
+        let ill_typed = WorkloadParams::from_pairs([("bytes", "many")]);
+        let err = ill_typed
+            .validate("web-http", find("web-http").unwrap().params())
+            .unwrap_err();
+        assert!(err.contains("\"bytes\""), "{err}");
+        assert!(err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn resolved_overlays_explicit_values_on_defaults() {
+        let specs = find("web-http").unwrap().params().to_vec();
+        let params = WorkloadParams::from_pairs([("bytes", "777")]);
+        let resolved = params.resolved(&specs);
+        assert_eq!(resolved.len(), specs.len());
+        assert!(resolved.contains(&("bytes".to_string(), "777".to_string())));
+        assert!(resolved.contains(&("downloads".to_string(), "3".to_string())));
+    }
+
+    #[test]
+    fn register_is_open_and_latest_wins() {
+        struct Custom;
+        impl Workload for Custom {
+            fn name(&self) -> &str {
+                "custom-test"
+            }
+            fn about(&self) -> &str {
+                "test-only"
+            }
+            fn params(&self) -> &[ParamSpec] {
+                &[]
+            }
+            fn install(
+                &self,
+                b: &mut CloudBuilder,
+                ctx: &InstallCtx<'_>,
+                _params: &WorkloadParams,
+            ) -> Result<Box<dyn InstalledWorkload>, String> {
+                let vm = ctx.add_vm(b, &|| Box::new(IdleGuest));
+                Ok(Box::new(IdleInstalled { vm }))
+            }
+        }
+        let before = workload_names().len();
+        register(Arc::new(Custom));
+        assert_eq!(workload_names().len(), before + 1);
+        assert!(find("custom-test").is_some());
+        register(Arc::new(Custom)); // same name: replaces, not duplicates
+        assert_eq!(workload_names().len(), before + 1);
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        assert!(install(
+            "custom-test",
+            &mut b,
+            true,
+            &[0, 1, 2],
+            &WorkloadParams::new(),
+            1
+        )
+        .is_ok());
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //! ACK crosses the Δn/median machinery) and over UDP with NAK reliability
 //! (fast under StopWatch: almost nothing flows inbound).
 
+use crate::registry::{
+    InstallCtx, InstalledWorkload, ParamSpec, Workload, WorkloadOutcome, WorkloadParams,
+};
 use netsim::packet::{AppData, Body, EndpointId, Packet};
 use netsim::tcp::{TcpConfig, TcpEndpoint, TcpEvent, TcpState};
 use netsim::udp::{UdpClientEvent, UdpFileClient, UdpFileServer};
 use simkit::time::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
-use stopwatch_core::cloud::ClientApp;
+use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmHandle};
+use stopwatch_core::schema::ValueType;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
 use vmm::guest::{GuestEnv, GuestProgram};
@@ -411,8 +415,7 @@ impl ClientApp for UdpDownloadClient {
         };
         let (pkts, events) = client.on_datagram(seg, now);
         self.sent_datagrams += pkts.len() as u64;
-        for ev in events {
-            let UdpClientEvent::Complete { .. } = ev;
+        if let Some(UdpClientEvent::Complete { .. }) = events.into_iter().next() {
             let latency = now.duration_since(*started);
             self.results.push(DownloadResult {
                 latency,
@@ -442,6 +445,173 @@ impl ClientApp for UdpDownloadClient {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+}
+
+/// Shared parameter schema of the two file-retrieval workloads.
+const WEB_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "bytes",
+        ty: ValueType::Int,
+        default: "100000",
+        doc: "file size retrieved per download, bytes",
+    },
+    ParamSpec {
+        key: "downloads",
+        ty: ValueType::Int32,
+        default: "3",
+        doc: "sequential downloads per run",
+    },
+    ParamSpec {
+        key: "file_id",
+        ty: ValueType::Int,
+        default: "1",
+        doc: "file identifier requested from the server",
+    },
+];
+
+/// The `"web-http"` workload: a [`FileServerGuest`] measured by an
+/// [`HttpDownloadClient`] (Fig. 5's TCP arm).
+pub struct WebHttpWorkload;
+
+struct WebHttpInstalled {
+    vm: VmHandle,
+    client: ClientHandle,
+}
+
+impl InstalledWorkload for WebHttpInstalled {
+    fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    fn client(&self) -> Option<ClientHandle> {
+        Some(self.client)
+    }
+
+    fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
+        let c = sim
+            .cloud
+            .client_app::<HttpDownloadClient>(self.client)
+            .expect("client type");
+        let samples: Vec<f64> = c
+            .results()
+            .iter()
+            .map(|r| r.latency.as_millis_f64())
+            .collect();
+        WorkloadOutcome {
+            completed: samples.len() as u64,
+            samples_ms: samples,
+            extra: vec![
+                ("sent_segments".to_string(), c.sent_segments as f64),
+                ("received_segments".to_string(), c.received_segments as f64),
+            ],
+        }
+    }
+}
+
+impl Workload for WebHttpWorkload {
+    fn name(&self) -> &str {
+        "web-http"
+    }
+
+    fn about(&self) -> &str {
+        "file retrieval over HTTP/TCP, ACK-per-segment (Fig. 5)"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        WEB_PARAMS
+    }
+
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String> {
+        let bytes = params.get(WEB_PARAMS, "bytes")?;
+        let downloads = params.get(WEB_PARAMS, "downloads")?;
+        let file_id = params.get(WEB_PARAMS, "file_id")?;
+        let vm = ctx.add_vm(b, &|| Box::new(FileServerGuest::new()));
+        let me = b.next_client_endpoint();
+        let client = b.add_client(Box::new(HttpDownloadClient::new(
+            me,
+            vm.endpoint,
+            file_id,
+            bytes,
+            downloads,
+        )));
+        Ok(Box::new(WebHttpInstalled { vm, client }))
+    }
+}
+
+/// The `"web-udp"` workload: a [`UdpFileGuest`] measured by a
+/// [`UdpDownloadClient`] (Fig. 5's UDP-NAK arm).
+pub struct WebUdpWorkload;
+
+struct WebUdpInstalled {
+    vm: VmHandle,
+    client: ClientHandle,
+}
+
+impl InstalledWorkload for WebUdpInstalled {
+    fn vm(&self) -> VmHandle {
+        self.vm
+    }
+
+    fn client(&self) -> Option<ClientHandle> {
+        Some(self.client)
+    }
+
+    fn collect(&self, sim: &mut CloudSim) -> WorkloadOutcome {
+        let c = sim
+            .cloud
+            .client_app::<UdpDownloadClient>(self.client)
+            .expect("client type");
+        let samples: Vec<f64> = c
+            .results()
+            .iter()
+            .map(|r| r.latency.as_millis_f64())
+            .collect();
+        WorkloadOutcome {
+            completed: samples.len() as u64,
+            samples_ms: samples,
+            extra: vec![("sent_datagrams".to_string(), c.sent_datagrams as f64)],
+        }
+    }
+}
+
+impl Workload for WebUdpWorkload {
+    fn name(&self) -> &str {
+        "web-udp"
+    }
+
+    fn about(&self) -> &str {
+        "file retrieval over UDP with NAK reliability (Fig. 5)"
+    }
+
+    fn params(&self) -> &[ParamSpec] {
+        WEB_PARAMS
+    }
+
+    fn install(
+        &self,
+        b: &mut CloudBuilder,
+        ctx: &InstallCtx<'_>,
+        params: &WorkloadParams,
+    ) -> Result<Box<dyn InstalledWorkload>, String> {
+        let bytes = params.get(WEB_PARAMS, "bytes")?;
+        let downloads = params.get(WEB_PARAMS, "downloads")?;
+        let file_id = params.get(WEB_PARAMS, "file_id")?;
+        let vm = ctx.add_vm(b, &|| Box::new(UdpFileGuest::new()));
+        let me = b.next_client_endpoint();
+        let client = b.add_client(Box::new(UdpDownloadClient::new(
+            me,
+            vm.endpoint,
+            file_id,
+            bytes,
+            downloads,
+        )));
+        Ok(Box::new(WebUdpInstalled { vm, client }))
     }
 }
 

@@ -48,6 +48,20 @@ fn sweep_json_is_byte_identical_at_1_2_and_8_threads() {
     assert!(one.contains("\"scenarios\": 8"));
     assert!(one.contains("\"failures\": []"));
     assert!(one.contains("cfg.delta_n_ms=10,stopwatch=true"));
+    // The report header carries the schema version, and every cell embeds
+    // its fully-resolved construction inputs (config knobs + workload
+    // params + seeds) so any cell is reproducible from the report alone.
+    assert!(one.contains(&format!(
+        "\"schema_version\": {}",
+        harness::aggregate::REPORT_SCHEMA_VERSION
+    )));
+    assert!(one.contains("\"resolved\""));
+    assert!(one.contains("\"workload\": \"web-http\""));
+    assert!(one.contains("\"delta_n_ms\": \"2\""), "swept knob value");
+    assert!(one.contains("\"disk\": \"ssd\""), "base override value");
+    assert!(one.contains("\"bytes\": \"20000\""), "explicit param");
+    assert!(one.contains("\"file_id\": \"1\""), "schema-default param");
+    assert!(one.contains("\"seeds\": ["), "per-cell shard seeds");
 }
 
 #[test]
