@@ -23,6 +23,18 @@
 //!       --baseline CELL    leakage baseline cell (default: first cell)
 //!       --out FILE         JSON output path
 //!
+//! swbench perf [<bench>] [--quick] [--scalar] [--repeats N] [--warmup N]
+//!              [--threads N] [--out FILE]
+//!              [--baseline FILE [--max-regress FRAC]]
+//!     Run a named throughput benchmark (no name: list them): warmup
+//!     passes, then timed repeats whose median wall time yields
+//!     events/sec and packets/sec. Writes a schema-versioned
+//!     BENCH_<bench>.json (default: BENCH_<bench>.json in the working
+//!     directory). With --baseline, exits nonzero when events/sec fell
+//!     more than --max-regress (default 0.30) below the baseline file's —
+//!     the CI perf gate. --scalar runs the pre-batching reference paths,
+//!     for measuring the batching speedup.
+//!
 //! swbench workloads
 //!     Print the workload registry keys.
 //!
@@ -66,10 +78,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },
+        Some("perf") => match parse_perf(&args[1..]).and_then(run_perf_bench) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
         _ => {
             eprintln!(
                 "usage: swbench list | workloads | describe [workload] | \
-                 run <preset> [opts] | sweep --workload NAME [opts]"
+                 run <preset> [opts] | sweep --workload NAME [opts] | \
+                 perf [bench] [opts]"
             );
             ExitCode::FAILURE
         }
@@ -143,6 +160,23 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> Result<String, Stri
         .ok_or_else(|| format!("{flag} needs a value"))
 }
 
+/// Parses a `--threads` value. `0` used to reach the work-stealing runner
+/// and is rejected here with the fix spelled out instead of a panic or a
+/// silent reinterpretation.
+fn parse_threads(v: &str) -> Result<usize, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("bad --threads value {v:?}"))?;
+    if n == 0 {
+        return Err(
+            "--threads 0 is not a thread count; pass --threads N with N >= 1, \
+             or omit the flag to use all cores"
+                .to_string(),
+        );
+    }
+    Ok(n)
+}
+
 /// Splits `KEY=VALUE` on the **first** `=` only, so values containing
 /// `=` survive intact.
 fn parse_kv(raw: &str, flag: &str) -> Result<(String, String), String> {
@@ -163,9 +197,7 @@ fn parse_common(args: &[String], i: &mut usize, flags: &mut CommonFlags) -> Resu
     match args[*i].as_str() {
         "--threads" => {
             let v = take_value(args, i, "--threads")?;
-            flags.threads = v
-                .parse()
-                .map_err(|_| format!("bad --threads value {v:?}"))?;
+            flags.threads = parse_threads(&v)?;
         }
         "--baseline" => flags.baseline = Some(take_value(args, i, "--baseline")?),
         "--out" => flags.out = Some(PathBuf::from(take_value(args, i, "--out")?)),
@@ -283,6 +315,113 @@ fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
     })
 }
 
+/// Everything a `swbench perf` invocation needs.
+struct PerfInvocation {
+    bench: Option<String>,
+    quick: bool,
+    scalar: bool,
+    warmup: Option<usize>,
+    repeats: Option<usize>,
+    threads: usize,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    max_regress: f64,
+}
+
+fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
+    let mut inv = PerfInvocation {
+        bench: None,
+        quick: false,
+        scalar: false,
+        warmup: None,
+        repeats: None,
+        threads: 0,
+        out: None,
+        baseline: None,
+        max_regress: 0.30,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => inv.quick = true,
+            "--scalar" => inv.scalar = true,
+            "--warmup" => {
+                let v = take_value(args, &mut i, "--warmup")?;
+                inv.warmup = Some(v.parse().map_err(|_| format!("bad --warmup value {v:?}"))?);
+            }
+            "--repeats" => {
+                let v = take_value(args, &mut i, "--repeats")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --repeats value {v:?}"))?;
+                if n == 0 {
+                    return Err("--repeats must be >= 1 (the median needs a sample)".to_string());
+                }
+                inv.repeats = Some(n);
+            }
+            "--threads" => inv.threads = parse_threads(&take_value(args, &mut i, "--threads")?)?,
+            "--out" => inv.out = Some(PathBuf::from(take_value(args, &mut i, "--out")?)),
+            "--baseline" => {
+                inv.baseline = Some(PathBuf::from(take_value(args, &mut i, "--baseline")?))
+            }
+            "--max-regress" => {
+                let v = take_value(args, &mut i, "--max-regress")?;
+                let f: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-regress value {v:?}"))?;
+                if !(0.0..1.0).contains(&f) {
+                    return Err(format!("--max-regress wants a fraction in [0, 1), got {v}"));
+                }
+                inv.max_regress = f;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            name if inv.bench.is_none() => inv.bench = Some(name.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+        i += 1;
+    }
+    Ok(inv)
+}
+
+fn run_perf_bench(inv: PerfInvocation) -> Result<(), String> {
+    let Some(bench) = inv.bench else {
+        for b in PERF_BENCHES {
+            println!("{:<14} {}", b.name, b.about);
+        }
+        return Ok(());
+    };
+    let opts = PerfOptions {
+        quick: inv.quick,
+        warmup: inv.warmup.unwrap_or(1),
+        repeats: inv.repeats.unwrap_or(if inv.quick { 3 } else { 5 }),
+        threads: inv.threads,
+        scalar: inv.scalar,
+    };
+    eprintln!(
+        "perf {bench:?}: {} mode, {} warmup + {} timed passes",
+        if opts.quick { "quick" } else { "full" },
+        opts.warmup,
+        opts.repeats
+    );
+    let report = run_perf(&bench, &opts)?;
+    println!("{}", report.summary());
+    let out = inv
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{bench}.json")));
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating {parent:?}: {e}"))?;
+    }
+    std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("perf report: {}", out.display());
+    if let Some(baseline_path) = inv.baseline {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading baseline {baseline_path:?}: {e}"))?;
+        let verdict = check_against_baseline(&report, &baseline, inv.max_regress)?;
+        println!("{verdict}");
+    }
+    Ok(())
+}
+
 fn run_spec(inv: Invocation) -> Result<(), String> {
     let scenarios = inv.spec.scenarios()?;
     let opts = RunnerOptions {
@@ -371,6 +510,51 @@ mod tests {
             inv.spec.base_params,
             vec![("downloads".to_string(), "2".to_string())]
         );
+    }
+
+    #[test]
+    fn threads_zero_is_rejected_with_the_fix_spelled_out() {
+        for parse in [
+            parse_run(&argv(&["delta-n", "--threads", "0"])).err(),
+            parse_sweep(&argv(&["--workload", "web-http", "--threads", "0"])).err(),
+            parse_perf(&argv(&["delta-n", "--threads", "0"])).err(),
+        ] {
+            let err = parse.expect("--threads 0 must be rejected");
+            assert!(err.contains("--threads 0"), "{err}");
+            assert!(err.contains("omit the flag"), "{err}");
+        }
+        assert!(parse_run(&argv(&["delta-n", "--threads", "2"])).is_ok());
+    }
+
+    #[test]
+    fn perf_flags_parse_with_defaults() {
+        let inv = parse_perf(&argv(&["delta-n", "--quick", "--scalar"])).unwrap();
+        assert_eq!(inv.bench.as_deref(), Some("delta-n"));
+        assert!(inv.quick && inv.scalar);
+        assert_eq!(inv.threads, 0, "default: all cores");
+        assert_eq!(inv.max_regress, 0.30, "CI gate tolerance default");
+        assert!(inv.warmup.is_none() && inv.repeats.is_none());
+
+        let inv = parse_perf(&argv(&[
+            "packet-storm",
+            "--repeats",
+            "7",
+            "--warmup",
+            "2",
+            "--baseline",
+            "BENCH_baseline.json",
+            "--max-regress",
+            "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(inv.repeats, Some(7));
+        assert_eq!(inv.warmup, Some(2));
+        assert_eq!(inv.max_regress, 0.5);
+        assert!(inv.baseline.is_some());
+
+        assert!(parse_perf(&argv(&["x", "--repeats", "0"])).is_err());
+        assert!(parse_perf(&argv(&["x", "--max-regress", "1.5"])).is_err());
+        assert!(parse_perf(&argv(&["x", "--bogus"])).is_err());
     }
 
     #[test]

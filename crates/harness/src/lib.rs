@@ -17,6 +17,9 @@
 //! * [`aggregate`] — per-cell percentile summaries, KS/χ² leakage
 //!   verdicts via [`timestats`], and deterministic JSON reports;
 //! * [`presets`] — named paper-figure sweeps for the `swbench` binary;
+//! * [`perf`] — named throughput benchmarks (`swbench perf`) with
+//!   warmup/repeat-median methodology, `BENCH_<name>.json` artifacts, and
+//!   the CI regression gate;
 //! * [`json`] — the dependency-free deterministic JSON writer.
 //!
 //! # Examples
@@ -45,6 +48,7 @@
 
 pub mod aggregate;
 pub mod json;
+pub mod perf;
 pub mod presets;
 pub mod runner;
 pub mod scenario;
@@ -54,6 +58,10 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::aggregate::{CellAggregate, LeakageVerdict, SweepReport, REPORT_SCHEMA_VERSION};
     pub use crate::json::Json;
+    pub use crate::perf::{
+        check_against_baseline, perf_bench, run_perf, PerfOptions, PerfReport,
+        BENCH_SCHEMA_VERSION, PERF_BENCHES,
+    };
     pub use crate::presets::{preset, PRESETS};
     pub use crate::runner::{run_scenarios, RunOutcome, RunnerOptions};
     pub use crate::scenario::{Scenario, ScenarioResult};

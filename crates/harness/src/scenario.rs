@@ -51,6 +51,12 @@ pub struct Scenario {
     pub drain: SimDuration,
     /// `CloudConfig` overrides applied over the default configuration.
     pub overrides: Vec<(String, String)>,
+    /// Run on the pre-batching scalar hot paths (one-pop event loop,
+    /// per-proposal median agreement) instead of the batched ones. The
+    /// two modes produce identical results; this switch exists so
+    /// determinism tests and `swbench perf --scalar` can measure the
+    /// batched engine against its reference.
+    pub scalar_reference: bool,
 }
 
 impl Scenario {
@@ -70,6 +76,7 @@ impl Scenario {
             duration: SimDuration::from_secs(60),
             drain: SimDuration::from_millis(500),
             overrides: Vec::new(),
+            scalar_reference: false,
         }
     }
 
@@ -151,7 +158,11 @@ impl Scenario {
             &self.params(),
             seed,
         )?;
-        Ok((b.build(), wl))
+        let mut sim = b.build();
+        if self.scalar_reference {
+            sim.set_scalar_reference(true);
+        }
+        Ok((sim, wl))
     }
 
     /// Runs the scenario to completion and extracts its measurements.

@@ -69,6 +69,9 @@ pub struct SweepSpec {
     pub duration: SimDuration,
     /// Post-completion drain per scenario.
     pub drain: SimDuration,
+    /// Run every scenario on the pre-batching scalar reference paths
+    /// (see [`Scenario::scalar_reference`]).
+    pub scalar_reference: bool,
 }
 
 impl SweepSpec {
@@ -87,6 +90,7 @@ impl SweepSpec {
             seeds: vec![42],
             duration: SimDuration::from_secs(60),
             drain: SimDuration::from_millis(500),
+            scalar_reference: false,
         }
     }
 
@@ -279,6 +283,7 @@ impl SweepSpec {
             duration: self.duration,
             drain: self.drain,
             overrides,
+            scalar_reference: self.scalar_reference,
         })
     }
 }

@@ -132,3 +132,103 @@ fn duplicate_axis_keys_are_rejected() {
         stderr(&out)
     );
 }
+
+#[test]
+fn threads_zero_fails_with_the_fix_spelled_out_everywhere() {
+    for args in [
+        &["run", "delta-n", "--quick", "--threads", "0"][..],
+        &["sweep", "--workload", "web-http", "--threads", "0"][..],
+        &["perf", "delta-n", "--threads", "0"][..],
+    ] {
+        let out = swbench(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = stderr(&out);
+        assert!(err.contains("--threads 0"), "{args:?}: {err}");
+        assert!(err.contains("omit the flag"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn perf_with_no_bench_lists_the_registry() {
+    let out = swbench(&["perf"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("delta-n"), "{stdout}");
+    assert!(stdout.contains("packet-storm"), "{stdout}");
+}
+
+#[test]
+fn perf_writes_bench_json_and_gates_against_it() {
+    let dir = std::env::temp_dir().join("swbench_perf_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let report = dir.join("BENCH_packet-storm.json");
+    let report_s = report.to_str().unwrap();
+
+    // One quick pass produces a schema-versioned report.
+    let out = swbench(&[
+        "perf",
+        "packet-storm",
+        "--quick",
+        "--repeats",
+        "1",
+        "--warmup",
+        "0",
+        "--out",
+        report_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    assert!(json.contains("\"bench\": \"packet-storm\""), "{json}");
+    assert!(json.contains("\"events_per_sec\""), "{json}");
+
+    // Gating against itself passes (a run never regresses vs itself)...
+    let out = swbench(&[
+        "perf",
+        "packet-storm",
+        "--quick",
+        "--repeats",
+        "1",
+        "--warmup",
+        "0",
+        "--out",
+        dir.join("BENCH_again.json").to_str().unwrap(),
+        "--baseline",
+        report_s,
+        "--max-regress",
+        "0.99",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("perf gate ok"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // ...and an impossible baseline fails the gate with a clear verdict.
+    let inflated = json.replace(
+        "\"events_per_sec_best\": ",
+        "\"events_per_sec_best\": 99999999999.0, \"was\": ",
+    );
+    let fast = dir.join("BENCH_fast.json");
+    std::fs::write(&fast, inflated).expect("write inflated baseline");
+    let out = swbench(&[
+        "perf",
+        "packet-storm",
+        "--quick",
+        "--repeats",
+        "1",
+        "--warmup",
+        "0",
+        "--out",
+        dir.join("BENCH_again2.json").to_str().unwrap(),
+        "--baseline",
+        fast.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "inflated baseline must gate-fail");
+    assert!(
+        stderr(&out).contains("throughput regression"),
+        "{}",
+        stderr(&out)
+    );
+}

@@ -12,12 +12,12 @@
 
 use crate::link::NetNode;
 use crate::packet::{EndpointId, Packet};
-use std::collections::HashMap;
+use simkit::fxhash::FxHashMap;
 
 /// Replicates inbound packets to the hosts running a guest's replicas.
 #[derive(Debug, Clone, Default)]
 pub struct IngressNode {
-    routes: HashMap<EndpointId, Vec<NetNode>>,
+    routes: FxHashMap<EndpointId, Vec<NetNode>>,
 }
 
 impl IngressNode {
@@ -69,7 +69,7 @@ struct CopyState {
 /// timing and votes on content.
 #[derive(Debug, Clone, Default)]
 pub struct EgressNode {
-    seen: HashMap<(EndpointId, u64), CopyState>,
+    seen: FxHashMap<(EndpointId, u64), CopyState>,
     forwarded: u64,
     divergences: u64,
 }

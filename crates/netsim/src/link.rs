@@ -6,9 +6,9 @@
 //! between replica hosts — the thing StopWatch's median machinery absorbs —
 //! are reproducible.
 
+use simkit::fxhash::FxHashMap;
 use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// A machine on the physical network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -88,13 +88,13 @@ impl LinkModel {
 #[derive(Debug, Clone)]
 pub struct Fabric {
     default: LinkModel,
-    overrides: HashMap<(NetNode, NetNode), LinkModel>,
+    overrides: FxHashMap<(NetNode, NetNode), LinkModel>,
     rng_root: SimRng,
-    streams: HashMap<(NetNode, NetNode), SimRng>,
+    streams: FxHashMap<(NetNode, NetNode), SimRng>,
     /// Per-link FIFO state: when the link's transmitter is next free.
     /// Cumulative serialization makes bulk sends pace out at wire rate
     /// instead of departing in parallel.
-    free_at: HashMap<(NetNode, NetNode), SimTime>,
+    free_at: FxHashMap<(NetNode, NetNode), SimTime>,
 }
 
 impl Fabric {
@@ -102,10 +102,10 @@ impl Fabric {
     pub fn new(default: LinkModel, rng: SimRng) -> Self {
         Fabric {
             default,
-            overrides: HashMap::new(),
+            overrides: FxHashMap::default(),
             rng_root: rng,
-            streams: HashMap::new(),
-            free_at: HashMap::new(),
+            streams: FxHashMap::default(),
+            free_at: FxHashMap::default(),
         }
     }
 

@@ -142,17 +142,14 @@ impl Packet {
         HEADER_BYTES + payload
     }
 
-    /// A deterministic content hash (FNV-1a over the debug encoding of all
-    /// fields). Two replicas of a deterministic guest emit packets with
-    /// equal hashes; the egress node votes on these (Sec. VI).
+    /// A deterministic content hash over all fields. Two replicas of a
+    /// deterministic guest emit packets with equal hashes; the egress node
+    /// votes on these (Sec. VI). Computed by the seedless Fx word hash
+    /// over the structural encoding — this runs once per replica copy of
+    /// every guest output packet, so no formatting or allocation here.
     pub fn content_hash(&self) -> u64 {
-        let repr = format!("{}|{}|{:?}", self.src.0, self.dst.0, self.body);
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in repr.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        h
+        use std::hash::BuildHasher as _;
+        std::hash::BuildHasherDefault::<simkit::fxhash::FxHasher>::default().hash_one(self)
     }
 }
 

@@ -5,10 +5,28 @@
 //! `W`. Ties at equal timestamps are broken by scheduling order, making every
 //! run fully deterministic — a property the StopWatch reproduction leans on
 //! heavily (replica determinism is part of the defense itself).
+//!
+//! # Batched scheduling
+//!
+//! The run loop advances time in **timestamp batches**: when the clock
+//! reaches the next pending timestamp, every event sharing it is drained
+//! from the heap into a FIFO *lane* in one pass, then executed in sequence
+//! order. Events scheduled *at the current time* (immediate work, past
+//! times clamped to `now`) are appended straight to the lane and never
+//! touch the heap — the common "N packets land on one tick" case pays one
+//! heap pop per *timestamp*, not per event, and handler-chained immediate
+//! events pay no heap traffic at all. The lane is a persistent allocation
+//! reused across batches and runs.
+//!
+//! Batching changes only *where* events wait, never *when* or in what
+//! order they run: the execution order is identical to the scalar
+//! one-pop-per-event loop, which is retained as
+//! [`Sim::set_scalar_reference`] so differential tests can prove it.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
+use crate::fxhash::FxHashSet;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event, usable for cancellation.
@@ -69,8 +87,16 @@ pub struct Sim<W> {
     now: SimTime,
     next_seq: u64,
     queue: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<u64>,
+    /// Same-time FIFO lane: events due exactly at `now`, in `seq` order.
+    /// Invariant: whenever the lane is non-empty, every heap entry is
+    /// strictly later than `now`, so draining the lane first preserves
+    /// global `(at, seq)` order.
+    lane: VecDeque<Scheduled<W>>,
+    cancelled: FxHashSet<u64>,
     executed: u64,
+    /// Run the pre-batching one-pop-per-event loop instead (differential
+    /// reference; see [`Sim::set_scalar_reference`]).
+    scalar_reference: bool,
 }
 
 impl<W> Default for Sim<W> {
@@ -86,9 +112,29 @@ impl<W> Sim<W> {
             now: SimTime::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            lane: VecDeque::new(),
+            cancelled: FxHashSet::default(),
             executed: 0,
+            scalar_reference: false,
         }
+    }
+
+    /// Switches between the batched run loop (default) and the scalar
+    /// one-pop-per-event reference loop. The two execute identical event
+    /// orders; the scalar path exists so determinism tests can diff the
+    /// batched engine against it.
+    ///
+    /// Events already staged in the same-time lane (e.g. scheduled at
+    /// `now` during construction) are returned to the heap when entering
+    /// scalar mode — their `(at, seq)` keys restore their exact place, so
+    /// flipping the mode never reorders anything.
+    pub fn set_scalar_reference(&mut self, scalar: bool) {
+        if scalar {
+            while let Some(ev) = self.lane.pop_front() {
+                self.queue.push(ev);
+            }
+        }
+        self.scalar_reference = scalar;
     }
 
     /// Current simulation time.
@@ -103,7 +149,7 @@ impl<W> Sim<W> {
 
     /// Number of events still pending (including cancelled tombstones).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.queue.len() + self.lane.len()
     }
 
     /// Schedules `handler` to run at absolute time `at`.
@@ -118,11 +164,19 @@ impl<W> Sim<W> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled {
+        let ev = Scheduled {
             at,
             seq,
             handler: Box::new(handler),
-        });
+        };
+        // Same-time fast path: an event due right now joins the FIFO lane
+        // (its seq is larger than everything staged there) and skips the
+        // heap entirely.
+        if at == self.now && !self.scalar_reference {
+            self.lane.push_back(ev);
+        } else {
+            self.queue.push(ev);
+        }
         EventId(seq)
     }
 
@@ -147,6 +201,13 @@ impl<W> Sim<W> {
         self.cancelled.insert(id.0)
     }
 
+    /// `true` when `seq` carries a cancellation tombstone (consuming it).
+    /// The empty-set check keeps the no-cancellations case a branch, not a
+    /// hash probe per event.
+    fn take_tombstone(&mut self, seq: u64) -> bool {
+        !self.cancelled.is_empty() && self.cancelled.remove(&seq)
+    }
+
     /// Runs events until the queue is empty; returns the final time.
     pub fn run(&mut self, world: &mut W) -> SimTime {
         self.run_until(world, SimTime::MAX)
@@ -155,6 +216,47 @@ impl<W> Sim<W> {
     /// Runs events with timestamps `<= deadline`; time stops at the deadline
     /// (or at the last event, whichever is earlier). Returns the final time.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        if self.scalar_reference {
+            return self.run_until_scalar(world, deadline);
+        }
+        loop {
+            // Drain the same-time lane: everything staged at `now`, plus
+            // whatever handlers append to it while it drains.
+            while let Some(ev) = self.lane.pop_front() {
+                if self.take_tombstone(ev.seq) {
+                    continue;
+                }
+                self.executed += 1;
+                (ev.handler)(self, world);
+            }
+            // Advance to the next timestamp and stage its whole batch.
+            let Some(head) = self.queue.peek() else {
+                return self.now;
+            };
+            if head.at > deadline {
+                self.now = deadline.min(head.at);
+                return self.now;
+            }
+            let t = head.at;
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            while let Some(head) = self.queue.peek() {
+                if head.at != t {
+                    break;
+                }
+                let ev = self.queue.pop().expect("peeked entry must pop");
+                if self.take_tombstone(ev.seq) {
+                    continue;
+                }
+                self.lane.push_back(ev);
+            }
+        }
+    }
+
+    /// The pre-batching scalar loop: pops one event per heap operation.
+    /// Kept as the differential-testing reference for the batched
+    /// [`Sim::run_until`]; only runs events scheduled in scalar mode.
+    fn run_until_scalar(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
         while let Some(head) = self.queue.peek() {
             if head.at > deadline {
                 self.now = deadline.min(head.at);
@@ -163,7 +265,7 @@ impl<W> Sim<W> {
             let ev = self.queue.pop().expect("peeked entry must pop");
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
-            if self.cancelled.remove(&ev.seq) {
+            if self.take_tombstone(ev.seq) {
                 continue;
             }
             self.executed += 1;
@@ -176,10 +278,34 @@ impl<W> Sim<W> {
     pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
         let mut ran = 0;
         while ran < n {
+            if let Some(ev) = self.lane.pop_front() {
+                if self.take_tombstone(ev.seq) {
+                    continue;
+                }
+                self.executed += 1;
+                ran += 1;
+                (ev.handler)(self, world);
+                continue;
+            }
+            // Lane empty: advance to the next timestamp. Batched mode
+            // stages the whole batch so later same-time schedules keep
+            // FIFO order with the not-yet-run remainder.
             let Some(ev) = self.queue.pop() else { break };
             self.now = ev.at;
-            if self.cancelled.remove(&ev.seq) {
+            if self.take_tombstone(ev.seq) {
                 continue;
+            }
+            if !self.scalar_reference {
+                while let Some(head) = self.queue.peek() {
+                    if head.at != ev.at {
+                        break;
+                    }
+                    let next = self.queue.pop().expect("peeked entry must pop");
+                    if self.take_tombstone(next.seq) {
+                        continue;
+                    }
+                    self.lane.push_back(next);
+                }
             }
             self.executed += 1;
             ran += 1;
@@ -248,6 +374,19 @@ mod tests {
     }
 
     #[test]
+    fn cancel_works_on_staged_same_time_events() {
+        // An event already staged in the same-time lane (scheduled at
+        // `now`) must still honour cancellation.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        let id = sim.schedule(SimTime::ZERO, |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule(SimTime::ZERO, |_, w: &mut Vec<u32>| w.push(2));
+        assert!(sim.cancel(id));
+        sim.run(&mut w);
+        assert_eq!(w, vec![2]);
+    }
+
+    #[test]
     fn cancel_unknown_id_is_false() {
         let mut sim: Sim<()> = Sim::new();
         assert!(!sim.cancel(EventId(42)));
@@ -297,6 +436,23 @@ mod tests {
     }
 
     #[test]
+    fn step_interrupting_a_same_time_batch_keeps_fifo_order() {
+        // step() stops mid-batch; a fresh same-time schedule must still run
+        // after the staged remainder of the batch.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..3 {
+            sim.schedule(t, move |_, w: &mut Vec<u32>| w.push(i));
+        }
+        assert_eq!(sim.step(&mut w, 1), 1);
+        assert_eq!(sim.now(), t);
+        sim.schedule(t, |_, w: &mut Vec<u32>| w.push(99));
+        sim.run(&mut w);
+        assert_eq!(w, vec![0, 1, 2, 99]);
+    }
+
+    #[test]
     fn periodic_self_rescheduling() {
         struct W {
             ticks: u32,
@@ -313,5 +469,94 @@ mod tests {
         sim.run(&mut w);
         assert_eq!(w.ticks, 10);
         assert_eq!(sim.now(), SimTime::from_millis(36));
+    }
+
+    #[test]
+    fn same_time_chains_skip_the_heap() {
+        // A handler that schedules at `now` repeatedly: the chain lives
+        // entirely in the FIFO lane (this asserts behaviour, the lane is
+        // the mechanism).
+        fn chain(sim: &mut Sim<Vec<u64>>, w: &mut Vec<u64>) {
+            w.push(sim.now().as_nanos());
+            if w.len() < 5 {
+                let now = sim.now();
+                sim.schedule(now, chain);
+            }
+        }
+        let mut sim: Sim<Vec<u64>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule(SimTime::from_millis(2), chain);
+        sim.run(&mut w);
+        assert_eq!(w, vec![2_000_000; 5]);
+        assert_eq!(sim.events_executed(), 5);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    /// One pseudo-random torture trace, executed by both loops.
+    fn torture_trace(scalar: bool) -> Vec<(u64, u64)> {
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *state >> 33
+        }
+        struct W {
+            log: Vec<(u64, u64)>, // (now_ns, event tag)
+            rng: u64,
+            spawned: u32,
+        }
+        fn ev(sim: &mut Sim<W>, w: &mut W, tag: u64) {
+            w.log.push((sim.now().as_nanos(), tag));
+            // Spawn a few follow-ups at pseudo-random (often colliding)
+            // times, sometimes cancelling one.
+            for _ in 0..=(next(&mut w.rng) % 3) {
+                if w.spawned >= 400 {
+                    break;
+                }
+                w.spawned += 1;
+                let tag = u64::from(w.spawned);
+                let delta = next(&mut w.rng) % 4; // 0..3 ms, 0 = same time
+                let id = sim.schedule_in(SimDuration::from_millis(delta), move |sim, w| {
+                    ev(sim, w, tag)
+                });
+                if next(&mut w.rng) % 7 == 0 {
+                    sim.cancel(id);
+                }
+            }
+        }
+        let mut sim: Sim<W> = Sim::new();
+        sim.set_scalar_reference(scalar);
+        let mut w = W {
+            log: Vec::new(),
+            rng: 0x5eed,
+            spawned: 0,
+        };
+        for i in 0..10 {
+            sim.schedule(SimTime::from_millis(i % 3), move |sim, w: &mut W| {
+                ev(sim, w, 1000 + i)
+            });
+        }
+        sim.run(&mut w);
+        w.log
+    }
+
+    #[test]
+    fn entering_scalar_mode_returns_staged_events_to_the_heap() {
+        // Events staged in the same-time lane before the mode flip (the
+        // build-then-flip pattern) must survive it in order.
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut w = Vec::new();
+        sim.schedule(SimTime::ZERO, |_, w: &mut Vec<u32>| w.push(1)); // lane
+        sim.schedule(SimTime::from_millis(1), |_, w: &mut Vec<u32>| w.push(2));
+        sim.set_scalar_reference(true);
+        assert_eq!(sim.pending(), 2);
+        sim.run(&mut w);
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn batched_loop_matches_scalar_reference_on_torture_trace() {
+        let batched = torture_trace(false);
+        let scalar = torture_trace(true);
+        assert!(batched.len() > 100, "trace too small to be convincing");
+        assert_eq!(batched, scalar, "batched loop must replay scalar order");
     }
 }

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod engine;
+pub mod fxhash;
 pub mod metrics;
 pub mod rng;
 pub mod time;

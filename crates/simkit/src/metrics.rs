@@ -341,7 +341,13 @@ impl Counters {
 
     /// Adds `n` to counter `name` (creating it at zero).
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.map.entry(name.to_owned()).or_insert(0) += n;
+        // Hot path: counters are incremented once per simulated event, so
+        // the existing-key case must not allocate an owned key.
+        if let Some(v) = self.map.get_mut(name) {
+            *v += n;
+        } else {
+            self.map.insert(name.to_owned(), n);
+        }
     }
 
     /// Adds one to counter `name`.

@@ -23,10 +23,10 @@ use netsim::link::{Fabric, NetNode};
 use netsim::packet::{EndpointId, Packet};
 use netsim::pgm::{PgmPacket, PgmReceiver, PgmSender};
 use simkit::engine::{EventId, Sim};
+use simkit::fxhash::FxHashMap;
 use simkit::metrics::Counters;
 use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime, VirtNanos};
-use std::collections::HashMap;
 use storage::block::DiskImage;
 use storage::device::DiskDevice;
 use storage::model::{AccessModel, RotatingDisk, Ssd};
@@ -106,14 +106,21 @@ pub struct Cloud {
     egress: EgressNode,
     egress_node: NetNode,
     vms: Vec<VmRecord>,
-    by_endpoint: HashMap<EndpointId, usize>,
+    by_endpoint: FxHashMap<EndpointId, usize>,
     clients: Vec<ClientRecord>,
-    client_by_endpoint: HashMap<EndpointId, usize>,
+    client_by_endpoint: FxHashMap<EndpointId, usize>,
     ingress_seq: u64,
-    wakes: HashMap<(usize, usize), EventId>,
-    pgm_tx: HashMap<(usize, usize), PgmSender<ProposalMsg>>,
-    pgm_rx: HashMap<(usize, usize, usize), PgmReceiver<ProposalMsg>>,
-    tunnel_last: HashMap<usize, SimTime>,
+    /// Pending wake per slot: the event and the time it fires at (kept so
+    /// a reschedule to the same time can keep the pending event).
+    wakes: FxHashMap<(usize, usize), (EventId, SimTime)>,
+    pgm_tx: FxHashMap<(usize, usize), PgmSender<ProposalMsg>>,
+    pgm_rx: FxHashMap<(usize, usize, usize), PgmReceiver<ProposalMsg>>,
+    tunnel_last: FxHashMap<usize, SimTime>,
+    /// Run the pre-batching scalar paths (per-proposal median agreement,
+    /// per-message wake recomputation) — the differential-testing
+    /// reference for the batched hot paths. See
+    /// [`CloudSim::set_scalar_reference`].
+    scalar_reference: bool,
     stats: Counters,
 }
 
@@ -187,18 +194,28 @@ impl Cloud {
     // ------------------------------------------------------------------
 
     fn reschedule_wake(&mut self, sim: &mut Sim<Cloud>, h: usize, s: usize) {
-        if let Some(old) = self.wakes.remove(&(h, s)) {
+        let now = sim.now();
+        let target = self.hosts[h].next_wake(s, now);
+        if let Some(&(_, at)) = self.wakes.get(&(h, s)) {
+            // The pending wake already fires at the right time: keep it
+            // instead of churning a cancel tombstone plus a fresh event
+            // through the engine (the common case when new input does not
+            // change what the slot is waiting for).
+            if target == Some(at) {
+                return;
+            }
+        }
+        if let Some((old, _)) = self.wakes.remove(&(h, s)) {
             sim.cancel(old);
         }
-        let now = sim.now();
-        if let Some(t) = self.hosts[h].next_wake(s, now) {
+        if let Some(t) = target {
             let id = sim.schedule(t, move |sim, cloud: &mut Cloud| {
                 cloud.wakes.remove(&(h, s));
                 let outputs = cloud.hosts[h].process_slot(s, sim.now());
                 cloud.handle_outputs(sim, h, s, outputs);
                 cloud.reschedule_wake(sim, h, s);
             });
-            self.wakes.insert((h, s), id);
+            self.wakes.insert((h, s), (id, t));
         }
     }
 
@@ -424,13 +441,12 @@ impl Cloud {
             .entry((vm_idx, sender_replica))
             .or_insert_with(|| PgmSender::new(4096));
         let pgm_pkt = tx.send(msg);
-        let replicas = self.vms[vm_idx].replicas.clone();
-        let from_node = self.hosts[replicas[sender_replica].0].id();
-        for (peer_idx, &(ph, _)) in replicas.iter().enumerate() {
+        let from_node = self.hosts[self.vms[vm_idx].replicas[sender_replica].0].id();
+        for peer_idx in 0..self.vms[vm_idx].replicas.len() {
             if peer_idx == sender_replica {
                 continue;
             }
-            let to_node = self.hosts[ph].id();
+            let to_node = self.hosts[self.vms[vm_idx].replicas[peer_idx].0].id();
             let pkt = pgm_pkt.clone();
             if let Some(arrive) =
                 self.fabric
@@ -457,9 +473,23 @@ impl Cloud {
             .or_insert_with(PgmReceiver::new);
         let out = rx.on_packet(pkt);
         let now = sim.now();
-        for msg in out.delivered {
-            let (h, s) = self.vms[vm_idx].replicas[receiver_replica];
-            if self.hosts[h].add_proposal(s, now, msg.seq, msg.proposal) {
+        let (h, s) = self.vms[vm_idx].replicas[receiver_replica];
+        if self.scalar_reference {
+            // Reference path: one median-agreement call and one wake
+            // recomputation per delivered message.
+            for msg in &out.delivered {
+                if self.hosts[h].add_proposal(s, now, msg.seq, msg.proposal) {
+                    self.reschedule_wake(sim, h, s);
+                }
+            }
+        } else if !out.delivered.is_empty() {
+            // Batched path: the whole delivered backlog (one message in
+            // the common case, more after NAK recovery) runs through the
+            // median agreement in one pass — streamed, no per-packet
+            // allocation — and the slot's wake is recomputed once at the
+            // end if any delivery time got fixed.
+            let batch = out.delivered.iter().map(|msg| (msg.seq, msg.proposal));
+            if self.hosts[h].add_proposals(s, now, batch) > 0 {
                 self.reschedule_wake(sim, h, s);
             }
         }
@@ -553,17 +583,29 @@ impl Cloud {
             if !self.vms[vm_idx].stopwatch {
                 continue;
             }
-            let replicas = self.vms[vm_idx].replicas.clone();
-            let mut virts: Vec<(u64, usize)> = replicas
-                .iter()
-                .enumerate()
-                .map(|(i, &(h, s))| (self.hosts[h].virt_of(s, now).as_nanos(), i))
-                .collect();
-            virts.sort_unstable_by(|a, b| b.cmp(a)); // descending
-            if virts.len() >= 2 && virts[0].0 - virts[1].0 > pacing.max_gap_ns {
-                let (h, s) = replicas[virts[0].1];
-                self.hosts[h].stall_slot(s, now, now + pacing.heartbeat);
-                self.reschedule_wake(sim, h, s);
+            // Fastest and second-fastest replica, without sorting (and
+            // without cloning the replica list — this runs every
+            // heartbeat for every VM).
+            let mut fastest: Option<(u64, usize)> = None;
+            let mut second: Option<u64> = None;
+            for i in 0..self.vms[vm_idx].replicas.len() {
+                let (h, s) = self.vms[vm_idx].replicas[i];
+                let v = self.hosts[h].virt_of(s, now).as_nanos();
+                match fastest {
+                    Some((fv, _)) if v <= fv => second = Some(second.map_or(v, |s2| s2.max(v))),
+                    Some((fv, _)) => {
+                        second = Some(fv);
+                        fastest = Some((v, i));
+                    }
+                    None => fastest = Some((v, i)),
+                }
+            }
+            if let (Some((fv, fi)), Some(sv)) = (fastest, second) {
+                if fv - sv > pacing.max_gap_ns {
+                    let (h, s) = self.vms[vm_idx].replicas[fi];
+                    self.hosts[h].stall_slot(s, now, now + pacing.heartbeat);
+                    self.reschedule_wake(sim, h, s);
+                }
             }
         }
     }
@@ -724,7 +766,7 @@ impl CloudBuilder {
 
         let mut ingress = IngressNode::new();
         let mut vms = Vec::new();
-        let mut by_endpoint = HashMap::new();
+        let mut by_endpoint = FxHashMap::default();
         for (vm_idx, (host_list, programs, stopwatch)) in self.vms.into_iter().enumerate() {
             let endpoint = EndpointId(1000 + vm_idx as u64);
             let mode = if stopwatch {
@@ -766,7 +808,7 @@ impl CloudBuilder {
         }
 
         let mut clients = Vec::new();
-        let mut client_by_endpoint = HashMap::new();
+        let mut client_by_endpoint = FxHashMap::default();
         for (ci, app) in self.clients.into_iter().enumerate() {
             let endpoint = EndpointId(2000 + ci as u64);
             clients.push(ClientRecord {
@@ -790,10 +832,11 @@ impl CloudBuilder {
             clients,
             client_by_endpoint,
             ingress_seq: 0,
-            wakes: HashMap::new(),
-            pgm_tx: HashMap::new(),
-            pgm_rx: HashMap::new(),
-            tunnel_last: HashMap::new(),
+            wakes: FxHashMap::default(),
+            pgm_tx: FxHashMap::default(),
+            pgm_rx: FxHashMap::default(),
+            tunnel_last: FxHashMap::default(),
+            scalar_reference: false,
             stats: Counters::new(),
         };
 
@@ -878,6 +921,17 @@ impl CloudSim {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Runs this cloud on the pre-batching scalar hot paths (one-pop
+    /// event loop, per-proposal median agreement, per-message wake
+    /// recomputation) instead of the batched ones. The two modes execute
+    /// identical event orders; this switch exists so determinism tests
+    /// can diff the batched engine against the scalar reference. Flip it
+    /// right after [`CloudBuilder::build`], before running.
+    pub fn set_scalar_reference(&mut self, scalar: bool) {
+        self.sim.set_scalar_reference(scalar);
+        self.cloud.scalar_reference = scalar;
     }
 
     /// Runs until `deadline`.

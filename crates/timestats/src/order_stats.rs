@@ -172,10 +172,26 @@ pub fn median3<T: Ord + Copy>(a: T, b: T, c: T) -> T {
 ///
 /// Panics if `xs` is empty or has even length.
 pub fn median_odd<T: Ord + Copy>(xs: &[T]) -> T {
-    assert!(!xs.is_empty() && xs.len() % 2 == 1, "need odd-length input");
     let mut v: Vec<T> = xs.to_vec();
-    v.sort_unstable();
-    v[v.len() / 2]
+    median_odd_in_place(&mut v)
+}
+
+/// Median of an odd-length slice **in place**: selects the middle element
+/// without allocating (O(n) selection rather than a full sort, reordering
+/// the slice). This is the runtime median-agreement hot path — a VMM
+/// fixing a burst of packet delivery times calls it once per packet over
+/// the packet's own proposal buffer, with no clone.
+///
+/// The returned value is identical to `sort-then-middle`: selection and
+/// sorting agree on which element ranks `len/2`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or has even length.
+pub fn median_odd_in_place<T: Ord + Copy>(xs: &mut [T]) -> T {
+    assert!(!xs.is_empty() && xs.len() % 2 == 1, "need odd-length input");
+    let mid = xs.len() / 2;
+    *xs.select_nth_unstable(mid).1
 }
 
 #[cfg(test)]
@@ -300,6 +316,36 @@ mod tests {
     fn median_odd_slice() {
         assert_eq!(median_odd(&[5, 1, 4, 2, 3]), 3);
         assert_eq!(median_odd(&[7]), 7);
+    }
+
+    #[test]
+    fn median_in_place_matches_sorted_reference() {
+        // Pseudo-random odd-length slices: the in-place selection must
+        // agree with the scalar sort-then-middle reference everywhere.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [1usize, 3, 5, 7, 33, 101] {
+            for _ in 0..50 {
+                let xs: Vec<u64> = (0..len).map(|_| next() % 1000).collect();
+                let mut sorted = xs.clone();
+                sorted.sort_unstable();
+                let reference = sorted[len / 2];
+                let mut scratch = xs.clone();
+                assert_eq!(median_odd_in_place(&mut scratch), reference, "{xs:?}");
+                assert_eq!(median_odd(&xs), reference);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd-length")]
+    fn median_in_place_even_panics() {
+        median_odd_in_place(&mut [1, 2]);
     }
 
     #[test]

@@ -130,6 +130,19 @@ impl HostMachine {
         slot.add_proposal(profile, now, ingress_seq, proposal)
     }
 
+    /// Records a burst of delivery-time proposals for slot `idx` in one
+    /// pass; returns how many packets now have a fixed delivery time (see
+    /// [`GuestSlot::add_proposals`]).
+    pub fn add_proposals(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        batch: impl IntoIterator<Item = (u64, VirtNanos)>,
+    ) -> usize {
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.add_proposals(profile, now, batch)
+    }
+
     /// Submits a disk request from slot `idx` to the host disk; returns
     /// the absolute completion time.
     pub fn submit_disk(&mut self, request: DiskRequest, now: SimTime) -> SimTime {
@@ -157,12 +170,9 @@ impl HostMachine {
     /// when the host's contention factor changed (callers then recompute
     /// pending wakes). This is how one guest's load perturbs the timing of
     /// its coresident guests — the substrate of access-driven attacks.
-    pub fn refresh_activity(&mut self, now: SimTime) -> bool {
-        // Sync each slot to `now` first so busy-ness is current.
-        for i in 0..self.slots.len() {
-            let (profile, slot) = (&self.profile, &mut self.slots[i]);
-            let _ = slot.next_wake(profile, now); // read-only probe
-        }
+    pub fn refresh_activity(&mut self, _now: SimTime) -> bool {
+        // `is_busy` reads the action queue directly, which only changes
+        // inside `process()` — no per-slot clock sync is needed here.
         let before = self.profile.contention();
         let busy: Vec<f64> = self
             .slots

@@ -563,6 +563,44 @@ impl GuestSlot {
         proposal: VirtNanos,
     ) -> bool {
         let cur_virt = self.virt_at(profile, now);
+        self.record_proposal(ingress_seq, proposal, cur_virt)
+    }
+
+    /// Records a burst of proposals that reached this replica together
+    /// (e.g. one PGM packet's delivered backlog): one virtual-clock read
+    /// covers the whole batch, and every packet whose proposal set
+    /// completes gets its median fixed by an in-place selection over its
+    /// own proposal buffer — no per-packet clone-and-sort. Returns how
+    /// many of the batch's packets now have a fixed delivery time
+    /// (including ones that already had one), i.e. whether the caller
+    /// needs to recompute the slot's wake.
+    ///
+    /// Behaviour is byte-identical to calling [`GuestSlot::add_proposal`]
+    /// once per entry at the same `now`: all entries see the same current
+    /// virtual time either way, and fixing one packet's delivery never
+    /// affects another packet's proposals.
+    pub fn add_proposals(
+        &mut self,
+        profile: &SpeedProfile,
+        now: SimTime,
+        batch: impl IntoIterator<Item = (u64, VirtNanos)>,
+    ) -> usize {
+        let cur_virt = self.virt_at(profile, now);
+        batch
+            .into_iter()
+            .filter(|&(seq, proposal)| self.record_proposal(seq, proposal, cur_virt))
+            .count()
+    }
+
+    /// The median-agreement core shared by the scalar and batched entry
+    /// points. `cur_virt` is the replica's current virtual time (read once
+    /// per batch by the callers).
+    fn record_proposal(
+        &mut self,
+        ingress_seq: u64,
+        proposal: VirtNanos,
+        cur_virt: VirtNanos,
+    ) -> bool {
         let Some(pending) = self.net.get_mut(&ingress_seq) else {
             return false;
         };
@@ -573,9 +611,9 @@ impl GuestSlot {
         if pending.proposals.len() < pending.needed {
             return false;
         }
-        let mut props = pending.proposals.clone();
-        props.sort_unstable();
-        let median = props[props.len() / 2];
+        // All proposals are in: adopt the median by selecting the middle
+        // element in place (the proposal buffer is dead after this).
+        let median = timestats::order_stats::median_odd_in_place(&mut pending.proposals);
         if median < cur_virt {
             pending.deliver = Some(cur_virt);
             self.counters.incr("sync_violations");

@@ -12,6 +12,7 @@
 
 use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime};
+use std::cell::RefCell;
 
 /// Deterministic branches-per-second profile for one host core.
 #[derive(Debug, Clone)]
@@ -23,6 +24,11 @@ pub struct SpeedProfile {
     /// Multiplicative slowdown from coresident load, `0 <= c < 1`;
     /// effective speed is `base * (1 - c) * (1 ± jitter)`.
     contention: f64,
+    /// Memoized jitter multipliers, indexed by epoch. Each multiplier is a
+    /// pure function of (seed, epoch), so caching cannot change any value —
+    /// it only skips the per-query stream derivation on the branch↔time
+    /// conversion hot path (every wake computation integrates over epochs).
+    jitter_memo: RefCell<Vec<f64>>,
 }
 
 impl SpeedProfile {
@@ -45,6 +51,7 @@ impl SpeedProfile {
             epoch,
             seed_stream: rng,
             contention: 0.0,
+            jitter_memo: RefCell::new(Vec::new()),
         }
     }
 
@@ -68,13 +75,27 @@ impl SpeedProfile {
         self.contention
     }
 
-    /// Jitter multiplier for epoch `idx` — a pure function of (seed, idx).
+    /// Jitter multiplier for epoch `idx` — a pure function of (seed, idx),
+    /// memoized densely by epoch (epoch indices grow with simulated time,
+    /// so the memo is a flat vector, not a map).
     fn jitter_mult(&self, idx: u64) -> f64 {
         if self.jitter_frac == 0.0 {
             return 1.0;
         }
-        let mut s = self.seed_stream.stream(&format!("epoch#{idx}"));
-        1.0 + s.uniform(-self.jitter_frac, self.jitter_frac)
+        let mut memo = self.jitter_memo.borrow_mut();
+        let idx = idx as usize;
+        if idx >= memo.len() + 1_000_000 {
+            // A far-future probe (beyond any plausible run horizon) is
+            // answered directly instead of dense-filling the memo to it.
+            let mut s = self.seed_stream.stream(&format!("epoch#{idx}"));
+            return 1.0 + s.uniform(-self.jitter_frac, self.jitter_frac);
+        }
+        while memo.len() <= idx {
+            let i = memo.len();
+            let mut s = self.seed_stream.stream(&format!("epoch#{i}"));
+            memo.push(1.0 + s.uniform(-self.jitter_frac, self.jitter_frac));
+        }
+        memo[idx]
     }
 
     /// Effective branches/second during epoch `idx`.

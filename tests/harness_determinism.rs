@@ -24,7 +24,12 @@ fn demo_spec() -> SweepSpec {
 }
 
 fn sweep_json(threads: usize) -> String {
-    let spec = demo_spec();
+    sweep_json_mode(threads, false)
+}
+
+fn sweep_json_mode(threads: usize, scalar_reference: bool) -> String {
+    let mut spec = demo_spec();
+    spec.scalar_reference = scalar_reference;
     let scenarios = spec.scenarios().expect("spec expands");
     assert_eq!(scenarios.len(), 8, "2 x 2 grid x 2 seeds");
     let outcomes = run_scenarios(
@@ -67,4 +72,21 @@ fn sweep_json_is_byte_identical_at_1_2_and_8_threads() {
 #[test]
 fn repeated_runs_are_identical() {
     assert_eq!(sweep_json(4), sweep_json(4), "same spec, same bytes");
+}
+
+/// The hot-path batching contract: the batched engine (same-time FIFO
+/// lane, burst median agreement) and the retained scalar reference paths
+/// (one heap pop per event, one median per proposal) must produce
+/// **byte-identical** sweep JSON — batching changed speed, not behavior.
+/// `events_executed` is embedded per cell, so even a silently
+/// created-then-cancelled extra event would show up here.
+#[test]
+fn batched_and_scalar_engines_produce_identical_sweep_json() {
+    let batched = sweep_json_mode(4, false);
+    let scalar = sweep_json_mode(4, true);
+    assert_eq!(batched, scalar, "batched vs scalar-reference JSON");
+    assert!(
+        batched.contains("\"failures\": []"),
+        "runs were not vacuous"
+    );
 }
