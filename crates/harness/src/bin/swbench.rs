@@ -116,7 +116,11 @@ fn describe(which: Option<&str>) -> Result<(), String> {
             println!(
                 "Workloads (`--workload NAME`, `workload` axis; parameters are axes/--param):"
             );
-            for w in registry::workloads() {
+            // Alphabetical, not registration order: the catalogue stays
+            // stable no matter what order workloads were linked in.
+            let mut listed = registry::workloads();
+            listed.sort_by(|a, b| a.name().cmp(b.name()));
+            for w in listed {
                 print_workload(w.as_ref());
             }
         }

@@ -77,6 +77,30 @@ pub const PERF_BENCHES: &[PerfBench] = &[
             Ok(vec![s])
         },
     },
+    PerfBench {
+        name: "cache-storm",
+        about: "one cloud, dense PRIME+PROBE rounds — stresses the cache-probe proposal/median hot path",
+        build: |quick| {
+            let mut s = Scenario::new("cache-channel", 42);
+            s.label = "cache-storm".to_string();
+            s.cell = "cache-storm".to_string();
+            s.workload_params = vec![
+                ("sets".to_string(), "32".to_string()),
+                ("ways".to_string(), "4".to_string()),
+                (
+                    "rounds".to_string(),
+                    if quick { "40" } else { "200" }.to_string(),
+                ),
+                ("victim".to_string(), "true".to_string()),
+            ];
+            s.overrides = vec![
+                ("broadcast_band".to_string(), "off".to_string()),
+                ("disk".to_string(), "ssd".to_string()),
+            ];
+            s.duration = SimDuration::from_secs(600);
+            Ok(vec![s])
+        },
+    },
 ];
 
 /// Looks up a perf benchmark by name.
@@ -478,6 +502,26 @@ mod tests {
         assert_eq!(full.len(), 64, "8 grid points x 8 seeds");
         let storm = perf_bench("packet-storm").unwrap().scenarios(true).unwrap();
         assert_eq!(storm.len(), 1, "single-cloud microbench");
+        let cache = perf_bench("cache-storm").unwrap().scenarios(true).unwrap();
+        assert_eq!(cache.len(), 1, "single-cloud microbench");
+        assert_eq!(cache[0].workload, "cache-channel");
+    }
+
+    #[test]
+    fn cache_storm_quick_run_counts_probe_work() {
+        let opts = PerfOptions {
+            quick: true,
+            warmup: 0,
+            repeats: 1,
+            threads: 1,
+            scalar: false,
+        };
+        let report = run_perf("cache-storm", &opts).expect("perf run");
+        assert!(report.events > 0);
+        assert!(
+            report.to_json().contains("\"bench\": \"cache-storm\""),
+            "report names its bench"
+        );
     }
 
     #[test]

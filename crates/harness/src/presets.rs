@@ -107,6 +107,36 @@ pub const PRESETS: &[Preset] = &[
         },
     },
     Preset {
+        name: "cache-channel",
+        about: "PRIME+PROBE set-recovery accuracy vs replica count (1/3/5), with and without the victim (Sec. III)",
+        build: |quick| {
+            // Replicas go 1 (baseline arm) -> 3 -> 5; the clean
+            // baseline cell comes first so it anchors the leakage
+            // verdicts (clean probes read identical flat hit latencies
+            // in every arm). The replicas knob is a no-op under the
+            // baseline arm, so the stopwatch=false cells repeat at each
+            // replicas grid point — kept deliberately: the grid stays
+            // rectangular and the duplicated baseline rows double as a
+            // determinism cross-check (their verdicts must read ks=0).
+            let spec = SweepSpec::new("cache-channel", "cache-channel")
+                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.replicas", &[3u64, 5])
+                .axis("victim", &["false", "true"])
+                .seed_shards(42, if quick { 2 } else { 6 });
+            let mut spec = with_params(
+                spec,
+                &[
+                    ("rounds", if quick { "12" } else { "40" }),
+                    ("sets", "8"),
+                    ("ways", "2"),
+                ],
+                &[("broadcast_band", "off"), ("disk", "ssd")],
+            );
+            spec.duration = SimDuration::from_secs(120);
+            spec
+        },
+    },
+    Preset {
         name: "replicas",
         about: "overhead vs replica count (3 vs 5, Sec. IX marginalization defense)",
         build: |quick| {
@@ -201,5 +231,21 @@ mod tests {
     fn lookup_by_name() {
         assert!(preset("fig5").is_some());
         assert!(preset("no-such").is_none());
+    }
+
+    #[test]
+    fn cache_channel_grid_covers_arms_replicas_and_victim() {
+        let spec = preset("cache-channel").unwrap().spec(true);
+        // stopwatch x replicas x victim x 2 seeds.
+        assert_eq!(spec.scenario_count(), 2 * 2 * 2 * 2);
+        let scenarios = spec.scenarios().expect("expands");
+        assert_eq!(
+            scenarios[0].cell, "stopwatch=false,cfg.replicas=3,victim=false",
+            "clean baseline cell anchors the leakage verdicts"
+        );
+        assert!(scenarios.iter().any(|s| s.stopwatch));
+        assert!(scenarios.iter().any(|s| s
+            .overrides
+            .contains(&("replicas".to_string(), "5".to_string()))));
     }
 }

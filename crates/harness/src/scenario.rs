@@ -14,9 +14,13 @@ use stopwatch_core::config::CloudConfig;
 use workloads::registry::{self, InstalledWorkload, WorkloadParams};
 
 /// Slot counters folded into every result (summed over all replicas).
-const SLOT_COUNTERS: [&str; 5] = [
+const SLOT_COUNTERS: [&str; 9] = [
     "net_irq",
     "disk_irq",
+    "cache_irq",
+    "cache_probes",
+    "cache_hits",
+    "cache_misses",
     "stalls",
     "sync_violations",
     "dd_violations",

@@ -44,6 +44,28 @@ fn describe_lists_every_knob_and_workload_with_types_and_defaults() {
 }
 
 #[test]
+fn describe_lists_workloads_alphabetically() {
+    let out = swbench(&["describe"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The catalogue must not depend on registration/link order: workload
+    // headers appear sorted by name.
+    let mut names = workloads::registry::workload_names();
+    names.sort();
+    let positions: Vec<usize> = names
+        .iter()
+        .map(|n| {
+            stdout
+                .find(&format!("\n{n} "))
+                .unwrap_or_else(|| panic!("workload {n} missing from describe"))
+        })
+        .collect();
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    assert_eq!(positions, sorted, "describe order is not alphabetical");
+}
+
+#[test]
 fn describe_one_workload_and_suggest_on_typo() {
     let out = swbench(&["describe", "nfs"]);
     assert!(out.status.success(), "{}", stderr(&out));

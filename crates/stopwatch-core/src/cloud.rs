@@ -84,9 +84,19 @@ struct ClientRecord {
     app: Box<dyn ClientApp>,
 }
 
+/// Which device-model channel a proposal belongs to: network-packet
+/// delivery times (Sec. V-B) or cache-probe completion times (the
+/// coresidency channel, medianed the same way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChannelKind {
+    Net,
+    Cache,
+}
+
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct ProposalMsg {
     vm: usize,
+    kind: ChannelKind,
     seq: u64,
     proposal: VirtNanos,
 }
@@ -239,6 +249,28 @@ impl Cloud {
                     out_seq, packet, ..
                 } => {
                     self.route_guest_output(sim, h, s, out_seq, packet);
+                }
+                SlotOutput::CacheProposal { probe_id, proposal } => {
+                    // Deliver our own cache-probe proposal locally, then
+                    // multicast to the peer replicas — the same flow as a
+                    // packet's Δn proposal (only StopWatch slots emit it).
+                    let vm_idx = self.vm_of_slot(h, s);
+                    let replica_idx = self.vms[vm_idx]
+                        .replicas
+                        .iter()
+                        .position(|&r| r == (h, s))
+                        .expect("slot is a replica of its vm");
+                    if self.hosts[h].add_cache_proposal(s, probe_id, proposal) {
+                        self.reschedule_wake(sim, h, s);
+                    }
+                    self.multicast_proposal(
+                        sim,
+                        vm_idx,
+                        replica_idx,
+                        ChannelKind::Cache,
+                        probe_id,
+                        proposal,
+                    );
                 }
             }
         }
@@ -414,7 +446,7 @@ impl Cloud {
                 if self.hosts[h].add_proposal(s, now, seq, proposal) {
                     self.reschedule_wake(sim, h, s);
                 }
-                self.multicast_proposal(sim, vm_idx, replica_idx, seq, proposal);
+                self.multicast_proposal(sim, vm_idx, replica_idx, ChannelKind::Net, seq, proposal);
             }
             ArrivalOutcome::Scheduled => {
                 self.reschedule_wake(sim, h, s);
@@ -427,12 +459,17 @@ impl Cloud {
         sim: &mut Sim<Cloud>,
         vm_idx: usize,
         sender_replica: usize,
+        kind: ChannelKind,
         seq: u64,
         proposal: VirtNanos,
     ) {
-        self.stats.incr("proposals_sent");
+        self.stats.incr(match kind {
+            ChannelKind::Net => "proposals_sent",
+            ChannelKind::Cache => "cache_proposals_sent",
+        });
         let msg = ProposalMsg {
             vm: vm_idx,
+            kind,
             seq,
             proposal,
         };
@@ -478,7 +515,13 @@ impl Cloud {
             // Reference path: one median-agreement call and one wake
             // recomputation per delivered message.
             for msg in &out.delivered {
-                if self.hosts[h].add_proposal(s, now, msg.seq, msg.proposal) {
+                let fixed = match msg.kind {
+                    ChannelKind::Net => self.hosts[h].add_proposal(s, now, msg.seq, msg.proposal),
+                    ChannelKind::Cache => {
+                        self.hosts[h].add_cache_proposal(s, msg.seq, msg.proposal)
+                    }
+                };
+                if fixed {
                     self.reschedule_wake(sim, h, s);
                 }
             }
@@ -487,9 +530,22 @@ impl Cloud {
             // the common case, more after NAK recovery) runs through the
             // median agreement in one pass — streamed, no per-packet
             // allocation — and the slot's wake is recomputed once at the
-            // end if any delivery time got fixed.
-            let batch = out.delivered.iter().map(|msg| (msg.seq, msg.proposal));
-            if self.hosts[h].add_proposals(s, now, batch) > 0 {
+            // end if any delivery time got fixed. Cache-probe proposals
+            // (rare next to packet traffic) take their own scalar calls.
+            let net = out
+                .delivered
+                .iter()
+                .filter(|msg| msg.kind == ChannelKind::Net)
+                .map(|msg| (msg.seq, msg.proposal));
+            let mut fixed = self.hosts[h].add_proposals(s, now, net);
+            for msg in out
+                .delivered
+                .iter()
+                .filter(|msg| msg.kind == ChannelKind::Cache)
+            {
+                fixed += usize::from(self.hosts[h].add_cache_proposal(s, msg.seq, msg.proposal));
+            }
+            if fixed > 0 {
                 self.reschedule_wake(sim, h, s);
             }
         }
@@ -634,6 +690,7 @@ pub struct CloudBuilder {
     host_count: usize,
     vms: Vec<PendingVm>,
     clients: Vec<Box<dyn ClientApp>>,
+    cache_geometry: Option<(u64, usize)>,
 }
 
 impl CloudBuilder {
@@ -649,7 +706,15 @@ impl CloudBuilder {
             host_count,
             vms: Vec::new(),
             clients: Vec::new(),
+            cache_geometry: None,
         }
+    }
+
+    /// Sets the shared-LLC geometry of every host (sets × ways). Cache
+    /// workloads call this from `install` so their probe space matches
+    /// the platform; unset, hosts keep the default geometry.
+    pub fn set_cache_geometry(&mut self, sets: u64, ways: usize) {
+        self.cache_geometry = Some((sets, ways));
     }
 
     /// The configuration this builder was created with.
@@ -738,7 +803,11 @@ impl CloudBuilder {
                 DiskKind::Ssd => Box::new(Ssd::sata()),
             };
             let disk = DiskDevice::new(model, root.stream_indexed("host-disk", h));
-            hosts.push(HostMachine::new(NetNode(h), profile, disk));
+            let mut host = HostMachine::new(NetNode(h), profile, disk);
+            if let Some((sets, ways)) = self.cache_geometry {
+                host.set_cache(vmm::cache::CacheModel::new(sets, ways));
+            }
+            hosts.push(host);
         }
         let ingress_node = NetNode(self.host_count);
         let egress_node = NetNode(self.host_count + 1);

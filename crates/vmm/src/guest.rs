@@ -51,6 +51,25 @@ pub enum GuestAction {
         /// Caller-defined token passed back to `on_call`.
         token: u64,
     },
+    /// Touch a line of the host's shared LLC (install or refresh it) with
+    /// no completion event — the PRIME half of PRIME+PROBE, and the
+    /// victim's secret-dependent footprint.
+    CacheTouch {
+        /// Cache set index (wraps modulo the host cache's set count).
+        set: u64,
+        /// Line tag within the set (per-owner).
+        tag: u64,
+    },
+    /// Probe a line of the host's shared LLC; its hit-or-miss latency
+    /// arrives later via [`GuestProgram::on_cache_probe`] — under
+    /// StopWatch at the replica-median timestamp, like a network
+    /// interrupt.
+    CacheProbe {
+        /// Cache set index.
+        set: u64,
+        /// Line tag within the set.
+        tag: u64,
+    },
 }
 
 /// What the guest sees when one of its handlers runs: the virtualized
@@ -124,6 +143,18 @@ impl<'a> GuestEnv<'a> {
         self.actions.push_back(GuestAction::Call { token });
     }
 
+    /// Queues a silent touch of shared-LLC line `(set, tag)` (prime /
+    /// victim access; no completion event).
+    pub fn cache_touch(&mut self, set: u64, tag: u64) {
+        self.actions.push_back(GuestAction::CacheTouch { set, tag });
+    }
+
+    /// Queues a shared-LLC probe of line `(set, tag)`; the latency readout
+    /// arrives via [`GuestProgram::on_cache_probe`].
+    pub fn cache_probe(&mut self, set: u64, tag: u64) {
+        self.actions.push_back(GuestAction::CacheProbe { set, tag });
+    }
+
     /// Queued actions not yet executed.
     pub fn queue_len(&self) -> usize {
         self.actions.len()
@@ -154,6 +185,12 @@ pub trait GuestProgram {
 
     /// A continuation queued via [`GuestEnv::call_after`] was reached.
     fn on_call(&mut self, _token: u64, _env: &mut GuestEnv) {}
+
+    /// A cache probe queued via [`GuestEnv::cache_probe`] completed.
+    /// `latency_ns` is the probe's readout in virtual nanoseconds — under
+    /// StopWatch the median over the replicas' locally measured
+    /// latencies, under Baseline the local hit/miss latency itself.
+    fn on_cache_probe(&mut self, _set: u64, _tag: u64, _latency_ns: u64, _env: &mut GuestEnv) {}
 
     /// Opt into per-tick timer interrupts (off by default; ticks are
     /// always visible via [`GuestEnv::pit_ticks`]).

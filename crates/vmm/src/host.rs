@@ -4,6 +4,7 @@
 //! interference entering through the shared contention factor and the
 //! shared disk FIFO).
 
+use crate::cache::CacheModel;
 use crate::slot::{ArrivalOutcome, GuestSlot, SlotOutput};
 use crate::speed::SpeedProfile;
 use netsim::link::NetNode;
@@ -12,11 +13,18 @@ use simkit::time::{SimTime, VirtNanos};
 use storage::device::{DiskDevice, DiskRequest};
 use storage::model::AccessModel;
 
+/// Default shared-LLC geometry when nothing configures it (a small
+/// teaching-sized cache; cache workloads set their own via
+/// [`HostMachine::set_cache`]).
+const DEFAULT_CACHE_SETS: u64 = 64;
+const DEFAULT_CACHE_WAYS: usize = 8;
+
 /// One physical machine.
 pub struct HostMachine {
     id: NetNode,
     profile: SpeedProfile,
     disk: DiskDevice<Box<dyn AccessModel>>,
+    cache: CacheModel,
     slots: Vec<GuestSlot>,
     activity: Vec<f64>,
 }
@@ -37,9 +45,21 @@ impl HostMachine {
             id,
             profile,
             disk,
+            cache: CacheModel::new(DEFAULT_CACHE_SETS, DEFAULT_CACHE_WAYS),
             slots: Vec::new(),
             activity: Vec::new(),
         }
+    }
+
+    /// Replaces this host's shared LLC (geometry is a platform property;
+    /// call before booting any slot).
+    pub fn set_cache(&mut self, cache: CacheModel) {
+        self.cache = cache;
+    }
+
+    /// The host's shared LLC (occupancy inspection).
+    pub fn cache(&self) -> &CacheModel {
+        &self.cache
     }
 
     /// This host's network identity.
@@ -91,14 +111,15 @@ impl HostMachine {
 
     /// Boots slot `idx` at `now`.
     pub fn boot_slot(&mut self, idx: usize, now: SimTime) -> Vec<SlotOutput> {
-        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
-        slot.boot(profile, now)
+        let (profile, cache, slot) = (&self.profile, &mut self.cache, &mut self.slots[idx]);
+        slot.boot(profile, cache, now)
     }
 
-    /// Runs everything due for slot `idx` at `now`.
+    /// Runs everything due for slot `idx` at `now` (against this host's
+    /// shared LLC — coresident slots see each other's evictions).
     pub fn process_slot(&mut self, idx: usize, now: SimTime) -> Vec<SlotOutput> {
-        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
-        slot.process(profile, now)
+        let (profile, cache, slot) = (&self.profile, &mut self.cache, &mut self.slots[idx]);
+        slot.process(profile, cache, now)
     }
 
     /// Next wake time for slot `idx`.
@@ -128,6 +149,12 @@ impl HostMachine {
     ) -> bool {
         let (profile, slot) = (&self.profile, &mut self.slots[idx]);
         slot.add_proposal(profile, now, ingress_seq, proposal)
+    }
+
+    /// Records a replica's cache-probe completion proposal for slot `idx`
+    /// (see [`GuestSlot::add_cache_proposal`]).
+    pub fn add_cache_proposal(&mut self, idx: usize, probe_id: u64, proposal: VirtNanos) -> bool {
+        self.slots[idx].add_cache_proposal(probe_id, proposal)
     }
 
     /// Records a burst of delivery-time proposals for slot `idx` in one

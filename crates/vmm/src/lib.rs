@@ -9,6 +9,8 @@
 //! * [`speed`] — deterministic host speed profiles (branch↔time), with
 //!   jitter and coresident-load contention;
 //! * [`devices`] — emulated PIT / TSC / RTC, all fed from one instant;
+//! * [`cache`] — the per-host shared LLC (set/way, deterministic LRU)
+//!   behind the coresidency channel (Sec. III);
 //! * [`guest`] — the deterministic guest-program abstraction;
 //! * [`slot`] — the per-guest VMM machinery: guest-caused VM exits,
 //!   interrupt injection at VM entry, hidden device buffers, Δn proposals
@@ -19,6 +21,7 @@
 //! Cross-host coordination (proposal exchange, pacing, ingress/egress
 //! wiring) lives one level up, in `stopwatch-core`.
 
+pub mod cache;
 pub mod clock;
 pub mod devices;
 pub mod guest;
@@ -28,6 +31,7 @@ pub mod speed;
 
 /// One-line import for the common types.
 pub mod prelude {
+    pub use crate::cache::CacheModel;
     pub use crate::clock::{EpochConfig, VirtualClock};
     pub use crate::devices::{PlatformClocks, TimePolicy};
     pub use crate::guest::{GuestAction, GuestEnv, GuestProgram, IdleGuest};

@@ -8,6 +8,12 @@
 //! * the **network device model** with its hidden packet buffer, Δn
 //!   proposals, and median delivery times (Sec. V-B, Fig. 3);
 //! * the **IDE/DMA device model** delivering completions at `V + Δd`;
+//! * the **shared-LLC probe path**: cache accesses hit the host's
+//!   [`CacheModel`], and a probe's latency readout is delivered like a
+//!   network interrupt — each replica proposes `issue + local latency`
+//!   and all adopt the **median**, so one coresident victim's evictions
+//!   cannot shift what the guest observes (the Sec. III coresidency
+//!   channel, closed the same way as the network one);
 //! * delivery of data *only at injection time* (no early polling);
 //! * detection of synchrony violations (median already passed — paper
 //!   footnote 4) and Δd violations (data not ready by the virtual
@@ -30,6 +36,7 @@
 //!   (absorbed by the Δn/median machinery and the egress), never logical
 //!   behaviour.
 
+use crate::cache::CacheModel;
 use crate::clock::VirtualClock;
 use crate::devices::PlatformClocks;
 use crate::guest::{GuestAction, GuestEnv, GuestProgram};
@@ -92,6 +99,16 @@ pub enum SlotOutput {
         /// The request.
         request: DiskRequest,
     },
+    /// StopWatch: the guest probed the shared LLC and this VMM proposes
+    /// the probe's completion timestamp (`issue virt + local latency`);
+    /// multicast it to the peer VMMs, which adopt the median — the cache
+    /// readout goes through the same agreement as network timestamps.
+    CacheProposal {
+        /// Slot-local probe id (identical across replicas).
+        probe_id: u64,
+        /// Proposed virtual completion time.
+        proposal: VirtNanos,
+    },
 }
 
 /// Outcome of an inbound packet arriving at this slot's device model.
@@ -120,11 +137,22 @@ struct DiskPending {
     data: Option<Vec<u64>>,
 }
 
+#[derive(Debug, Clone)]
+struct CachePending {
+    set: u64,
+    tag: u64,
+    issue_virt: VirtNanos,
+    proposals: Vec<VirtNanos>,
+    needed: usize,
+    deliver: Option<VirtNanos>,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum IrqClass {
     Timer,
     Disk,
     Net,
+    Cache,
 }
 
 /// All per-guest state of the VMM on one host.
@@ -145,7 +173,13 @@ pub struct GuestSlot {
     // Device-model state.
     net: BTreeMap<u64, NetPending>,
     disk: BTreeMap<u64, DiskPending>,
+    cache_pending: BTreeMap<u64, CachePending>,
+    /// Peer cache-probe proposals that arrived before this replica's own
+    /// guest reached the probe (replicas run at different physical
+    /// speeds); drained into the pending entry at local issue time.
+    early_cache: BTreeMap<u64, Vec<VirtNanos>>,
     next_op_id: u64,
+    next_probe_id: u64,
     out_seq: u64,
     ticks_delivered: u64,
     // Telemetry.
@@ -200,7 +234,10 @@ impl GuestSlot {
             booted: false,
             net: BTreeMap::new(),
             disk: BTreeMap::new(),
+            cache_pending: BTreeMap::new(),
+            early_cache: BTreeMap::new(),
             next_op_id: 0,
+            next_probe_id: 0,
             out_seq: 0,
             ticks_delivered: 0,
             counters: Counters::new(),
@@ -213,8 +250,9 @@ impl GuestSlot {
         self.cfg.endpoint
     }
 
-    /// Slot telemetry: `net_irq`, `disk_irq`, `timer_irq`, `packets_out`,
-    /// `dd_violations`, `sync_violations`, `stalls`.
+    /// Slot telemetry: `net_irq`, `disk_irq`, `timer_irq`, `cache_irq`,
+    /// `packets_out`, `cache_refs`, `cache_probes`, `cache_hits`,
+    /// `cache_misses`, `dd_violations`, `sync_violations`, `stalls`.
     pub fn counters(&self) -> &Counters {
         &self.counters
     }
@@ -319,16 +357,23 @@ impl GuestSlot {
     }
 
     /// Boots the guest and processes any immediately runnable work.
+    /// `cache` is the host's shared LLC (every slot on a host gets the
+    /// same one).
     ///
     /// # Panics
     ///
     /// Panics on double boot.
-    pub fn boot(&mut self, profile: &SpeedProfile, now: SimTime) -> Vec<SlotOutput> {
+    pub fn boot(
+        &mut self,
+        profile: &SpeedProfile,
+        cache: &mut CacheModel,
+        now: SimTime,
+    ) -> Vec<SlotOutput> {
         assert!(!self.booted, "double boot");
         self.booted = true;
         self.synced_at = now;
         self.run_handler(0, |prog, env| prog.on_boot(env));
-        self.process(profile, now)
+        self.process(profile, cache, now)
     }
 
     /// The earliest due interrupt at physical position `phys`, ordered by
@@ -359,12 +404,23 @@ impl GuestSlot {
                 consider((self.injection_branch(deliver), deliver, IrqClass::Net, seq));
             }
         }
+        for (&id, c) in &self.cache_pending {
+            if let Some(deliver) = c.deliver {
+                consider((self.injection_branch(deliver), deliver, IrqClass::Cache, id));
+            }
+        }
         best
     }
 
     /// Processes everything due at `now`: completes actions, injects due
-    /// interrupts, runs handlers. Returns emitted outputs.
-    pub fn process(&mut self, profile: &SpeedProfile, now: SimTime) -> Vec<SlotOutput> {
+    /// interrupts, runs handlers. Returns emitted outputs. `cache` is the
+    /// host's shared LLC.
+    pub fn process(
+        &mut self,
+        profile: &SpeedProfile,
+        cache: &mut CacheModel,
+        now: SimTime,
+    ) -> Vec<SlotOutput> {
         self.sync(profile, now);
         let phys = self.branches;
         let mut out = Vec::new();
@@ -398,6 +454,8 @@ impl GuestSlot {
                     | Some(GuestAction::DiskWrite { .. })
                     | Some(GuestAction::Send { .. })
                     | Some(GuestAction::Call { .. })
+                    | Some(GuestAction::CacheTouch { .. })
+                    | Some(GuestAction::CacheProbe { .. })
             );
             if head_is_zero_branch && best.is_none_or(|b| (self.pc, 2) < b) {
                 best = Some((self.pc, 2));
@@ -416,14 +474,19 @@ impl GuestSlot {
                 }
                 _ => {
                     let action = self.actions.pop_front().expect("zero-branch head");
-                    self.execute_zero_branch(action, &mut out);
+                    self.execute_zero_branch(action, cache, &mut out);
                 }
             }
         }
         out
     }
 
-    fn execute_zero_branch(&mut self, action: GuestAction, out: &mut Vec<SlotOutput>) {
+    fn execute_zero_branch(
+        &mut self,
+        action: GuestAction,
+        cache: &mut CacheModel,
+        out: &mut Vec<SlotOutput>,
+    ) {
         match action {
             GuestAction::DiskRead { range } => {
                 out.push(self.issue_disk(DiskOp::Read, range, 0));
@@ -446,6 +509,63 @@ impl GuestSlot {
             GuestAction::Call { token } => {
                 let at_pc = self.pc;
                 self.run_handler(at_pc, |prog, env| prog.on_call(token, env));
+            }
+            GuestAction::CacheTouch { set, tag } => {
+                cache.touch(self.cfg.endpoint.0, set, tag);
+                self.counters.incr("cache_refs");
+            }
+            GuestAction::CacheProbe { set, tag } => {
+                let latency = cache.probe(self.cfg.endpoint.0, set, tag);
+                self.counters.incr("cache_probes");
+                self.counters.incr(if latency == CacheModel::HIT_NS {
+                    "cache_hits"
+                } else {
+                    "cache_misses"
+                });
+                let issue_virt = self.clock.virt(self.pc);
+                let proposal = issue_virt + VirtOffset::from_nanos(latency);
+                let probe_id = self.next_probe_id;
+                self.next_probe_id += 1;
+                match self.cfg.mode {
+                    DefenseMode::StopWatch { replicas, .. } => {
+                        // Hidden until the replicas agree: propose our
+                        // locally measured completion time and wait for
+                        // the median (Fig. 3's flow, cache edition).
+                        self.cache_pending.insert(
+                            probe_id,
+                            CachePending {
+                                set,
+                                tag,
+                                issue_virt,
+                                proposals: Vec::with_capacity(replicas),
+                                needed: replicas,
+                                deliver: None,
+                            },
+                        );
+                        // Faster replicas may already have proposed this
+                        // probe before our guest reached it.
+                        if let Some(early) = self.early_cache.remove(&probe_id) {
+                            for p in early {
+                                self.add_cache_proposal(probe_id, p);
+                            }
+                        }
+                        out.push(SlotOutput::CacheProposal { probe_id, proposal });
+                    }
+                    DefenseMode::Baseline => {
+                        // Unprotected: the local latency is the readout.
+                        self.cache_pending.insert(
+                            probe_id,
+                            CachePending {
+                                set,
+                                tag,
+                                issue_virt,
+                                proposals: vec![proposal],
+                                needed: 1,
+                                deliver: Some(proposal),
+                            },
+                        );
+                    }
+                }
             }
             GuestAction::Compute { .. } => unreachable!("compute handled in main loop"),
         }
@@ -475,6 +595,18 @@ impl GuestSlot {
                 let deliver = n.deliver.expect("due packet has delivery time");
                 self.delivered_log.push((id, deliver));
                 self.run_handler(at_pc, |prog, env| prog.on_packet(&n.packet, env));
+            }
+            IrqClass::Cache => {
+                let c = self.cache_pending.remove(&id).expect("pending probe");
+                self.counters.incr("cache_irq");
+                let deliver = c.deliver.expect("due probe has delivery time");
+                // The readout the guest sees: agreed completion minus the
+                // (replica-identical) issue instant — a pure function of
+                // agreed values, so all replicas observe the same latency.
+                let latency_ns = (deliver - c.issue_virt).as_nanos();
+                self.run_handler(at_pc, |prog, env| {
+                    prog.on_cache_probe(c.set, c.tag, latency_ns, env)
+                });
             }
         }
     }
@@ -623,6 +755,37 @@ impl GuestSlot {
         true
     }
 
+    /// Records one replica's proposed completion time for cache probe
+    /// `probe_id` (including this VMM's own). When all proposals are in,
+    /// the median becomes the probe's delivery time; returns `true` once
+    /// the delivery time is fixed.
+    ///
+    /// Unlike network packets there is no synchrony clamp against the
+    /// replica's current *physical* virtual time: probe latencies are
+    /// nanosecond-scale, so the agreed timestamp routinely lies behind
+    /// the physical clock projection — the interrupt then simply fires at
+    /// the next exit, and the *readout* (`deliver - issue`) stays a pure
+    /// function of agreed values.
+    pub fn add_cache_proposal(&mut self, probe_id: u64, proposal: VirtNanos) -> bool {
+        let Some(pending) = self.cache_pending.get_mut(&probe_id) else {
+            // A peer outran this replica: its guest proposed a probe ours
+            // has not issued yet. Buffer the proposal; the local issue
+            // drains it (dropping it would deadlock the agreement).
+            self.early_cache.entry(probe_id).or_default().push(proposal);
+            return false;
+        };
+        if pending.deliver.is_some() {
+            return true;
+        }
+        pending.proposals.push(proposal);
+        if pending.proposals.len() < pending.needed {
+            return false;
+        }
+        let median = timestats::order_stats::median_odd_in_place(&mut pending.proposals);
+        pending.deliver = Some(median);
+        true
+    }
+
     /// The host disk finished a transfer for `op_id`; the device model's
     /// hidden buffer now holds the data.
     ///
@@ -680,6 +843,11 @@ impl GuestSlot {
                 consider(self.injection_branch(deliver));
             }
         }
+        for c in self.cache_pending.values() {
+            if let Some(deliver) = c.deliver {
+                consider(self.injection_branch(deliver));
+            }
+        }
         let target = target?;
         let start = now.max(self.resume_at);
         let phys = self.branches_at(profile, now);
@@ -703,6 +871,7 @@ impl GuestSlot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CacheModel;
     use crate::guest::IdleGuest;
     use netsim::packet::Body;
     use simkit::rng::SimRng;
@@ -782,8 +951,9 @@ mod tests {
     #[test]
     fn idle_guest_has_no_wake() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        let out = slot.boot(&p, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
         assert!(out.is_empty());
         assert_eq!(slot.next_wake(&p, SimTime::ZERO), None);
     }
@@ -791,8 +961,9 @@ mod tests {
     #[test]
     fn virt_advances_while_idle() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         let v1 = slot.virt_at(&p, SimTime::from_millis(1));
         let v2 = slot.virt_at(&p, SimTime::from_millis(5));
         assert!(v2 > v1, "idle loop must keep virtual time moving");
@@ -802,8 +973,9 @@ mod tests {
     #[test]
     fn virt_at_last_exit_quantizes() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         // At t=123.456us, branches=123456; last exit at 100000.
         let v = slot.virt_at_last_exit(&p, SimTime::from_nanos(123_456));
         assert_eq!(v.as_nanos(), 100_000);
@@ -812,8 +984,9 @@ mod tests {
     #[test]
     fn stopwatch_packet_needs_median_before_delivery() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         let pkt = Packet {
             src: EndpointId(1),
             dst: EndpointId(7),
@@ -838,7 +1011,7 @@ mod tests {
         let ns = wake.as_nanos();
         assert!((11_500_000..11_500_050).contains(&ns), "wake at {ns}");
         // Process at the wake: packet injected, echo emitted.
-        let out = slot.process(&p, wake);
+        let out = slot.process(&p, &mut cache, wake);
         assert_eq!(out.len(), 1);
         match &out[0] {
             SlotOutput::Packet {
@@ -860,8 +1033,9 @@ mod tests {
     #[test]
     fn baseline_packet_delivers_at_next_exit() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), DefenseMode::Baseline);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         let pkt = Packet {
             src: EndpointId(1),
             dst: EndpointId(7),
@@ -873,15 +1047,16 @@ mod tests {
         // integration may land a nanosecond or two past it).
         let ns = wake.as_nanos();
         assert!((150_000..150_050).contains(&ns), "wake at {ns}");
-        let out = slot.process(&p, wake);
+        let out = slot.process(&p, &mut cache, wake);
         assert_eq!(out.len(), 1, "echo reply");
     }
 
     #[test]
     fn median_already_passed_counts_sync_violation() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         let pkt = Packet {
             src: EndpointId(1),
             dst: EndpointId(7),
@@ -895,15 +1070,16 @@ mod tests {
         assert_eq!(slot.counters().get("sync_violations"), 1);
         // Still delivered (recovery), at current virt.
         let wake = slot.next_wake(&p, SimTime::from_millis(50)).unwrap();
-        let out = slot.process(&p, wake);
+        let out = slot.process(&p, &mut cache, wake);
         assert_eq!(out.len(), 1);
     }
 
     #[test]
     fn disk_flow_with_delta_d() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(DiskGuest), stopwatch_cfg().mode);
-        let out = slot.boot(&p, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
         // Boot issues the read immediately.
         assert_eq!(out.len(), 1);
         let SlotOutput::DiskSubmit { op_id, request } = &out[0] else {
@@ -919,14 +1095,14 @@ mod tests {
             (10_000_000..10_000_050).contains(&ns),
             "V + Δd wake at {ns}"
         );
-        let out2 = slot.process(&p, wake);
+        let out2 = slot.process(&p, &mut cache, wake);
         // Handler queues compute + write; the write issues after 1M
         // branches = 1ms later, so not yet.
         assert!(out2.is_empty());
         let wake2 = slot.next_wake(&p, wake).unwrap();
         let ns2 = wake2.as_nanos();
         assert!((11_000_000..11_000_050).contains(&ns2), "wake2 at {ns2}");
-        let out3 = slot.process(&p, wake2);
+        let out3 = slot.process(&p, &mut cache, wake2);
         assert_eq!(out3.len(), 1);
         assert!(matches!(out3[0], SlotOutput::DiskSubmit { .. }));
         assert_eq!(slot.counters().get("disk_irq"), 1);
@@ -935,8 +1111,9 @@ mod tests {
     #[test]
     fn slow_disk_counts_dd_violation() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(DiskGuest), stopwatch_cfg().mode);
-        let out = slot.boot(&p, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
         let SlotOutput::DiskSubmit { op_id, .. } = &out[0] else {
             panic!()
         };
@@ -945,7 +1122,7 @@ mod tests {
         assert_eq!(slot.counters().get("dd_violations"), 1);
         let wake = slot.next_wake(&p, SimTime::from_millis(25)).unwrap();
         assert_eq!(wake, SimTime::from_millis(25));
-        slot.process(&p, wake);
+        slot.process(&p, &mut cache, wake);
         assert_eq!(slot.counters().get("disk_irq"), 1);
     }
 
@@ -967,8 +1144,9 @@ mod tests {
             SimRng::new(2).stream("slow"),
         );
         let mut run = |p: &SpeedProfile| {
+            let mut cache = CacheModel::new(8, 2);
             let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
-            slot.boot(p, SimTime::ZERO);
+            slot.boot(p, &mut cache, SimTime::ZERO);
             let pkt = Packet {
                 src: EndpointId(1),
                 dst: EndpointId(7),
@@ -980,7 +1158,7 @@ mod tests {
                 slot.add_proposal(p, SimTime::from_millis(2), 0, VirtNanos::from_nanos(prop));
             }
             let wake = slot.next_wake(p, SimTime::from_millis(2)).unwrap();
-            let out = slot.process(p, wake);
+            let out = slot.process(p, &mut cache, wake);
             (slot.delivered_log().to_vec(), out)
         };
         let (log_fast, out_fast) = run(&fast);
@@ -1000,8 +1178,9 @@ mod tests {
     #[test]
     fn stall_freezes_virtual_time() {
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         slot.stall_until(&p, SimTime::from_millis(1), SimTime::from_millis(5));
         let v_mid = slot.virt_at(&p, SimTime::from_millis(3));
         assert_eq!(v_mid.as_nanos(), 1_000_000, "no progress while stalled");
@@ -1028,12 +1207,13 @@ mod tests {
             }
         }
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(TimerGuest { ticks: 0 }), DefenseMode::Baseline);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         // First tick at virt 4ms (250 Hz).
         let wake = slot.next_wake(&p, SimTime::ZERO).unwrap();
         assert!((4_000_000..4_000_050).contains(&wake.as_nanos()));
-        slot.process(&p, wake);
+        slot.process(&p, &mut cache, wake);
         assert_eq!(slot.counters().get("timer_irq"), 1);
         let wake2 = slot.next_wake(&p, wake).unwrap();
         assert!((8_000_000..8_000_050).contains(&wake2.as_nanos()));
@@ -1055,8 +1235,9 @@ mod tests {
             fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
         }
         let p = profile();
+        let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(BusyEcho), DefenseMode::Baseline);
-        slot.boot(&p, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
         // Packet arrives at 2ms (mid-compute), delivered at exit ~2ms.
         let pkt = Packet {
             src: EndpointId(1),
@@ -1065,7 +1246,7 @@ mod tests {
         };
         slot.on_packet_arrival(&p, SimTime::from_millis(2), 0, pkt);
         let wake = slot.next_wake(&p, SimTime::from_millis(2)).unwrap();
-        let out1 = slot.process(&p, wake);
+        let out1 = slot.process(&p, &mut cache, wake);
         // The handler ran (echo 43 queued BEHIND the boot send? No: actions
         // queue FIFO: compute, send(42), then handler pushes send(43)).
         // At 2ms the compute is still running, so nothing emitted yet.
@@ -1075,7 +1256,7 @@ mod tests {
             (10_000_000..10_000_050).contains(&wake2.as_nanos()),
             "compute completes near 10ms, got {wake2}"
         );
-        let out2 = slot.process(&p, wake2);
+        let out2 = slot.process(&p, &mut cache, wake2);
         // Both sends now fire at pc = 10ms, in FIFO order.
         assert_eq!(out2.len(), 2);
         match (&out2[0], &out2[1]) {
@@ -1098,6 +1279,120 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    /// A guest that probes two lines at boot (one it primed, one cold)
+    /// and records the latency readouts.
+    #[derive(Default)]
+    struct CacheProber {
+        readouts: Vec<(u64, u64)>,
+    }
+
+    impl GuestProgram for CacheProber {
+        fn on_boot(&mut self, env: &mut GuestEnv) {
+            env.cache_touch(3, 1); // primed: resident afterwards
+            env.cache_probe(3, 1); // hit
+            env.cache_probe(4, 9); // cold: miss
+        }
+        fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+        fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        fn on_cache_probe(&mut self, set: u64, _tag: u64, latency_ns: u64, _env: &mut GuestEnv) {
+            self.readouts.push((set, latency_ns));
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn probe_readouts(slot: &mut GuestSlot) -> Vec<(u64, u64)> {
+        slot.program_mut()
+            .as_any_mut()
+            .expect("prober")
+            .downcast_mut::<CacheProber>()
+            .expect("prober type")
+            .readouts
+            .clone()
+    }
+
+    #[test]
+    fn baseline_cache_probe_reads_local_hit_and_miss() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::<CacheProber>::default(), DefenseMode::Baseline);
+        slot.boot(&p, &mut cache, SimTime::ZERO);
+        // Probes issued at pc 0 deliver at +40/+400 ns; the injection exit
+        // is the first one, at branch 50k = 50 us.
+        let wake = slot.next_wake(&p, SimTime::ZERO).expect("probe wake");
+        slot.process(&p, &mut cache, wake);
+        assert_eq!(
+            probe_readouts(&mut slot),
+            vec![(3, CacheModel::HIT_NS), (4, CacheModel::MISS_NS)],
+            "baseline readout is the local latency"
+        );
+        assert_eq!(slot.counters().get("cache_irq"), 2);
+        assert_eq!(slot.counters().get("cache_probes"), 2);
+        assert_eq!(slot.counters().get("cache_hits"), 1);
+        assert_eq!(slot.counters().get("cache_misses"), 1);
+        assert_eq!(cache.occupancy(7), 2, "primed line + cold probe resident");
+    }
+
+    #[test]
+    fn stopwatch_median_overrides_the_local_miss() {
+        // This replica's host had the probed line evicted (a coresident
+        // victim, in the full cloud) — but the two peers read hits, so the
+        // median readout is a hit: the coresidency channel is closed.
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::<CacheProber>::default(), stopwatch_cfg().mode);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        let proposals: Vec<(u64, VirtNanos)> = out
+            .iter()
+            .map(|o| match o {
+                SlotOutput::CacheProposal { probe_id, proposal } => (*probe_id, *proposal),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(proposals.len(), 2, "one proposal per probe");
+        assert_eq!(proposals[0].1.as_nanos(), u64::from(CacheModel::HIT_NS));
+        assert_eq!(proposals[1].1.as_nanos(), u64::from(CacheModel::MISS_NS));
+        // No delivery until the peers' proposals arrive.
+        assert_eq!(slot.next_wake(&p, SimTime::ZERO), None);
+        for (probe_id, own) in &proposals {
+            // Own proposal (as the cloud would add it back), then peers.
+            assert!(!slot.add_cache_proposal(*probe_id, *own));
+            let peer = VirtNanos::from_nanos(CacheModel::HIT_NS);
+            assert!(!slot.add_cache_proposal(*probe_id, peer));
+            assert!(slot.add_cache_proposal(*probe_id, peer));
+        }
+        let wake = slot.next_wake(&p, SimTime::ZERO).expect("agreed wake");
+        slot.process(&p, &mut cache, wake);
+        assert_eq!(
+            probe_readouts(&mut slot),
+            vec![(3, CacheModel::HIT_NS), (4, CacheModel::HIT_NS)],
+            "median of (miss, hit, hit) reads hit"
+        );
+    }
+
+    #[test]
+    fn early_peer_cache_proposals_are_buffered_not_dropped() {
+        // A faster peer proposes probe 0 before this replica's guest even
+        // reaches it; the proposal must survive until the local issue.
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::<CacheProber>::default(), stopwatch_cfg().mode);
+        let hit = VirtNanos::from_nanos(CacheModel::HIT_NS);
+        assert!(!slot.add_cache_proposal(0, hit), "no pending yet");
+        assert!(!slot.add_cache_proposal(0, hit));
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        assert_eq!(out.len(), 2);
+        // Both early proposals drained at issue; our own completes the set.
+        let SlotOutput::CacheProposal { probe_id, proposal } = out[0].clone() else {
+            panic!("{:?}", out[0]);
+        };
+        assert!(slot.add_cache_proposal(probe_id, proposal));
+        let wake = slot.next_wake(&p, SimTime::ZERO).expect("probe 0 agreed");
+        slot.process(&p, &mut cache, wake);
+        assert_eq!(probe_readouts(&mut slot), vec![(3, CacheModel::HIT_NS)]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   interrupt counts (Fig. 7);
 //! * [`attack`] — attacker/victim/collaborator guests and the probe client
 //!   (Fig. 4, Sec. IX);
+//! * [`cache`] — the PRIME+PROBE guest pair exercising the shared-LLC
+//!   coresidency channel directly (Sec. III);
 //! * [`registry`] — the typed workload API: the open [`registry::Workload`]
 //!   trait + registration table sweep harnesses build scenarios from, with
 //!   a self-describing [`registry::ParamSpec`] schema per workload.
@@ -17,6 +19,7 @@
 //! central dispatch to edit.
 
 pub mod attack;
+pub mod cache;
 pub mod nfs;
 pub mod parsec;
 pub mod registry;
@@ -28,6 +31,7 @@ pub mod prelude {
         run_attack_scenario, AttackTrace, AttackWorkload, AttackerGuest, LoadGuest, ProbeClient,
         VictimGuest,
     };
+    pub use crate::cache::{CacheChannelWorkload, CacheVictimGuest, PrimeProbeGuest};
     pub use crate::nfs::{NfsOp, NfsServerGuest, NfsWorkload, NhfsstoneClient, PAPER_MIX};
     pub use crate::parsec::{
         profile, CompletionWaiter, ParsecGuest, ParsecProfile, ParsecWorkload, PARSEC,

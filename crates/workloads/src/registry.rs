@@ -273,6 +273,7 @@ fn builtin_workloads() -> Vec<Arc<dyn Workload>> {
         Arc::new(crate::web::WebUdpWorkload),
         Arc::new(crate::nfs::NfsWorkload),
         Arc::new(crate::attack::AttackWorkload),
+        Arc::new(crate::cache::CacheChannelWorkload),
     ];
     for profile in crate::parsec::PARSEC {
         table.push(Arc::new(crate::parsec::ParsecWorkload::new(profile)));
@@ -389,7 +390,14 @@ mod tests {
     #[test]
     fn names_cover_parsec_apps() {
         let names = workload_names();
-        for builtin in ["idle", "web-http", "web-udp", "nfs", "attack"] {
+        for builtin in [
+            "idle",
+            "web-http",
+            "web-udp",
+            "nfs",
+            "attack",
+            "cache-channel",
+        ] {
             assert!(names.iter().any(|n| n == builtin), "missing {builtin}");
         }
         for p in PARSEC {
@@ -398,7 +406,7 @@ mod tests {
         }
         // The table is process-global and other tests may register extra
         // workloads concurrently, so only a lower bound is stable here.
-        assert!(names.len() >= 5 + PARSEC.len());
+        assert!(names.len() >= 6 + PARSEC.len());
     }
 
     #[test]

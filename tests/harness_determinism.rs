@@ -90,3 +90,40 @@ fn batched_and_scalar_engines_produce_identical_sweep_json() {
         "runs were not vacuous"
     );
 }
+
+/// The same contracts for the cache-channel workload, whose probe
+/// proposals ride the PGM streams next to network proposals: thread
+/// count and engine arm must not change a byte of the aggregate.
+#[test]
+fn cache_channel_sweep_is_thread_count_and_engine_arm_invariant() {
+    let json = |threads: usize, scalar_reference: bool| {
+        let mut spec = SweepSpec::new("cache-det", "cache-channel")
+            .axis("stopwatch", &["false", "true"])
+            .seed_shards(7, 2);
+        spec.base_params = vec![
+            ("rounds".to_string(), "8".to_string()),
+            ("sets".to_string(), "4".to_string()),
+            ("secret".to_string(), "1".to_string()),
+        ];
+        spec.base_overrides = vec![
+            ("broadcast_band".to_string(), "off".to_string()),
+            ("disk".to_string(), "ssd".to_string()),
+        ];
+        spec.duration = SimDuration::from_secs(60);
+        spec.scalar_reference = scalar_reference;
+        let scenarios = spec.scenarios().expect("spec expands");
+        let outcomes = run_scenarios(
+            &scenarios,
+            &RunnerOptions {
+                threads,
+                progress: false,
+            },
+        );
+        SweepReport::from_outcomes(&spec.name, &outcomes, None).to_json()
+    };
+    let one = json(1, false);
+    assert_eq!(one, json(8, false), "1-thread vs 8-thread JSON");
+    assert_eq!(one, json(2, true), "batched vs scalar-reference JSON");
+    assert!(one.contains("\"failures\": []"), "runs were not vacuous");
+    assert!(one.contains("\"cache_irq\""), "probe counters aggregated");
+}
