@@ -130,6 +130,17 @@ fn describe(which: Option<&str>) -> Result<(), String> {
 
 fn print_workload(w: &dyn Workload) {
     println!("{:<18} {}", w.name(), w.about());
+    // Which of the VMM's timing channels (replica-median agreement paths)
+    // this workload's guests exercise.
+    let channels: Vec<&str> = w.channels().iter().map(|k| k.name()).collect();
+    println!(
+        "  channels: {}",
+        if channels.is_empty() {
+            "(none)".to_string()
+        } else {
+            channels.join(", ")
+        }
+    );
     if w.params().is_empty() {
         println!("  (no parameters)");
     }

@@ -78,6 +78,34 @@ pub const PERF_BENCHES: &[PerfBench] = &[
         },
     },
     PerfBench {
+        name: "disk-storm",
+        about: "one cloud, dense disk probing on a rotating medium — stresses the disk-completion agreement hot path",
+        build: |quick| {
+            let mut s = Scenario::new("disk-channel", 42);
+            s.label = "disk-storm".to_string();
+            s.cell = "disk-storm".to_string();
+            s.workload_params = vec![
+                ("arms".to_string(), "8".to_string()),
+                ("probes_per_arm".to_string(), "2".to_string()),
+                ("probe_gap_ticks".to_string(), "8".to_string()),
+                (
+                    "rounds".to_string(),
+                    if quick { "120" } else { "480" }.to_string(),
+                ),
+                ("victim".to_string(), "true".to_string()),
+                ("victim_every".to_string(), "2".to_string()),
+            ];
+            s.overrides = vec![
+                ("broadcast_band".to_string(), "off".to_string()),
+                ("disk".to_string(), "rotating".to_string()),
+                ("delta_d_ms".to_string(), "25".to_string()),
+                ("image_blocks".to_string(), "16000000".to_string()),
+            ];
+            s.duration = SimDuration::from_secs(600);
+            Ok(vec![s])
+        },
+    },
+    PerfBench {
         name: "cache-storm",
         about: "one cloud, dense PRIME+PROBE rounds — stresses the cache-probe proposal/median hot path",
         build: |quick| {

@@ -137,6 +137,37 @@ pub const PRESETS: &[Preset] = &[
         },
     },
     Preset {
+        name: "disk-channel",
+        about: "seek-timing secret recovery vs replica count (1/3/5), with and without the victim (Sec. V-A)",
+        build: |quick| {
+            // Same grid shape as cache-channel: the clean baseline cell
+            // anchors the leakage verdicts, stopwatch=false rows repeat
+            // per replicas grid point (kept for rectangularity + as a
+            // determinism cross-check), and the per-arm latency totals
+            // feed the KS pipeline. The overrides are the channel's
+            // physics: a rotating disk (the head-position signal), a Δd
+            // above its worst-case access time, and a large image so the
+            // probe arms sit far apart on the platter.
+            let spec = SweepSpec::new("disk-channel", "disk-channel")
+                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.replicas", &[3u64, 5])
+                .axis("victim", &["false", "true"])
+                .seed_shards(42, if quick { 2 } else { 6 });
+            let mut spec = with_params(
+                spec,
+                &[("rounds", if quick { "8" } else { "24" })],
+                &[
+                    ("broadcast_band", "off"),
+                    ("disk", "rotating"),
+                    ("delta_d_ms", "25"),
+                    ("image_blocks", "16000000"),
+                ],
+            );
+            spec.duration = SimDuration::from_secs(120);
+            spec
+        },
+    },
+    Preset {
         name: "replicas",
         about: "overhead vs replica count (3 vs 5, Sec. IX marginalization defense)",
         build: |quick| {

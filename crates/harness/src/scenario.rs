@@ -185,6 +185,11 @@ impl Scenario {
         if self.drain > SimDuration::ZERO {
             sim.run_until(finished_at + self.drain);
         }
+        if let Some(err) = sim.error() {
+            // A structured slot failure (malformed scenario, driver bug)
+            // fails this cell; the rest of the sweep keeps running.
+            return Err(format!("slot failure: {err}"));
+        }
         let replicas = sim.cloud.vm_replicas(wl.vm()).len() as u64;
         let outcome = wl.collect(&mut sim);
         let mut counters: Vec<(String, u64)> = sim

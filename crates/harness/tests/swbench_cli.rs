@@ -66,6 +66,38 @@ fn describe_lists_workloads_alphabetically() {
 }
 
 #[test]
+fn describe_lists_channel_kinds_per_workload() {
+    let out = swbench(&["describe", "disk-channel"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("channels: net, disk"),
+        "disk-channel names its timing channels:\n{stdout}"
+    );
+    let out = swbench(&["describe", "cache-channel"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("channels: net, cache"),
+        "cache-channel names its timing channels:\n{stdout}"
+    );
+    let out = swbench(&["describe", "idle"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("channels: (none)"),
+        "idle exercises no timing channel:\n{stdout}"
+    );
+    // The full catalogue carries a channels line for every workload.
+    let out = swbench(&["describe"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let workloads = workloads::registry::workload_names().len();
+    assert_eq!(
+        stdout.matches("channels: ").count(),
+        workloads,
+        "one channels line per workload:\n{stdout}"
+    );
+}
+
+#[test]
 fn describe_one_workload_and_suggest_on_typo() {
     let out = swbench(&["describe", "nfs"]);
     assert!(out.status.success(), "{}", stderr(&out));

@@ -30,6 +30,7 @@ use simkit::time::{SimDuration, SimTime, VirtNanos};
 use storage::block::DiskImage;
 use storage::device::DiskDevice;
 use storage::model::{AccessModel, RotatingDisk, Ssd};
+use vmm::channel::ChannelKind;
 use vmm::clock::VirtualClock;
 use vmm::guest::GuestProgram;
 use vmm::host::HostMachine;
@@ -84,15 +85,10 @@ struct ClientRecord {
     app: Box<dyn ClientApp>,
 }
 
-/// Which device-model channel a proposal belongs to: network-packet
-/// delivery times (Sec. V-B) or cache-probe completion times (the
-/// coresidency channel, medianed the same way).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ChannelKind {
-    Net,
-    Cache,
-}
-
+/// One replica's delivery-time proposal for one timing-channel event —
+/// network packet, cache probe, or disk completion, told apart by the
+/// [`ChannelKind`] wire id. Every kind rides the same PGM streams and the
+/// same demux.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct ProposalMsg {
     vm: usize,
@@ -131,6 +127,10 @@ pub struct Cloud {
     /// reference for the batched hot paths. See
     /// [`CloudSim::set_scalar_reference`].
     scalar_reference: bool,
+    /// First structured slot failure, if any: a malformed scenario fails
+    /// its cell (surfaced via [`CloudSim::error`]) instead of panicking
+    /// the whole sweep process.
+    error: Option<String>,
     stats: Counters,
 }
 
@@ -203,6 +203,14 @@ impl Cloud {
     // Event handlers (each runs inside a `Sim<Cloud>` closure).
     // ------------------------------------------------------------------
 
+    /// Records the first structured failure. The driver observes it via
+    /// [`CloudSim::error`] and fails this run (one sweep cell) only.
+    fn fail(&mut self, context: &str, err: impl std::fmt::Display) {
+        if self.error.is_none() {
+            self.error = Some(format!("{context}: {err}"));
+        }
+    }
+
     fn reschedule_wake(&mut self, sim: &mut Sim<Cloud>, h: usize, s: usize) {
         let now = sim.now();
         let target = self.hosts[h].next_wake(s, now);
@@ -221,9 +229,13 @@ impl Cloud {
         if let Some(t) = target {
             let id = sim.schedule(t, move |sim, cloud: &mut Cloud| {
                 cloud.wakes.remove(&(h, s));
-                let outputs = cloud.hosts[h].process_slot(s, sim.now());
-                cloud.handle_outputs(sim, h, s, outputs);
-                cloud.reschedule_wake(sim, h, s);
+                match cloud.hosts[h].process_slot(s, sim.now()) {
+                    Ok(outputs) => {
+                        cloud.handle_outputs(sim, h, s, outputs);
+                        cloud.reschedule_wake(sim, h, s);
+                    }
+                    Err(e) => cloud.fail(&format!("host {h} slot {s}"), e),
+                }
             });
             self.wakes.insert((h, s), (id, t));
         }
@@ -241,8 +253,26 @@ impl Cloud {
                 SlotOutput::DiskSubmit { op_id, request } => {
                     let done = self.hosts[h].submit_disk(request, sim.now());
                     sim.schedule(done, move |sim, cloud: &mut Cloud| {
-                        cloud.hosts[h].disk_ready(s, sim.now(), op_id);
-                        cloud.reschedule_wake(sim, h, s);
+                        let now = sim.now();
+                        match cloud.hosts[h].disk_ready(s, now, op_id) {
+                            Ok(ArrivalOutcome::Proposal(proposal)) => {
+                                // The replicas agree on the completion
+                                // timestamp exactly like on a packet's Δn
+                                // delivery time.
+                                cloud.propose_and_multicast(
+                                    sim,
+                                    h,
+                                    s,
+                                    ChannelKind::Disk,
+                                    op_id,
+                                    proposal,
+                                );
+                            }
+                            Ok(ArrivalOutcome::Scheduled) => {
+                                cloud.reschedule_wake(sim, h, s);
+                            }
+                            Err(e) => cloud.fail(&format!("host {h} slot {s}"), e),
+                        }
                     });
                 }
                 SlotOutput::Packet {
@@ -250,30 +280,42 @@ impl Cloud {
                 } => {
                     self.route_guest_output(sim, h, s, out_seq, packet);
                 }
-                SlotOutput::CacheProposal { probe_id, proposal } => {
-                    // Deliver our own cache-probe proposal locally, then
-                    // multicast to the peer replicas — the same flow as a
-                    // packet's Δn proposal (only StopWatch slots emit it).
-                    let vm_idx = self.vm_of_slot(h, s);
-                    let replica_idx = self.vms[vm_idx]
-                        .replicas
-                        .iter()
-                        .position(|&r| r == (h, s))
-                        .expect("slot is a replica of its vm");
-                    if self.hosts[h].add_cache_proposal(s, probe_id, proposal) {
-                        self.reschedule_wake(sim, h, s);
-                    }
-                    self.multicast_proposal(
-                        sim,
-                        vm_idx,
-                        replica_idx,
-                        ChannelKind::Cache,
-                        probe_id,
-                        proposal,
-                    );
+                SlotOutput::Proposal {
+                    kind,
+                    seq,
+                    proposal,
+                } => {
+                    // Only StopWatch slots emit proposals from processing
+                    // (today: cache probes); deliver our own locally, then
+                    // multicast to the peer replicas.
+                    self.propose_and_multicast(sim, h, s, kind, seq, proposal);
                 }
             }
         }
+    }
+
+    /// Applies slot `(h, s)`'s own delivery-time proposal locally, then
+    /// multicasts it to the peer replicas over PGM — the one flow every
+    /// timing channel shares (Fig. 3, generalized).
+    fn propose_and_multicast(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        h: usize,
+        s: usize,
+        kind: ChannelKind,
+        seq: u64,
+        proposal: VirtNanos,
+    ) {
+        let vm_idx = self.vm_of_slot(h, s);
+        let replica_idx = self.vms[vm_idx]
+            .replicas
+            .iter()
+            .position(|&r| r == (h, s))
+            .expect("slot is a replica of its vm");
+        if self.hosts[h].add_proposal(s, sim.now(), kind, seq, proposal) {
+            self.reschedule_wake(sim, h, s);
+        }
+        self.multicast_proposal(sim, vm_idx, replica_idx, kind, seq, proposal);
     }
 
     fn vm_of_slot(&self, h: usize, s: usize) -> usize {
@@ -412,7 +454,7 @@ impl Cloud {
             let seq = self.ingress_seq;
             self.ingress_seq += 1;
             let replicas = self.vms[vm_idx].replicas.clone();
-            for (replica_idx, &(h, s)) in replicas.iter().enumerate() {
+            for &(h, s) in &replicas {
                 let node = self.hosts[h].id();
                 let pkt = packet.clone();
                 if let Some(arrive) =
@@ -420,19 +462,16 @@ impl Cloud {
                         .transmit(sim.now(), self.ingress_node, node, pkt.wire_bytes())
                 {
                     sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                        cloud.host_packet_arrival(sim, vm_idx, replica_idx, h, s, seq, pkt.clone());
+                        cloud.host_packet_arrival(sim, h, s, seq, pkt.clone());
                     });
                 }
             }
         }
     }
 
-    #[allow(clippy::too_many_arguments)] // one call site; the args are one event's coordinates
     fn host_packet_arrival(
         &mut self,
         sim: &mut Sim<Cloud>,
-        vm_idx: usize,
-        replica_idx: usize,
         h: usize,
         s: usize,
         seq: u64,
@@ -441,12 +480,7 @@ impl Cloud {
         let now = sim.now();
         match self.hosts[h].packet_arrival(s, now, seq, packet) {
             ArrivalOutcome::Proposal(proposal) => {
-                // Deliver our own proposal locally, then multicast to peers
-                // over PGM.
-                if self.hosts[h].add_proposal(s, now, seq, proposal) {
-                    self.reschedule_wake(sim, h, s);
-                }
-                self.multicast_proposal(sim, vm_idx, replica_idx, ChannelKind::Net, seq, proposal);
+                self.propose_and_multicast(sim, h, s, ChannelKind::Net, seq, proposal);
             }
             ArrivalOutcome::Scheduled => {
                 self.reschedule_wake(sim, h, s);
@@ -463,10 +497,7 @@ impl Cloud {
         seq: u64,
         proposal: VirtNanos,
     ) {
-        self.stats.incr(match kind {
-            ChannelKind::Net => "proposals_sent",
-            ChannelKind::Cache => "cache_proposals_sent",
-        });
+        self.stats.incr(kind.proposals_counter());
         let msg = ProposalMsg {
             vm: vm_idx,
             kind,
@@ -515,37 +546,22 @@ impl Cloud {
             // Reference path: one median-agreement call and one wake
             // recomputation per delivered message.
             for msg in &out.delivered {
-                let fixed = match msg.kind {
-                    ChannelKind::Net => self.hosts[h].add_proposal(s, now, msg.seq, msg.proposal),
-                    ChannelKind::Cache => {
-                        self.hosts[h].add_cache_proposal(s, msg.seq, msg.proposal)
-                    }
-                };
-                if fixed {
+                if self.hosts[h].add_proposal(s, now, msg.kind, msg.seq, msg.proposal) {
                     self.reschedule_wake(sim, h, s);
                 }
             }
         } else if !out.delivered.is_empty() {
             // Batched path: the whole delivered backlog (one message in
             // the common case, more after NAK recovery) runs through the
-            // median agreement in one pass — streamed, no per-packet
-            // allocation — and the slot's wake is recomputed once at the
-            // end if any delivery time got fixed. Cache-probe proposals
-            // (rare next to packet traffic) take their own scalar calls.
-            let net = out
+            // one median-agreement pass — every channel kind together,
+            // streamed, no per-message allocation — and the slot's wake
+            // is recomputed once at the end if any delivery time got
+            // fixed.
+            let batch = out
                 .delivered
                 .iter()
-                .filter(|msg| msg.kind == ChannelKind::Net)
-                .map(|msg| (msg.seq, msg.proposal));
-            let mut fixed = self.hosts[h].add_proposals(s, now, net);
-            for msg in out
-                .delivered
-                .iter()
-                .filter(|msg| msg.kind == ChannelKind::Cache)
-            {
-                fixed += usize::from(self.hosts[h].add_cache_proposal(s, msg.seq, msg.proposal));
-            }
-            if fixed > 0 {
+                .map(|msg| (msg.kind, msg.seq, msg.proposal));
+            if self.hosts[h].add_proposals(s, now, batch) > 0 {
                 self.reschedule_wake(sim, h, s);
             }
         }
@@ -839,11 +855,9 @@ impl CloudBuilder {
         for (vm_idx, (host_list, programs, stopwatch)) in self.vms.into_iter().enumerate() {
             let endpoint = EndpointId(1000 + vm_idx as u64);
             let mode = if stopwatch {
-                DefenseMode::StopWatch {
-                    delta_n: cfg.delta_n,
-                    delta_d: cfg.delta_d,
-                    replicas: cfg.replicas,
-                }
+                // Δn and Δd become per-channel policy (net / disk offsets;
+                // cache readouts propose their measured latency directly).
+                DefenseMode::stop_watch(cfg.delta_n, cfg.delta_d, cfg.replicas)
             } else {
                 DefenseMode::Baseline
             };
@@ -906,6 +920,7 @@ impl CloudBuilder {
             pgm_rx: FxHashMap::default(),
             tunnel_last: FxHashMap::default(),
             scalar_reference: false,
+            error: None,
             stats: Counters::new(),
         };
 
@@ -914,9 +929,13 @@ impl CloudBuilder {
         for vm_idx in 0..cloud.vms.len() {
             for &(h, s) in &cloud.vms[vm_idx].replicas.clone() {
                 sim.schedule(SimTime::ZERO, move |sim, cloud: &mut Cloud| {
-                    let outputs = cloud.hosts[h].boot_slot(s, sim.now());
-                    cloud.handle_outputs(sim, h, s, outputs);
-                    cloud.reschedule_wake(sim, h, s);
+                    match cloud.hosts[h].boot_slot(s, sim.now()) {
+                        Ok(outputs) => {
+                            cloud.handle_outputs(sim, h, s, outputs);
+                            cloud.reschedule_wake(sim, h, s);
+                        }
+                        Err(e) => cloud.fail(&format!("host {h} slot {s} boot"), e),
+                    }
                 });
             }
         }
@@ -1003,16 +1022,26 @@ impl CloudSim {
         self.cloud.scalar_reference = scalar;
     }
 
+    /// The first structured slot failure of this run, if any (a malformed
+    /// scenario fails its sweep cell, not the sweep process). Checked by
+    /// the harness after the run; [`CloudSim::run_until_clients_done`]
+    /// also stops early on it.
+    pub fn error(&self) -> Option<&str> {
+        self.cloud.error.as_deref()
+    }
+
     /// Runs until `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.sim.run_until(&mut self.cloud, deadline)
     }
 
     /// Runs until every client reports done (checking every 10 ms of
-    /// simulated time) or `deadline` passes; returns the finish time.
+    /// simulated time), a slot fails structurally, or `deadline` passes;
+    /// returns the finish time.
     pub fn run_until_clients_done(&mut self, deadline: SimTime) -> SimTime {
         let step = SimDuration::from_millis(10);
-        while !self.cloud.clients_done() && self.sim.now() < deadline {
+        while !self.cloud.clients_done() && self.cloud.error.is_none() && self.sim.now() < deadline
+        {
             let next = (self.sim.now() + step).min(deadline);
             self.sim.run_until(&mut self.cloud, next);
         }
@@ -1160,6 +1189,30 @@ mod tests {
         let n = l0.len().min(l1.len());
         assert!(l0.len().abs_diff(l1.len()) <= 2, "replicas out of step");
         assert_eq!(l0[..n], l1[..n]);
+    }
+
+    #[test]
+    fn structured_slot_failure_surfaces_as_run_error_not_a_panic() {
+        // A malformed event (here: a disk completion for an op no slot is
+        // tracking) must mark the run failed via `CloudSim::error` — the
+        // sweep layer fails this cell and keeps the process alive.
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        b.add_stopwatch_vm(&[0, 1, 2], || Box::new(IdleGuest));
+        let mut sim = b.build();
+        sim.sim
+            .schedule(SimTime::from_millis(5), |sim, cloud: &mut Cloud| {
+                let now = sim.now();
+                if let Err(e) = cloud.hosts[0].disk_ready(0, now, 999) {
+                    cloud.fail("host 0 slot 0", e);
+                }
+            });
+        sim.run_until(SimTime::from_millis(20));
+        let err = sim.error().expect("run is marked failed");
+        assert!(err.contains("unknown op 999"), "{err}");
+        assert!(err.contains("host 0 slot 0"), "{err}");
+        // Early-exit: the clients-done loop stops on the error.
+        let t = sim.run_until_clients_done(SimTime::from_secs(30));
+        assert!(t < SimTime::from_secs(30));
     }
 
     #[test]

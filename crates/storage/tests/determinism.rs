@@ -1,0 +1,108 @@
+//! Determinism guarantees of the storage layer — the properties the
+//! disk timing channel's replica-median agreement leans on: service-time
+//! models must replay identically per seed (so replicas differ only
+//! where their RNG streams do), and replicated images must stay
+//! fingerprint-identical under identical write sequences.
+
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+use storage::block::{BlockRange, DiskImage};
+use storage::device::{DiskDevice, DiskOp, DiskRequest};
+use storage::model::{AccessModel, RotatingDisk, Ssd};
+
+/// A mixed probe sequence spanning the platter.
+fn requests() -> Vec<BlockRange> {
+    (0..200)
+        .map(|i| BlockRange::new((i * 104_729) % 4_000_000, 1 + (i % 8) as u32))
+        .collect()
+}
+
+fn latencies(model: &dyn AccessModel, seed: u64) -> Vec<SimDuration> {
+    let mut rng = SimRng::new(seed).stream("disk");
+    let mut last = 0u64;
+    requests()
+        .into_iter()
+        .map(|range| {
+            let t = model.access_time(range, last, &mut rng);
+            last = range.end().0;
+            t
+        })
+        .collect()
+}
+
+#[test]
+fn rotational_service_times_replay_identically_per_seed() {
+    let d = RotatingDisk::testbed();
+    assert_eq!(latencies(&d, 7), latencies(&d, 7), "same seed, same trace");
+    assert_ne!(
+        latencies(&d, 7),
+        latencies(&d, 8),
+        "different seed perturbs rotational latency"
+    );
+}
+
+#[test]
+fn ssd_service_times_replay_identically_per_seed() {
+    let d = Ssd::sata();
+    assert_eq!(latencies(&d, 7), latencies(&d, 7), "same seed, same trace");
+    assert_ne!(
+        latencies(&d, 7),
+        latencies(&d, 9),
+        "different seed perturbs flash jitter"
+    );
+}
+
+#[test]
+fn device_completion_times_replay_identically_per_seed() {
+    let run = |seed: u64| -> Vec<SimTime> {
+        let mut dev = DiskDevice::new(RotatingDisk::testbed(), SimRng::new(seed).stream("d"));
+        requests()
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| {
+                dev.submit(
+                    DiskRequest {
+                        op: DiskOp::Read,
+                        range,
+                    },
+                    SimTime::from_millis(i as u64 * 3),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(run(42), run(42), "FIFO queueing included");
+    assert_ne!(run(42), run(43));
+}
+
+#[test]
+fn replicated_images_stay_fingerprint_identical_under_identical_writes() {
+    // The paper's setup: one image copied to every replica host; guests
+    // that behave identically must leave identical disk state.
+    let mut master = DiskImage::new(1 << 20);
+    master.write(BlockRange::new(100, 4), 0xfeed);
+    let mut replicas = vec![master.clone(), master.clone(), master.clone()];
+    let writes: Vec<(BlockRange, u64)> = (0..500)
+        .map(|i| (BlockRange::new((i * 7919) % 1_000_000, 2), i * 31 + 1))
+        .collect();
+    for image in &mut replicas {
+        for &(range, value) in &writes {
+            image.write(range, value);
+        }
+    }
+    let fp0 = replicas[0].content_fingerprint();
+    for (i, image) in replicas.iter().enumerate() {
+        assert_eq!(
+            image.content_fingerprint(),
+            fp0,
+            "replica {i} diverged in fingerprint"
+        );
+        assert_eq!(
+            image.read(BlockRange::new(100, 4)),
+            replicas[0].read(BlockRange::new(100, 4))
+        );
+    }
+    // One diverging write is caught.
+    let mut rogue = replicas.pop().unwrap();
+    rogue.write(BlockRange::new(5, 1), 0xbad);
+    assert_ne!(rogue.content_fingerprint(), fp0);
+}

@@ -15,9 +15,9 @@
 //! costs [`CacheModel::MISS_NS`] (an LLC hit vs. a DRAM fill on the
 //! testbed's 3 GHz parts). What a guest *observes* is not this local
 //! number but the delivery timestamp of its probe completion — under
-//! StopWatch, the median over the replicas' proposals (see
-//! `GuestSlot::add_cache_proposal`), the same machinery that medians
-//! network timestamps.
+//! StopWatch, the median over the replicas' proposals (the unified
+//! `GuestSlot::add_proposal` timing-channel core), the same machinery
+//! that medians network and disk timestamps.
 
 /// One cache line: who installed it, which tag, and when it was last
 /// touched (logical LRU tick, not wall time).

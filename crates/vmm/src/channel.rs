@@ -1,0 +1,201 @@
+//! The unified timing-channel core.
+//!
+//! StopWatch's central claim (paper Secs. V–VI) is that *every* timing
+//! channel an attacker can observe — network interrupts, cache-probe
+//! readouts, disk/DMA completions — must be delivered at replica-agreed
+//! times; a channel mitigated ad hoc (or forgotten) leaks on its own.
+//! This module is the joint that makes that a structural property rather
+//! than a per-channel copy of the agreement machinery:
+//!
+//! * [`ChannelKind`] names each timing channel the VMM mediates. Every
+//!   kind flows through **one** pending table, **one** early-proposal
+//!   buffer, and **one** replica-median agreement path in
+//!   [`crate::slot::GuestSlot`], and **one** PGM demux in the cloud
+//!   layer. Adding a fourth channel (trace replay, a collaborating
+//!   attacker's probe stream, ...) is a new kind plus a delivery hook —
+//!   not another fork of `slot.rs`.
+//! * [`ChannelPolicy`] expresses the per-channel knobs that used to be
+//!   special-cased fields: the proposal **offset** (Δn for network
+//!   packets, Δd for disk completions, zero for cache probes) and the
+//!   **synchrony clamp** (whether a median that already passed in this
+//!   replica's virtual time is clamped to "now" and counted, or left in
+//!   the logical past so the readout stays a pure function of agreed
+//!   values).
+//!
+//! # Why the clamp differs per channel
+//!
+//! Network packets arrive from *outside* the replica set; the agreed
+//! median lying in the past means the synchrony assumption broke (paper
+//! footnote 4) — the packet is delivered "now", diverging this replica,
+//! and `sync_violations` records it. Cache probes and disk completions
+//! are *guest-initiated*: the guest blocks on them, so an agreed
+//! timestamp behind the physical clock projection is routine (the
+//! interrupt simply fires at the next exit) and the guest-visible value
+//! stays a pure function of agreed values on every replica. Clamping
+//! those to per-replica "now" would be the divergence, not the cure.
+
+use simkit::time::VirtOffset;
+
+/// A timing channel mediated by the VMM: the kinds of interrupt whose
+/// delivery times replicas agree on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChannelKind {
+    /// Inbound network packets (Sec. V-B: Δn proposals, median delivery).
+    Net,
+    /// Shared-LLC probe readouts (the Sec. III coresidency channel).
+    Cache,
+    /// Disk/DMA completions (Sec. V-A: Δd release times, now agreed).
+    Disk,
+}
+
+impl ChannelKind {
+    /// Every channel kind, in wire-id order.
+    pub const ALL: [ChannelKind; 3] = [ChannelKind::Net, ChannelKind::Cache, ChannelKind::Disk];
+
+    /// Stable wire identifier (PGM proposal messages carry it).
+    pub fn id(self) -> u8 {
+        match self {
+            ChannelKind::Net => 0,
+            ChannelKind::Cache => 1,
+            ChannelKind::Disk => 2,
+        }
+    }
+
+    /// Human-readable name (used by `swbench describe`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelKind::Net => "net",
+            ChannelKind::Cache => "cache",
+            ChannelKind::Disk => "disk",
+        }
+    }
+
+    /// The cloud counter that tallies multicast proposals on this channel.
+    pub fn proposals_counter(self) -> &'static str {
+        match self {
+            ChannelKind::Net => "proposals_sent",
+            ChannelKind::Cache => "cache_proposals_sent",
+            ChannelKind::Disk => "disk_proposals_sent",
+        }
+    }
+
+    /// Injection tiebreak rank. Interrupts due at the same exit are
+    /// injected ordered by `(delivery virt, rank, id)`; the ranks keep the
+    /// pre-unification order (timer 0, disk 1, net 2, cache 3) so event
+    /// traces stay byte-identical with the per-kind implementation this
+    /// replaced.
+    pub(crate) fn injection_rank(self) -> u8 {
+        match self {
+            ChannelKind::Disk => 1,
+            ChannelKind::Net => 2,
+            ChannelKind::Cache => 3,
+        }
+    }
+}
+
+/// How one channel's proposals and deliveries behave — the per-channel
+/// policy that used to be special-cased fields (`delta_n`, `delta_d`) and
+/// divergent method bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelPolicy {
+    /// Virtual-time offset added to every local proposal (Δn for network,
+    /// Δd for disk, zero for cache probes — their proposal *is* the
+    /// locally measured completion time).
+    pub offset: VirtOffset,
+    /// When the agreed median already passed in this replica's virtual
+    /// time: `Some(counter)` clamps delivery to "now" and bumps the named
+    /// slot counter (network packets — synchrony violation, footnote 4);
+    /// `None` keeps the agreed time so delivery fires at the next exit
+    /// and the readout stays replica-identical (cache, disk).
+    pub clamp_counter: Option<&'static str>,
+    /// Whether a peer proposal arriving before this replica opened the
+    /// matching pending entry is buffered until the local open. `true`
+    /// for guest-initiated channels (cache, disk): the local open is
+    /// guaranteed by replica determinism, so dropping the proposal would
+    /// deadlock the agreement. `false` for externally created entries
+    /// (net): the packet copy that opens the entry can be lost on a
+    /// lossy fabric, and buffering for an open that never comes would
+    /// leak the buffer entry forever.
+    pub buffer_early: bool,
+}
+
+/// The full per-channel policy table of one StopWatch slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelPolicies {
+    net: ChannelPolicy,
+    cache: ChannelPolicy,
+    disk: ChannelPolicy,
+}
+
+impl ChannelPolicies {
+    /// The paper's StopWatch policy set: Δn-offset clamped network
+    /// delivery, unclamped zero-offset cache readouts, Δd-offset
+    /// unclamped disk completions.
+    pub fn stopwatch(delta_n: VirtOffset, delta_d: VirtOffset) -> Self {
+        ChannelPolicies {
+            net: ChannelPolicy {
+                offset: delta_n,
+                clamp_counter: Some("sync_violations"),
+                buffer_early: false,
+            },
+            cache: ChannelPolicy {
+                offset: VirtOffset::from_nanos(0),
+                clamp_counter: None,
+                buffer_early: true,
+            },
+            disk: ChannelPolicy {
+                offset: delta_d,
+                clamp_counter: None,
+                buffer_early: true,
+            },
+        }
+    }
+
+    /// The policy of one channel.
+    pub fn policy(&self, kind: ChannelKind) -> &ChannelPolicy {
+        match kind {
+            ChannelKind::Net => &self.net,
+            ChannelKind::Cache => &self.cache,
+            ChannelKind::Disk => &self.disk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_ids_are_stable_and_distinct() {
+        let ids: Vec<u8> = ChannelKind::ALL.iter().map(|k| k.id()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let names: Vec<&str> = ChannelKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["net", "cache", "disk"]);
+    }
+
+    #[test]
+    fn stopwatch_policies_route_offsets_per_channel() {
+        let p =
+            ChannelPolicies::stopwatch(VirtOffset::from_millis(10), VirtOffset::from_millis(12));
+        assert_eq!(p.policy(ChannelKind::Net).offset.as_millis_f64(), 10.0);
+        assert_eq!(p.policy(ChannelKind::Disk).offset.as_millis_f64(), 12.0);
+        assert_eq!(p.policy(ChannelKind::Cache).offset.as_nanos(), 0);
+        assert_eq!(
+            p.policy(ChannelKind::Net).clamp_counter,
+            Some("sync_violations")
+        );
+        assert_eq!(p.policy(ChannelKind::Cache).clamp_counter, None);
+        assert_eq!(p.policy(ChannelKind::Disk).clamp_counter, None);
+        // Guest-initiated channels buffer early peers (the local open is
+        // guaranteed); externally opened net entries do not.
+        assert!(!p.policy(ChannelKind::Net).buffer_early);
+        assert!(p.policy(ChannelKind::Cache).buffer_early);
+        assert!(p.policy(ChannelKind::Disk).buffer_early);
+    }
+
+    #[test]
+    fn injection_ranks_preserve_the_legacy_order() {
+        assert!(ChannelKind::Disk.injection_rank() < ChannelKind::Net.injection_rank());
+        assert!(ChannelKind::Net.injection_rank() < ChannelKind::Cache.injection_rank());
+    }
+}

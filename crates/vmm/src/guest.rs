@@ -78,6 +78,12 @@ pub enum GuestAction {
 pub struct GuestEnv<'a> {
     /// Guest time (virtual under StopWatch) at this VM exit.
     pub now: VirtNanos,
+    /// The delivery timestamp of the interrupt this handler services —
+    /// what the virtual device's completion register reads. Under
+    /// StopWatch this is the **replica-agreed** (median) timestamp, a
+    /// pure function of agreed values even when the injection exit is
+    /// not; outside interrupt handlers it equals [`GuestEnv::now`].
+    pub irq_timestamp: VirtNanos,
     /// PIT timer interrupts delivered so far.
     pub pit_ticks: u64,
     /// `rdtsc` value.
@@ -91,8 +97,11 @@ pub struct GuestEnv<'a> {
 
 impl<'a> GuestEnv<'a> {
     /// Creates an environment view (used by the slot executor).
+    /// `irq_timestamp` is the serviced interrupt's delivery time, `None`
+    /// outside interrupt handlers.
     pub fn new(
         now: VirtNanos,
+        irq_timestamp: Option<VirtNanos>,
         pit_ticks: u64,
         tsc: u64,
         rtc_secs: u64,
@@ -101,6 +110,7 @@ impl<'a> GuestEnv<'a> {
     ) -> Self {
         GuestEnv {
             now,
+            irq_timestamp: irq_timestamp.unwrap_or(now),
             pit_ticks,
             tsc,
             rtc_secs,
@@ -230,7 +240,7 @@ mod tests {
     #[test]
     fn env_queues_actions_in_order() {
         let mut q = VecDeque::new();
-        let mut env = GuestEnv::new(VirtNanos::ZERO, 0, 0, 0, 0, &mut q);
+        let mut env = GuestEnv::new(VirtNanos::ZERO, None, 0, 0, 0, 0, &mut q);
         env.compute(100);
         env.disk_read(BlockRange::new(0, 1));
         env.send(EndpointId(9), Body::Raw { tag: 1, len: 10 });
@@ -244,7 +254,7 @@ mod tests {
     fn idle_guest_stays_idle() {
         let mut g = IdleGuest;
         let mut q = VecDeque::new();
-        let mut env = GuestEnv::new(VirtNanos::ZERO, 0, 0, 0, 0, &mut q);
+        let mut env = GuestEnv::new(VirtNanos::ZERO, None, 0, 0, 0, 0, &mut q);
         g.on_boot(&mut env);
         assert_eq!(env.queue_len(), 0);
         assert!(!g.wants_timer());

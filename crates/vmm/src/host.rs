@@ -5,7 +5,8 @@
 //! shared disk FIFO).
 
 use crate::cache::CacheModel;
-use crate::slot::{ArrivalOutcome, GuestSlot, SlotOutput};
+use crate::channel::ChannelKind;
+use crate::slot::{ArrivalOutcome, GuestSlot, SlotError, SlotOutput};
 use crate::speed::SpeedProfile;
 use netsim::link::NetNode;
 use netsim::packet::Packet;
@@ -110,14 +111,22 @@ impl HostMachine {
     }
 
     /// Boots slot `idx` at `now`.
-    pub fn boot_slot(&mut self, idx: usize, now: SimTime) -> Vec<SlotOutput> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the slot's [`SlotError`]s.
+    pub fn boot_slot(&mut self, idx: usize, now: SimTime) -> Result<Vec<SlotOutput>, SlotError> {
         let (profile, cache, slot) = (&self.profile, &mut self.cache, &mut self.slots[idx]);
         slot.boot(profile, cache, now)
     }
 
     /// Runs everything due for slot `idx` at `now` (against this host's
     /// shared LLC — coresident slots see each other's evictions).
-    pub fn process_slot(&mut self, idx: usize, now: SimTime) -> Vec<SlotOutput> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the slot's [`SlotError`]s.
+    pub fn process_slot(&mut self, idx: usize, now: SimTime) -> Result<Vec<SlotOutput>, SlotError> {
         let (profile, cache, slot) = (&self.profile, &mut self.cache, &mut self.slots[idx]);
         slot.process(profile, cache, now)
     }
@@ -139,32 +148,27 @@ impl HostMachine {
         slot.on_packet_arrival(profile, now, ingress_seq, packet)
     }
 
-    /// Records a delivery-time proposal for slot `idx`.
+    /// Records a delivery-time proposal on channel `kind` for slot `idx`.
     pub fn add_proposal(
         &mut self,
         idx: usize,
         now: SimTime,
-        ingress_seq: u64,
+        kind: ChannelKind,
+        seq: u64,
         proposal: VirtNanos,
     ) -> bool {
         let (profile, slot) = (&self.profile, &mut self.slots[idx]);
-        slot.add_proposal(profile, now, ingress_seq, proposal)
+        slot.add_proposal(profile, now, kind, seq, proposal)
     }
 
-    /// Records a replica's cache-probe completion proposal for slot `idx`
-    /// (see [`GuestSlot::add_cache_proposal`]).
-    pub fn add_cache_proposal(&mut self, idx: usize, probe_id: u64, proposal: VirtNanos) -> bool {
-        self.slots[idx].add_cache_proposal(probe_id, proposal)
-    }
-
-    /// Records a burst of delivery-time proposals for slot `idx` in one
-    /// pass; returns how many packets now have a fixed delivery time (see
-    /// [`GuestSlot::add_proposals`]).
+    /// Records a burst of delivery-time proposals (any mix of channels)
+    /// for slot `idx` in one pass; returns how many events now have a
+    /// fixed delivery time (see [`GuestSlot::add_proposals`]).
     pub fn add_proposals(
         &mut self,
         idx: usize,
         now: SimTime,
-        batch: impl IntoIterator<Item = (u64, VirtNanos)>,
+        batch: impl IntoIterator<Item = (ChannelKind, u64, VirtNanos)>,
     ) -> usize {
         let (profile, slot) = (&self.profile, &mut self.slots[idx]);
         slot.add_proposals(profile, now, batch)
@@ -176,10 +180,21 @@ impl HostMachine {
         self.disk.submit(request, now)
     }
 
-    /// The disk transfer for `(slot, op_id)` completed.
-    pub fn disk_ready(&mut self, idx: usize, now: SimTime, op_id: u64) {
+    /// The disk transfer for `(slot, op_id)` completed. Under StopWatch
+    /// the slot answers with its completion-timestamp proposal for the
+    /// replicas to agree on (see [`GuestSlot::disk_ready`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the slot's [`SlotError`]s.
+    pub fn disk_ready(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        op_id: u64,
+    ) -> Result<ArrivalOutcome, SlotError> {
         let (profile, slot) = (&self.profile, &mut self.slots[idx]);
-        slot.disk_ready(profile, now, op_id);
+        slot.disk_ready(profile, now, op_id)
     }
 
     /// Current virtual time of slot `idx`.
@@ -261,7 +276,7 @@ mod tests {
         let a = h.add_slot(idle_slot());
         let b = h.add_slot(idle_slot());
         assert_eq!((a, b), (0, 1));
-        assert!(h.boot_slot(0, SimTime::ZERO).is_empty());
+        assert!(h.boot_slot(0, SimTime::ZERO).expect("boot").is_empty());
         assert_eq!(h.slot_count(), 2);
     }
 

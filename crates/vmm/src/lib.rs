@@ -11,10 +11,14 @@
 //! * [`devices`] — emulated PIT / TSC / RTC, all fed from one instant;
 //! * [`cache`] — the per-host shared LLC (set/way, deterministic LRU)
 //!   behind the coresidency channel (Sec. III);
+//! * [`channel`] — the unified timing-channel descriptors: every
+//!   interrupt class an attacker could time (net, cache, disk) named by a
+//!   [`channel::ChannelKind`] with a per-channel [`channel::ChannelPolicy`]
+//!   (Δn/Δd offsets, synchrony clamping);
 //! * [`guest`] — the deterministic guest-program abstraction;
 //! * [`slot`] — the per-guest VMM machinery: guest-caused VM exits,
-//!   interrupt injection at VM entry, hidden device buffers, Δn proposals
-//!   and median deliveries, Δd disk deliveries, violation detection;
+//!   interrupt injection at VM entry, hidden device buffers, and **one**
+//!   replica-median agreement path shared by every timing channel;
 //! * [`host`] — a physical machine aggregating slots, a disk, and a speed
 //!   profile.
 //!
@@ -22,6 +26,7 @@
 //! wiring) lives one level up, in `stopwatch-core`.
 
 pub mod cache;
+pub mod channel;
 pub mod clock;
 pub mod devices;
 pub mod guest;
@@ -32,10 +37,13 @@ pub mod speed;
 /// One-line import for the common types.
 pub mod prelude {
     pub use crate::cache::CacheModel;
+    pub use crate::channel::{ChannelKind, ChannelPolicies, ChannelPolicy};
     pub use crate::clock::{EpochConfig, VirtualClock};
     pub use crate::devices::{PlatformClocks, TimePolicy};
     pub use crate::guest::{GuestAction, GuestEnv, GuestProgram, IdleGuest};
     pub use crate::host::HostMachine;
-    pub use crate::slot::{ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotOutput};
+    pub use crate::slot::{
+        ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotError, SlotOutput,
+    };
     pub use crate::speed::SpeedProfile;
 }

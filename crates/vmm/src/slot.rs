@@ -5,19 +5,16 @@
 //! * the virtualized **branch counter** driving [`VirtualClock`];
 //! * **guest-caused VM exits** every `exit_every` branches — the only
 //!   points where interrupts are injected (Sec. IV-B);
-//! * the **network device model** with its hidden packet buffer, Δn
-//!   proposals, and median delivery times (Sec. V-B, Fig. 3);
-//! * the **IDE/DMA device model** delivering completions at `V + Δd`;
-//! * the **shared-LLC probe path**: cache accesses hit the host's
-//!   [`CacheModel`], and a probe's latency readout is delivered like a
-//!   network interrupt — each replica proposes `issue + local latency`
-//!   and all adopt the **median**, so one coresident victim's evictions
-//!   cannot shift what the guest observes (the Sec. III coresidency
-//!   channel, closed the same way as the network one);
+//! * the **unified timing-channel core**: every interrupt class whose
+//!   timing an attacker could observe — network packets (Sec. V-B,
+//!   Fig. 3), shared-LLC probe readouts (Sec. III), and disk/DMA
+//!   completions (Sec. V-A) — flows through one pending table, one
+//!   early-proposal buffer, and one replica-median agreement path,
+//!   parameterized by [`ChannelKind`] and its [`ChannelPolicy`]
+//!   (Δn/Δd offsets, synchrony clamping);
 //! * delivery of data *only at injection time* (no early polling);
 //! * detection of synchrony violations (median already passed — paper
-//!   footnote 4) and Δd violations (data not ready by the virtual
-//!   delivery time).
+//!   footnote 4) and Δd violations (the local disk overran Δd).
 //!
 //! # Determinism model
 //!
@@ -27,16 +24,18 @@
 //!   guest observes or emits is stamped at `pc`: handler clock reads, disk
 //!   issue times `V`, output-packet virtual times. `pc` advances only by
 //!   completed compute actions and by jumps to interrupt-injection exits —
-//!   all pure functions of agreed values (median delivery times, Δd, tick
-//!   schedule, the program's own action sizes). Three replicas therefore
-//!   compute identical `pc` sequences and identical outputs.
+//!   all pure functions of agreed values (median delivery times, channel
+//!   offsets, tick schedule, the program's own action sizes). Three
+//!   replicas therefore compute identical `pc` sequences and identical
+//!   outputs.
 //! * the *physical* branch count (a function of host wall-clock time via
 //!   [`SpeedProfile`]) — which only *gates* when, in real time, each `pc`
 //!   point is reached. Host speed differences shift real-time behaviour
-//!   (absorbed by the Δn/median machinery and the egress), never logical
-//!   behaviour.
+//!   (absorbed by the offset/median machinery and the egress), never
+//!   logical behaviour.
 
 use crate::cache::CacheModel;
+use crate::channel::{ChannelKind, ChannelPolicies, ChannelPolicy};
 use crate::clock::VirtualClock;
 use crate::devices::PlatformClocks;
 use crate::guest::{GuestAction, GuestEnv, GuestProgram};
@@ -51,19 +50,29 @@ use storage::device::{DiskOp, DiskRequest};
 /// Defense configuration for a slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DefenseMode {
-    /// StopWatch: Δn-median network delivery, Δd disk delivery, egress
-    /// tunneling.
+    /// StopWatch: replica-median agreement on every timing channel, with
+    /// per-channel [`ChannelPolicy`] offsets (Δn, Δd) and clamping; guest
+    /// outputs tunneled to the egress.
     StopWatch {
-        /// Virtual-time offset added to each VMM's network proposal.
-        delta_n: VirtOffset,
-        /// Virtual-time offset for disk/DMA completion delivery.
-        delta_d: VirtOffset,
+        /// Per-channel proposal/delivery policies.
+        channels: ChannelPolicies,
         /// Number of replicas (3 in the paper; 5 discussed in Sec. IX).
         replicas: usize,
     },
     /// Unmodified Xen: interrupts delivered at the earliest exit, outputs
     /// sent directly.
     Baseline,
+}
+
+impl DefenseMode {
+    /// The paper's StopWatch arm: Δn network offsets, Δd disk offsets,
+    /// unclamped zero-offset cache readouts.
+    pub fn stop_watch(delta_n: VirtOffset, delta_d: VirtOffset, replicas: usize) -> Self {
+        DefenseMode::StopWatch {
+            channels: ChannelPolicies::stopwatch(delta_n, delta_d),
+            replicas,
+        }
+    }
 }
 
 /// Static configuration of a guest slot.
@@ -78,6 +87,53 @@ pub struct SlotConfig {
     /// Emulated platform clocks.
     pub clocks: PlatformClocks,
 }
+
+/// A structured slot failure: a malformed scenario (or a driver bug)
+/// surfaces as an error that fails the owning sweep *cell*, not a panic
+/// that takes down the whole sweep process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotError {
+    /// `disk_ready` named an operation the device model is not tracking.
+    UnknownDiskOp {
+        /// The unknown slot-local operation id.
+        op_id: u64,
+    },
+    /// A disk interrupt came due with no data in the hidden buffer.
+    MissingDiskData {
+        /// The affected operation id.
+        op_id: u64,
+    },
+    /// A due interrupt's pending entry vanished or never fixed a delivery
+    /// time.
+    MissingDelivery {
+        /// The affected channel.
+        kind: ChannelKind,
+        /// The channel-local id.
+        id: u64,
+    },
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotError::UnknownDiskOp { op_id } => {
+                write!(f, "disk_ready for unknown op {op_id}")
+            }
+            SlotError::MissingDiskData { op_id } => {
+                write!(f, "disk op {op_id} came due without data in the buffer")
+            }
+            SlotError::MissingDelivery { kind, id } => {
+                write!(
+                    f,
+                    "{} interrupt {id} came due without an agreed delivery time",
+                    kind.name()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
 
 /// Something the slot wants the outside world (host/cloud) to do.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,19 +155,21 @@ pub enum SlotOutput {
         /// The request.
         request: DiskRequest,
     },
-    /// StopWatch: the guest probed the shared LLC and this VMM proposes
-    /// the probe's completion timestamp (`issue virt + local latency`);
-    /// multicast it to the peer VMMs, which adopt the median — the cache
-    /// readout goes through the same agreement as network timestamps.
-    CacheProposal {
-        /// Slot-local probe id (identical across replicas).
-        probe_id: u64,
-        /// Proposed virtual completion time.
+    /// StopWatch: this VMM proposes a delivery timestamp for channel
+    /// `kind`'s event `seq`; multicast it to the peer VMMs, which adopt
+    /// the median (Fig. 3's flow, for whichever channel emitted it).
+    Proposal {
+        /// The timing channel the proposal belongs to.
+        kind: ChannelKind,
+        /// Channel-local event id (identical across replicas).
+        seq: u64,
+        /// Proposed virtual delivery time.
         proposal: VirtNanos,
     },
 }
 
-/// Outcome of an inbound packet arriving at this slot's device model.
+/// Outcome of channel input arriving at this slot's device model (an
+/// inbound packet, a finished disk transfer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArrivalOutcome {
     /// StopWatch: the VMM proposes this virtual delivery time; multicast it
@@ -121,38 +179,71 @@ pub enum ArrivalOutcome {
     Scheduled,
 }
 
+/// What a pending channel event delivers when it is injected. The
+/// agreement machinery is payload-agnostic; only injection dispatches on
+/// the concrete content.
 #[derive(Debug, Clone)]
-struct NetPending {
-    packet: Packet,
+enum ChannelPayload {
+    /// A hidden inbound packet.
+    Net { packet: Packet },
+    /// A shared-LLC probe awaiting its agreed readout.
+    Cache {
+        set: u64,
+        tag: u64,
+        issue_virt: VirtNanos,
+    },
+    /// A disk operation; `data` fills when the host transfer finishes.
+    Disk {
+        op: DiskOp,
+        range: BlockRange,
+        issue_virt: VirtNanos,
+        data: Option<Vec<u64>>,
+    },
+}
+
+impl ChannelPayload {
+    /// `true` when the payload's data is in the hidden buffer and the
+    /// interrupt may be injected (always, except disk ops still in
+    /// flight).
+    fn ready(&self) -> bool {
+        match self {
+            ChannelPayload::Disk { data, .. } => data.is_some(),
+            _ => true,
+        }
+    }
+}
+
+/// One in-flight channel event: its payload, the replica proposals
+/// gathered so far, and the agreed delivery time once fixed. The same
+/// shape serves every [`ChannelKind`].
+#[derive(Debug, Clone)]
+struct ChannelPending {
+    payload: ChannelPayload,
     proposals: Vec<VirtNanos>,
     needed: usize,
     deliver: Option<VirtNanos>,
 }
 
-#[derive(Debug, Clone)]
-struct DiskPending {
-    op: DiskOp,
-    range: BlockRange,
-    deliver: VirtNanos,
-    data: Option<Vec<u64>>,
-}
+impl ChannelPending {
+    /// An entry awaiting `needed` replica proposals.
+    fn agreeing(payload: ChannelPayload, needed: usize) -> Self {
+        ChannelPending {
+            payload,
+            proposals: Vec::with_capacity(needed),
+            needed,
+            deliver: None,
+        }
+    }
 
-#[derive(Debug, Clone)]
-struct CachePending {
-    set: u64,
-    tag: u64,
-    issue_virt: VirtNanos,
-    proposals: Vec<VirtNanos>,
-    needed: usize,
-    deliver: Option<VirtNanos>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum IrqClass {
-    Timer,
-    Disk,
-    Net,
-    Cache,
+    /// A baseline entry delivered at a locally decided time.
+    fn local(payload: ChannelPayload, deliver: VirtNanos) -> Self {
+        ChannelPending {
+            payload,
+            proposals: vec![deliver],
+            needed: 1,
+            deliver: Some(deliver),
+        }
+    }
 }
 
 /// All per-guest state of the VMM on one host.
@@ -170,14 +261,13 @@ pub struct GuestSlot {
     compute_end: Option<u64>,
     actions: VecDeque<GuestAction>,
     booted: bool,
-    // Device-model state.
-    net: BTreeMap<u64, NetPending>,
-    disk: BTreeMap<u64, DiskPending>,
-    cache_pending: BTreeMap<u64, CachePending>,
-    /// Peer cache-probe proposals that arrived before this replica's own
-    /// guest reached the probe (replicas run at different physical
-    /// speeds); drained into the pending entry at local issue time.
-    early_cache: BTreeMap<u64, Vec<VirtNanos>>,
+    // The unified timing-channel core: one pending table and one
+    // early-proposal buffer for every channel kind.
+    pending: BTreeMap<(ChannelKind, u64), ChannelPending>,
+    /// Peer proposals that arrived before this replica opened the matching
+    /// pending entry (replicas run at different physical speeds); drained
+    /// when the entry opens. Dropping them would deadlock the agreement.
+    early: BTreeMap<(ChannelKind, u64), Vec<VirtNanos>>,
     next_op_id: u64,
     next_probe_id: u64,
     out_seq: u64,
@@ -193,8 +283,7 @@ impl std::fmt::Debug for GuestSlot {
             .field("endpoint", &self.cfg.endpoint)
             .field("branches", &self.branches)
             .field("pc", &self.pc)
-            .field("pending_net", &self.net.len())
-            .field("pending_disk", &self.disk.len())
+            .field("pending", &self.pending.len())
             .finish_non_exhaustive()
     }
 }
@@ -232,10 +321,8 @@ impl GuestSlot {
             compute_end: None,
             actions: VecDeque::new(),
             booted: false,
-            net: BTreeMap::new(),
-            disk: BTreeMap::new(),
-            cache_pending: BTreeMap::new(),
-            early_cache: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            early: BTreeMap::new(),
             next_op_id: 0,
             next_probe_id: 0,
             out_seq: 0,
@@ -340,13 +427,28 @@ impl GuestSlot {
         self.exit_ceil(self.clock.instr_for(deliver))
     }
 
-    fn run_handler<F>(&mut self, at_pc: u64, f: F)
+    /// The policy of one channel under the current defense mode (the
+    /// baseline policy is never consulted — baseline entries are delivered
+    /// at locally decided times).
+    fn policy(&self, kind: ChannelKind) -> Option<&ChannelPolicy> {
+        match &self.cfg.mode {
+            DefenseMode::StopWatch { channels, .. } => Some(channels.policy(kind)),
+            DefenseMode::Baseline => None,
+        }
+    }
+
+    /// Runs a guest handler at logical position `at_pc`. `irq_timestamp`
+    /// is the serviced interrupt's (agreed) delivery time — what the
+    /// virtual device's completion register exposes — or `None` outside
+    /// interrupt handlers.
+    fn run_handler<F>(&mut self, at_pc: u64, irq_timestamp: Option<VirtNanos>, f: F)
     where
         F: FnOnce(&mut dyn GuestProgram, &mut GuestEnv),
     {
         let v = self.clock.virt(at_pc);
         let mut env = GuestEnv::new(
             v,
+            irq_timestamp,
             self.cfg.clocks.pit_ticks(v),
             self.cfg.clocks.rdtsc(v),
             self.cfg.clocks.rtc_secs(v),
@@ -360,6 +462,10 @@ impl GuestSlot {
     /// `cache` is the host's shared LLC (every slot on a host gets the
     /// same one).
     ///
+    /// # Errors
+    ///
+    /// Propagates [`SlotError`]s from processing.
+    ///
     /// # Panics
     ///
     /// Panics on double boot.
@@ -368,46 +474,43 @@ impl GuestSlot {
         profile: &SpeedProfile,
         cache: &mut CacheModel,
         now: SimTime,
-    ) -> Vec<SlotOutput> {
+    ) -> Result<Vec<SlotOutput>, SlotError> {
         assert!(!self.booted, "double boot");
         self.booted = true;
         self.synced_at = now;
-        self.run_handler(0, |prog, env| prog.on_boot(env));
+        self.run_handler(0, None, |prog, env| prog.on_boot(env));
         self.process(profile, cache, now)
     }
 
     /// The earliest due interrupt at physical position `phys`, ordered by
-    /// `(injection branch, delivery virt, class, id)` — replica-identical.
-    fn next_due_injection(&self, phys: u64) -> Option<(u64, VirtNanos, IrqClass, u64)> {
-        let mut best: Option<(u64, VirtNanos, IrqClass, u64)> = None;
-        let mut consider = |cand: (u64, VirtNanos, IrqClass, u64)| {
+    /// `(injection branch, delivery virt, class rank, id)` —
+    /// replica-identical. The rank keeps the legacy timer/disk/net/cache
+    /// order (see [`ChannelKind::injection_rank`]).
+    fn next_due_injection(
+        &self,
+        phys: u64,
+    ) -> Option<(u64, VirtNanos, u8, u64, Option<ChannelKind>)> {
+        let mut best: Option<(u64, VirtNanos, u8, u64, Option<ChannelKind>)> = None;
+        let mut consider = |cand: (u64, VirtNanos, u8, u64, Option<ChannelKind>)| {
             if cand.0 <= phys && best.as_ref().is_none_or(|b| cand < *b) {
                 best = Some(cand);
             }
         };
         if self.program.wants_timer() {
             let tick = self.cfg.clocks.pit_tick_time(self.ticks_delivered + 1);
-            consider((self.injection_branch(tick), tick, IrqClass::Timer, 0));
+            consider((self.injection_branch(tick), tick, 0, 0, None));
         }
-        for (&id, d) in &self.disk {
-            if d.data.is_some() {
-                consider((
-                    self.injection_branch(d.deliver),
-                    d.deliver,
-                    IrqClass::Disk,
-                    id,
-                ));
-            }
-        }
-        for (&seq, n) in &self.net {
-            if let Some(deliver) = n.deliver {
-                consider((self.injection_branch(deliver), deliver, IrqClass::Net, seq));
-            }
-        }
-        for (&id, c) in &self.cache_pending {
-            if let Some(deliver) = c.deliver {
-                consider((self.injection_branch(deliver), deliver, IrqClass::Cache, id));
-            }
+        for (&(kind, id), p) in &self.pending {
+            let (Some(deliver), true) = (p.deliver, p.payload.ready()) else {
+                continue;
+            };
+            consider((
+                self.injection_branch(deliver),
+                deliver,
+                kind.injection_rank(),
+                id,
+                Some(kind),
+            ));
         }
         best
     }
@@ -415,12 +518,17 @@ impl GuestSlot {
     /// Processes everything due at `now`: completes actions, injects due
     /// interrupts, runs handlers. Returns emitted outputs. `cache` is the
     /// host's shared LLC.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces malformed channel state ([`SlotError`]) instead of
+    /// panicking, so a broken scenario fails its cell only.
     pub fn process(
         &mut self,
         profile: &SpeedProfile,
         cache: &mut CacheModel,
         now: SimTime,
-    ) -> Vec<SlotOutput> {
+    ) -> Result<Vec<SlotOutput>, SlotError> {
         self.sync(profile, now);
         let phys = self.branches;
         let mut out = Vec::new();
@@ -442,7 +550,7 @@ impl GuestSlot {
                 }
             }
             let inj = self.next_due_injection(phys);
-            if let Some((ib, _, _, _)) = inj {
+            if let Some((ib, _, _, _, _)) = inj {
                 let pos = ib.max(self.pc);
                 if best.is_none_or(|b| (pos, 1) < b) {
                     best = Some((pos, 1));
@@ -468,9 +576,9 @@ impl GuestSlot {
                     self.actions.pop_front();
                 }
                 1 => {
-                    let (ib, _deliver, class, id) = inj.expect("injection candidate");
+                    let (ib, _deliver, _rank, id, kind) = inj.expect("injection candidate");
                     self.pc = self.pc.max(ib);
-                    self.inject(class, id);
+                    self.inject(kind, id)?;
                 }
                 _ => {
                     let action = self.actions.pop_front().expect("zero-branch head");
@@ -478,7 +586,7 @@ impl GuestSlot {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     fn execute_zero_branch(
@@ -508,7 +616,7 @@ impl GuestSlot {
             }
             GuestAction::Call { token } => {
                 let at_pc = self.pc;
-                self.run_handler(at_pc, |prog, env| prog.on_call(token, env));
+                self.run_handler(at_pc, None, |prog, env| prog.on_call(token, env));
             }
             GuestAction::CacheTouch { set, tag } => {
                 cache.touch(self.cfg.endpoint.0, set, tag);
@@ -523,46 +631,32 @@ impl GuestSlot {
                     "cache_misses"
                 });
                 let issue_virt = self.clock.virt(self.pc);
-                let proposal = issue_virt + VirtOffset::from_nanos(latency);
+                let local = issue_virt + VirtOffset::from_nanos(latency);
                 let probe_id = self.next_probe_id;
                 self.next_probe_id += 1;
-                match self.cfg.mode {
-                    DefenseMode::StopWatch { replicas, .. } => {
+                let payload = ChannelPayload::Cache {
+                    set,
+                    tag,
+                    issue_virt,
+                };
+                match self.policy(ChannelKind::Cache) {
+                    Some(policy) => {
                         // Hidden until the replicas agree: propose our
                         // locally measured completion time and wait for
                         // the median (Fig. 3's flow, cache edition).
-                        self.cache_pending.insert(
-                            probe_id,
-                            CachePending {
-                                set,
-                                tag,
-                                issue_virt,
-                                proposals: Vec::with_capacity(replicas),
-                                needed: replicas,
-                                deliver: None,
-                            },
-                        );
-                        // Faster replicas may already have proposed this
-                        // probe before our guest reached it.
-                        if let Some(early) = self.early_cache.remove(&probe_id) {
-                            for p in early {
-                                self.add_cache_proposal(probe_id, p);
-                            }
-                        }
-                        out.push(SlotOutput::CacheProposal { probe_id, proposal });
+                        let proposal = local + policy.offset;
+                        self.open_pending(ChannelKind::Cache, probe_id, payload);
+                        out.push(SlotOutput::Proposal {
+                            kind: ChannelKind::Cache,
+                            seq: probe_id,
+                            proposal,
+                        });
                     }
-                    DefenseMode::Baseline => {
+                    None => {
                         // Unprotected: the local latency is the readout.
-                        self.cache_pending.insert(
-                            probe_id,
-                            CachePending {
-                                set,
-                                tag,
-                                issue_virt,
-                                proposals: vec![proposal],
-                                needed: 1,
-                                deliver: Some(proposal),
-                            },
+                        self.pending.insert(
+                            (ChannelKind::Cache, probe_id),
+                            ChannelPending::local(payload, local),
                         );
                     }
                 }
@@ -571,66 +665,107 @@ impl GuestSlot {
         }
     }
 
-    fn inject(&mut self, class: IrqClass, id: u64) {
-        let at_pc = self.pc;
-        match class {
-            IrqClass::Timer => {
-                self.ticks_delivered += 1;
-                self.counters.incr("timer_irq");
-                self.run_handler(at_pc, |prog, env| prog.on_timer(env));
-            }
-            IrqClass::Disk => {
-                let d = self.disk.remove(&id).expect("pending disk op");
-                self.counters.incr("disk_irq");
-                // Data is copied into the guest address space only now (no
-                // early polling, Sec. V-A).
-                let data = d.data.expect("due disk op has data");
-                self.run_handler(at_pc, |prog, env| {
-                    prog.on_disk_done(d.op, d.range, &data, env)
-                });
-            }
-            IrqClass::Net => {
-                let n = self.net.remove(&id).expect("pending packet");
-                self.counters.incr("net_irq");
-                let deliver = n.deliver.expect("due packet has delivery time");
-                self.delivered_log.push((id, deliver));
-                self.run_handler(at_pc, |prog, env| prog.on_packet(&n.packet, env));
-            }
-            IrqClass::Cache => {
-                let c = self.cache_pending.remove(&id).expect("pending probe");
-                self.counters.incr("cache_irq");
-                let deliver = c.deliver.expect("due probe has delivery time");
-                // The readout the guest sees: agreed completion minus the
-                // (replica-identical) issue instant — a pure function of
-                // agreed values, so all replicas observe the same latency.
-                let latency_ns = (deliver - c.issue_virt).as_nanos();
-                self.run_handler(at_pc, |prog, env| {
-                    prog.on_cache_probe(c.set, c.tag, latency_ns, env)
-                });
+    /// Opens an agreement entry for `(kind, seq)` and drains any peer
+    /// proposals that outran this replica. The drain can never complete
+    /// the proposal set (PGM dedups retransmits, so at most
+    /// `replicas - 1` peers are buffered and this replica's own proposal
+    /// is still outstanding), so no clamp check is needed here — the
+    /// zero sentinel would skip it in the impossible case.
+    fn open_pending(&mut self, kind: ChannelKind, seq: u64, payload: ChannelPayload) {
+        let DefenseMode::StopWatch { replicas, .. } = self.cfg.mode else {
+            unreachable!("agreement entries are a StopWatch flow");
+        };
+        self.pending
+            .insert((kind, seq), ChannelPending::agreeing(payload, replicas));
+        if let Some(early) = self.early.remove(&(kind, seq)) {
+            for p in early {
+                self.record_proposal(kind, seq, p, VirtNanos::ZERO);
             }
         }
     }
 
-    fn issue_disk(&mut self, op: DiskOp, range: BlockRange, value: u64) -> SlotOutput {
-        let issue_virt = self.clock.virt(self.pc);
-        let deliver = match self.cfg.mode {
-            DefenseMode::StopWatch { delta_d, .. } => issue_virt + delta_d,
-            DefenseMode::Baseline => issue_virt,
+    fn inject(&mut self, kind: Option<ChannelKind>, id: u64) -> Result<(), SlotError> {
+        let at_pc = self.pc;
+        let Some(kind) = kind else {
+            let tick = self.cfg.clocks.pit_tick_time(self.ticks_delivered + 1);
+            self.ticks_delivered += 1;
+            self.counters.incr("timer_irq");
+            self.run_handler(at_pc, Some(tick), |prog, env| prog.on_timer(env));
+            return Ok(());
         };
+        let pending = self
+            .pending
+            .remove(&(kind, id))
+            .ok_or(SlotError::MissingDelivery { kind, id })?;
+        let deliver = pending
+            .deliver
+            .ok_or(SlotError::MissingDelivery { kind, id })?;
+        match pending.payload {
+            ChannelPayload::Net { packet } => {
+                self.counters.incr("net_irq");
+                self.delivered_log.push((id, deliver));
+                self.run_handler(at_pc, Some(deliver), |prog, env| {
+                    prog.on_packet(&packet, env)
+                });
+            }
+            ChannelPayload::Cache {
+                set,
+                tag,
+                issue_virt,
+            } => {
+                self.counters.incr("cache_irq");
+                // The readout the guest sees: agreed completion minus the
+                // (replica-identical) issue instant — a pure function of
+                // agreed values, so all replicas observe the same latency.
+                let latency_ns = (deliver - issue_virt).as_nanos();
+                self.run_handler(at_pc, Some(deliver), |prog, env| {
+                    prog.on_cache_probe(set, tag, latency_ns, env)
+                });
+            }
+            ChannelPayload::Disk {
+                op, range, data, ..
+            } => {
+                self.counters.incr("disk_irq");
+                // Data is copied into the guest address space only now (no
+                // early polling, Sec. V-A).
+                let data = data.ok_or(SlotError::MissingDiskData { op_id: id })?;
+                self.run_handler(at_pc, Some(deliver), |prog, env| {
+                    prog.on_disk_done(op, range, &data, env)
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn issue_disk(&mut self, op: DiskOp, range: BlockRange, value: u64) -> SlotOutput {
         if op == DiskOp::Write {
             self.image.write(range, value);
         }
         let op_id = self.next_op_id;
         self.next_op_id += 1;
-        self.disk.insert(
-            op_id,
-            DiskPending {
-                op,
-                range,
-                deliver,
-                data: None,
-            },
-        );
+        let payload = ChannelPayload::Disk {
+            op,
+            range,
+            issue_virt: self.clock.virt(self.pc),
+            data: None,
+        };
+        match self.cfg.mode {
+            DefenseMode::StopWatch { .. } => {
+                // The completion timestamp is agreed later, when the host
+                // transfers finish and the replicas exchange proposals
+                // (see `disk_ready`). Peers with faster disks may already
+                // have proposed this op.
+                self.open_pending(ChannelKind::Disk, op_id, payload);
+            }
+            DefenseMode::Baseline => {
+                // Delivered when the data is ready; `disk_ready` fixes the
+                // time.
+                self.pending.insert(
+                    (ChannelKind::Disk, op_id),
+                    ChannelPending::agreeing(payload, 1),
+                );
+            }
+        }
         SlotOutput::DiskSubmit {
             op_id,
             request: DiskRequest { op, range },
@@ -648,92 +783,154 @@ impl GuestSlot {
         ingress_seq: u64,
         packet: Packet,
     ) -> ArrivalOutcome {
-        match self.cfg.mode {
-            DefenseMode::StopWatch {
-                delta_n, replicas, ..
-            } => {
-                let proposal = self.virt_at_last_exit(profile, now) + delta_n;
-                self.net.insert(
-                    ingress_seq,
-                    NetPending {
-                        packet,
-                        proposals: Vec::with_capacity(replicas),
-                        needed: replicas,
-                        deliver: None,
-                    },
-                );
+        let payload = ChannelPayload::Net { packet };
+        match self.policy(ChannelKind::Net) {
+            Some(policy) => {
+                let proposal = self.virt_at_last_exit(profile, now) + policy.offset;
+                self.open_pending(ChannelKind::Net, ingress_seq, payload);
                 ArrivalOutcome::Proposal(proposal)
             }
-            DefenseMode::Baseline => {
+            None => {
                 let deliver = self.virt_at(profile, now);
-                self.net.insert(
-                    ingress_seq,
-                    NetPending {
-                        packet,
-                        proposals: vec![deliver],
-                        needed: 1,
-                        deliver: Some(deliver),
-                    },
+                self.pending.insert(
+                    (ChannelKind::Net, ingress_seq),
+                    ChannelPending::local(payload, deliver),
                 );
                 ArrivalOutcome::Scheduled
             }
         }
     }
 
-    /// Records one replica's proposal for packet `ingress_seq` (including
-    /// this VMM's own). When all proposals are in, adopts the median;
-    /// returns `true` if the delivery time is now fixed.
+    /// The host disk finished a transfer for `op_id`; the device model's
+    /// hidden buffer now holds the data.
     ///
-    /// If the agreed median has already passed in this replica's virtual
-    /// time, the synchrony assumption was violated (paper footnote 4): the
-    /// packet is delivered at the next exit and `sync_violations` counts it.
+    /// Under StopWatch this VMM now proposes the op's delivery timestamp
+    /// — `issue virt + Δd`, or the current virtual time if the local disk
+    /// overran Δd (sized too small, paper Sec. V-A: `dd_violations`
+    /// counts it) — and the caller multicasts it; delivery happens at the
+    /// replica median, so one contended disk cannot shift what any guest
+    /// observes. Under Baseline the completion is simply scheduled.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::UnknownDiskOp`] when `op_id` is not in flight.
+    pub fn disk_ready(
+        &mut self,
+        profile: &SpeedProfile,
+        now: SimTime,
+        op_id: u64,
+    ) -> Result<ArrivalOutcome, SlotError> {
+        let cur_virt = self.virt_at(profile, now);
+        let image = &self.image;
+        let policy = self.policy(ChannelKind::Disk).copied();
+        let Some(pending) = self.pending.get_mut(&(ChannelKind::Disk, op_id)) else {
+            return Err(SlotError::UnknownDiskOp { op_id });
+        };
+        let ChannelPayload::Disk {
+            op,
+            range,
+            issue_virt,
+            ref mut data,
+        } = pending.payload
+        else {
+            return Err(SlotError::UnknownDiskOp { op_id });
+        };
+        *data = Some(match op {
+            DiskOp::Read => image.read(range),
+            DiskOp::Write => Vec::new(),
+        });
+        match policy {
+            Some(policy) => {
+                // The recorded issue instant is replica-identical;
+                // proposals differ only where local service times do.
+                let release = issue_virt + policy.offset;
+                let proposal = if release < cur_virt {
+                    // Δd was sized below this disk's (possibly contended)
+                    // service time — the local overrun the paper's
+                    // operators watch for.
+                    self.counters.incr("dd_violations");
+                    cur_virt
+                } else {
+                    release
+                };
+                Ok(ArrivalOutcome::Proposal(proposal))
+            }
+            None => {
+                // Baseline: deliver at the next exit after the data is in.
+                pending.deliver = Some(cur_virt);
+                Ok(ArrivalOutcome::Scheduled)
+            }
+        }
+    }
+
+    /// Records one replica's delivery-time proposal for channel `kind`'s
+    /// event `seq` (including this VMM's own). When all proposals are in,
+    /// adopts the median; returns `true` if the delivery time is now
+    /// fixed.
+    ///
+    /// A proposal arriving before this replica opened the matching entry
+    /// (a peer outran us) is buffered and drained at open — dropping it
+    /// would deadlock the agreement. Whether an already-passed median is
+    /// clamped to "now" (and counted) is the channel's
+    /// [`ChannelPolicy::clamp_counter`].
     pub fn add_proposal(
         &mut self,
         profile: &SpeedProfile,
         now: SimTime,
-        ingress_seq: u64,
+        kind: ChannelKind,
+        seq: u64,
         proposal: VirtNanos,
     ) -> bool {
         let cur_virt = self.virt_at(profile, now);
-        self.record_proposal(ingress_seq, proposal, cur_virt)
+        self.record_proposal(kind, seq, proposal, cur_virt)
     }
 
     /// Records a burst of proposals that reached this replica together
     /// (e.g. one PGM packet's delivered backlog): one virtual-clock read
-    /// covers the whole batch, and every packet whose proposal set
+    /// covers the whole batch, and every event whose proposal set
     /// completes gets its median fixed by an in-place selection over its
-    /// own proposal buffer — no per-packet clone-and-sort. Returns how
-    /// many of the batch's packets now have a fixed delivery time
+    /// own proposal buffer — no per-event clone-and-sort. Returns how
+    /// many of the batch's events now have a fixed delivery time
     /// (including ones that already had one), i.e. whether the caller
     /// needs to recompute the slot's wake.
     ///
     /// Behaviour is byte-identical to calling [`GuestSlot::add_proposal`]
     /// once per entry at the same `now`: all entries see the same current
-    /// virtual time either way, and fixing one packet's delivery never
-    /// affects another packet's proposals.
+    /// virtual time either way, and fixing one event's delivery never
+    /// affects another event's proposals.
     pub fn add_proposals(
         &mut self,
         profile: &SpeedProfile,
         now: SimTime,
-        batch: impl IntoIterator<Item = (u64, VirtNanos)>,
+        batch: impl IntoIterator<Item = (ChannelKind, u64, VirtNanos)>,
     ) -> usize {
         let cur_virt = self.virt_at(profile, now);
         batch
             .into_iter()
-            .filter(|&(seq, proposal)| self.record_proposal(seq, proposal, cur_virt))
+            .filter(|&(kind, seq, proposal)| self.record_proposal(kind, seq, proposal, cur_virt))
             .count()
     }
 
-    /// The median-agreement core shared by the scalar and batched entry
-    /// points. `cur_virt` is the replica's current virtual time (read once
-    /// per batch by the callers).
+    /// The median-agreement core shared by every channel and by the
+    /// scalar and batched entry points. `cur_virt` is the replica's
+    /// current virtual time (read once per batch by the callers).
     fn record_proposal(
         &mut self,
-        ingress_seq: u64,
+        kind: ChannelKind,
+        seq: u64,
         proposal: VirtNanos,
         cur_virt: VirtNanos,
     ) -> bool {
-        let Some(pending) = self.net.get_mut(&ingress_seq) else {
+        let policy = self.policy(kind).copied();
+        let Some(pending) = self.pending.get_mut(&(kind, seq)) else {
+            // A peer outran this replica: it proposed an event ours has
+            // not opened yet. Guest-initiated channels buffer it for the
+            // guaranteed local open; net entries are created by an
+            // external arrival that a lossy fabric may never deliver, so
+            // their strays are dropped instead of leaking in the buffer.
+            if policy.is_some_and(|p| p.buffer_early) {
+                self.early.entry((kind, seq)).or_default().push(proposal);
+            }
             return false;
         };
         if pending.deliver.is_some() {
@@ -746,72 +943,18 @@ impl GuestSlot {
         // All proposals are in: adopt the median by selecting the middle
         // element in place (the proposal buffer is dead after this).
         let median = timestats::order_stats::median_odd_in_place(&mut pending.proposals);
-        if median < cur_virt {
-            pending.deliver = Some(cur_virt);
-            self.counters.incr("sync_violations");
-        } else {
-            pending.deliver = Some(median);
-        }
-        true
-    }
-
-    /// Records one replica's proposed completion time for cache probe
-    /// `probe_id` (including this VMM's own). When all proposals are in,
-    /// the median becomes the probe's delivery time; returns `true` once
-    /// the delivery time is fixed.
-    ///
-    /// Unlike network packets there is no synchrony clamp against the
-    /// replica's current *physical* virtual time: probe latencies are
-    /// nanosecond-scale, so the agreed timestamp routinely lies behind
-    /// the physical clock projection — the interrupt then simply fires at
-    /// the next exit, and the *readout* (`deliver - issue`) stays a pure
-    /// function of agreed values.
-    pub fn add_cache_proposal(&mut self, probe_id: u64, proposal: VirtNanos) -> bool {
-        let Some(pending) = self.cache_pending.get_mut(&probe_id) else {
-            // A peer outran this replica: its guest proposed a probe ours
-            // has not issued yet. Buffer the proposal; the local issue
-            // drains it (dropping it would deadlock the agreement).
-            self.early_cache.entry(probe_id).or_default().push(proposal);
-            return false;
-        };
-        if pending.deliver.is_some() {
-            return true;
-        }
-        pending.proposals.push(proposal);
-        if pending.proposals.len() < pending.needed {
-            return false;
-        }
-        let median = timestats::order_stats::median_odd_in_place(&mut pending.proposals);
-        pending.deliver = Some(median);
-        true
-    }
-
-    /// The host disk finished a transfer for `op_id`; the device model's
-    /// hidden buffer now holds the data.
-    ///
-    /// If the virtual delivery time `V + Δd` already passed, Δd was too
-    /// small (`dd_violations`), and the interrupt fires at the next exit —
-    /// late relative to the other replicas.
-    pub fn disk_ready(&mut self, profile: &SpeedProfile, now: SimTime, op_id: u64) {
-        let cur_virt = self.virt_at(profile, now);
-        let image = &self.image;
-        let Some(pending) = self.disk.get_mut(&op_id) else {
-            panic!("disk_ready for unknown op {op_id}");
-        };
-        let data = match pending.op {
-            DiskOp::Read => image.read(pending.range),
-            DiskOp::Write => Vec::new(),
-        };
-        pending.data = Some(data);
-        if pending.deliver < cur_virt {
-            // Under StopWatch this means Δd was sized too small (paper
-            // Sec. V-A); under Baseline, delivering when the data is ready
-            // is simply normal operation.
-            if matches!(self.cfg.mode, DefenseMode::StopWatch { .. }) {
-                self.counters.incr("dd_violations");
+        let clamp_counter = policy.and_then(|p| p.clamp_counter);
+        match clamp_counter.filter(|_| median < cur_virt) {
+            Some(counter) => {
+                // The agreed time already passed in this replica's virtual
+                // time: the synchrony assumption was violated (paper
+                // footnote 4); deliver now and count it.
+                pending.deliver = Some(cur_virt);
+                self.counters.incr(counter);
             }
-            pending.deliver = cur_virt;
+            None => pending.deliver = Some(median),
         }
+        true
     }
 
     /// The next absolute time at which this slot needs to run, given its
@@ -833,18 +976,8 @@ impl GuestSlot {
             let tick = self.cfg.clocks.pit_tick_time(self.ticks_delivered + 1);
             consider(self.injection_branch(tick));
         }
-        for d in self.disk.values() {
-            if d.data.is_some() {
-                consider(self.injection_branch(d.deliver));
-            }
-        }
-        for n in self.net.values() {
-            if let Some(deliver) = n.deliver {
-                consider(self.injection_branch(deliver));
-            }
-        }
-        for c in self.cache_pending.values() {
-            if let Some(deliver) = c.deliver {
+        for p in self.pending.values() {
+            if let (Some(deliver), true) = (p.deliver, p.payload.ready()) {
                 consider(self.injection_branch(deliver));
             }
         }
@@ -891,11 +1024,11 @@ mod tests {
         SlotConfig {
             endpoint: EndpointId(7),
             exit_every: 50_000, // 50 us at 1e9 b/s
-            mode: DefenseMode::StopWatch {
-                delta_n: VirtOffset::from_millis(10),
-                delta_d: VirtOffset::from_millis(10),
-                replicas: 3,
-            },
+            mode: DefenseMode::stop_watch(
+                VirtOffset::from_millis(10),
+                VirtOffset::from_millis(10),
+                3,
+            ),
             clocks: PlatformClocks::default(),
         }
     }
@@ -953,7 +1086,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         assert!(out.is_empty());
         assert_eq!(slot.next_wake(&p, SimTime::ZERO), None);
     }
@@ -963,7 +1096,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let v1 = slot.virt_at(&p, SimTime::from_millis(1));
         let v2 = slot.virt_at(&p, SimTime::from_millis(5));
         assert!(v2 > v1, "idle loop must keep virtual time moving");
@@ -975,7 +1108,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // At t=123.456us, branches=123456; last exit at 100000.
         let v = slot.virt_at_last_exit(&p, SimTime::from_nanos(123_456));
         assert_eq!(v.as_nanos(), 100_000);
@@ -986,7 +1119,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let pkt = Packet {
             src: EndpointId(1),
             dst: EndpointId(7),
@@ -1001,9 +1134,21 @@ mod tests {
         assert_eq!(own.as_nanos(), 1_000_000 + 10_000_000);
         // No delivery scheduled until all three proposals arrive.
         assert_eq!(slot.next_wake(&p, t_arr), None);
-        assert!(!slot.add_proposal(&p, t_arr, 0, own));
-        assert!(!slot.add_proposal(&p, t_arr, 0, VirtNanos::from_nanos(11_500_000)));
-        assert!(slot.add_proposal(&p, t_arr, 0, VirtNanos::from_nanos(12_000_000)));
+        assert!(!slot.add_proposal(&p, t_arr, ChannelKind::Net, 0, own));
+        assert!(!slot.add_proposal(
+            &p,
+            t_arr,
+            ChannelKind::Net,
+            0,
+            VirtNanos::from_nanos(11_500_000)
+        ));
+        assert!(slot.add_proposal(
+            &p,
+            t_arr,
+            ChannelKind::Net,
+            0,
+            VirtNanos::from_nanos(12_000_000)
+        ));
         // Median of {11.0ms, 11.5ms, 12.0ms} = 11.5ms.
         let wake = slot.next_wake(&p, t_arr).expect("delivery scheduled");
         // Injection at first exit with virt >= 11.5ms => branch 11.5e6
@@ -1011,7 +1156,7 @@ mod tests {
         let ns = wake.as_nanos();
         assert!((11_500_000..11_500_050).contains(&ns), "wake at {ns}");
         // Process at the wake: packet injected, echo emitted.
-        let out = slot.process(&p, &mut cache, wake);
+        let out = slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(out.len(), 1);
         match &out[0] {
             SlotOutput::Packet {
@@ -1035,7 +1180,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let pkt = Packet {
             src: EndpointId(1),
             dst: EndpointId(7),
@@ -1047,7 +1192,7 @@ mod tests {
         // integration may land a nanosecond or two past it).
         let ns = wake.as_nanos();
         assert!((150_000..150_050).contains(&ns), "wake at {ns}");
-        let out = slot.process(&p, &mut cache, wake);
+        let out = slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(out.len(), 1, "echo reply");
     }
 
@@ -1056,7 +1201,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let pkt = Packet {
             src: EndpointId(1),
             dst: EndpointId(7),
@@ -1064,14 +1209,25 @@ mod tests {
         };
         slot.on_packet_arrival(&p, SimTime::from_millis(1), 0, pkt);
         // Peers propose times far in this replica's past.
-        slot.add_proposal(&p, SimTime::from_millis(50), 0, VirtNanos::from_millis(2));
-        slot.add_proposal(&p, SimTime::from_millis(50), 0, VirtNanos::from_millis(2));
-        assert!(slot.add_proposal(&p, SimTime::from_millis(50), 0, VirtNanos::from_millis(2)));
+        let late = SimTime::from_millis(50);
+        let two_ms = VirtNanos::from_millis(2);
+        slot.add_proposal(&p, late, ChannelKind::Net, 0, two_ms);
+        slot.add_proposal(&p, late, ChannelKind::Net, 0, two_ms);
+        assert!(slot.add_proposal(&p, late, ChannelKind::Net, 0, two_ms));
         assert_eq!(slot.counters().get("sync_violations"), 1);
         // Still delivered (recovery), at current virt.
-        let wake = slot.next_wake(&p, SimTime::from_millis(50)).unwrap();
-        let out = slot.process(&p, &mut cache, wake);
+        let wake = slot.next_wake(&p, late).unwrap();
+        let out = slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(out.len(), 1);
+    }
+
+    /// Feeds a disk op's own proposal back plus two peers at the same
+    /// timestamp — the common case where every replica's disk met Δd and
+    /// proposed `issue + Δd` exactly.
+    fn agree_disk(slot: &mut GuestSlot, p: &SpeedProfile, now: SimTime, op: u64, at: VirtNanos) {
+        for _ in 0..3 {
+            slot.add_proposal(p, now, ChannelKind::Disk, op, at);
+        }
     }
 
     #[test]
@@ -1079,51 +1235,137 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(DiskGuest), stopwatch_cfg().mode);
-        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // Boot issues the read immediately.
         assert_eq!(out.len(), 1);
         let SlotOutput::DiskSubmit { op_id, request } = &out[0] else {
             panic!("expected disk submit")
         };
         assert_eq!(request.op, DiskOp::Read);
-        // Data ready at 3ms (before deliver = 0 + 10ms): no violation.
-        slot.disk_ready(&p, SimTime::from_millis(3), *op_id);
+        // Data ready at 3ms (before issue + Δd = 10ms): the VMM proposes
+        // the Δd release point, no violation.
+        let t_ready = SimTime::from_millis(3);
+        let outcome = slot.disk_ready(&p, t_ready, *op_id).expect("known op");
+        let ArrivalOutcome::Proposal(own) = outcome else {
+            panic!("stopwatch disk completion proposes")
+        };
+        assert_eq!(own.as_nanos(), 10_000_000, "proposal = issue + Δd");
         assert_eq!(slot.counters().get("dd_violations"), 0);
-        let wake = slot.next_wake(&p, SimTime::from_millis(3)).unwrap();
+        // No injection until the replicas agree.
+        assert_eq!(slot.next_wake(&p, t_ready), None);
+        agree_disk(&mut slot, &p, t_ready, *op_id, own);
+        let wake = slot.next_wake(&p, t_ready).unwrap();
         let ns = wake.as_nanos();
         assert!(
             (10_000_000..10_000_050).contains(&ns),
             "V + Δd wake at {ns}"
         );
-        let out2 = slot.process(&p, &mut cache, wake);
+        let out2 = slot.process(&p, &mut cache, wake).expect("process");
         // Handler queues compute + write; the write issues after 1M
         // branches = 1ms later, so not yet.
         assert!(out2.is_empty());
         let wake2 = slot.next_wake(&p, wake).unwrap();
         let ns2 = wake2.as_nanos();
         assert!((11_000_000..11_000_050).contains(&ns2), "wake2 at {ns2}");
-        let out3 = slot.process(&p, &mut cache, wake2);
+        let out3 = slot.process(&p, &mut cache, wake2).expect("process");
         assert_eq!(out3.len(), 1);
         assert!(matches!(out3[0], SlotOutput::DiskSubmit { .. }));
         assert_eq!(slot.counters().get("disk_irq"), 1);
     }
 
     #[test]
-    fn slow_disk_counts_dd_violation() {
+    fn slow_disk_counts_dd_violation_but_median_prevails() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(DiskGuest), stopwatch_cfg().mode);
-        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let SlotOutput::DiskSubmit { op_id, .. } = &out[0] else {
             panic!()
         };
-        // Data only ready at 25ms — past deliver = 10ms.
-        slot.disk_ready(&p, SimTime::from_millis(25), *op_id);
+        // Data only ready at 25ms — the local disk overran Δd (10ms), so
+        // this replica proposes "now" and counts the violation...
+        let t_ready = SimTime::from_millis(25);
+        let ArrivalOutcome::Proposal(own) = slot.disk_ready(&p, t_ready, *op_id).expect("known op")
+        else {
+            panic!("proposal expected")
+        };
+        assert_eq!(own.as_nanos(), 25_000_000);
         assert_eq!(slot.counters().get("dd_violations"), 1);
-        let wake = slot.next_wake(&p, SimTime::from_millis(25)).unwrap();
-        assert_eq!(wake, SimTime::from_millis(25));
-        slot.process(&p, &mut cache, wake);
+        // ...but the two peers met Δd, so the agreed median is the Δd
+        // release point — in this replica's past. No clamp for disk: the
+        // interrupt fires at the next exit while the *agreed* timestamp
+        // stays replica-identical (no divergence).
+        slot.add_proposal(&p, t_ready, ChannelKind::Disk, *op_id, own);
+        let peer = VirtNanos::from_millis(10);
+        slot.add_proposal(&p, t_ready, ChannelKind::Disk, *op_id, peer);
+        assert!(slot.add_proposal(&p, t_ready, ChannelKind::Disk, *op_id, peer));
+        let wake = slot.next_wake(&p, t_ready).unwrap();
+        assert_eq!(wake, SimTime::from_millis(25), "fires at the next exit");
+        slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(slot.counters().get("disk_irq"), 1);
+    }
+
+    #[test]
+    fn early_peer_disk_proposals_are_buffered_until_local_issue() {
+        // Peers' disks finished before this replica's guest even issued
+        // the op (it runs on a slower host): the proposals must survive.
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(DiskGuest), stopwatch_cfg().mode);
+        let peer = VirtNanos::from_millis(10);
+        assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Disk, 0, peer));
+        assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Disk, 0, peer));
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let SlotOutput::DiskSubmit { op_id, .. } = &out[0] else {
+            panic!()
+        };
+        let t_ready = SimTime::from_millis(3);
+        let ArrivalOutcome::Proposal(own) = slot.disk_ready(&p, t_ready, *op_id).expect("known op")
+        else {
+            panic!()
+        };
+        // Our own proposal completes the drained set of three.
+        assert!(slot.add_proposal(&p, t_ready, ChannelKind::Disk, *op_id, own));
+        let wake = slot.next_wake(&p, t_ready).expect("agreed");
+        slot.process(&p, &mut cache, wake).expect("process");
+        assert_eq!(slot.counters().get("disk_irq"), 1);
+    }
+
+    #[test]
+    fn baseline_disk_delivers_when_ready() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(DiskGuest), DefenseMode::Baseline);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let SlotOutput::DiskSubmit { op_id, .. } = &out[0] else {
+            panic!()
+        };
+        let t_ready = SimTime::from_millis(3);
+        let outcome = slot.disk_ready(&p, t_ready, *op_id).expect("known op");
+        assert_eq!(
+            outcome,
+            ArrivalOutcome::Scheduled,
+            "baseline never proposes"
+        );
+        assert_eq!(slot.counters().get("dd_violations"), 0);
+        let wake = slot.next_wake(&p, t_ready).unwrap();
+        let ns = wake.as_nanos();
+        assert!((3_000_000..3_050_050).contains(&ns), "ready-time wake {ns}");
+        slot.process(&p, &mut cache, wake).expect("process");
+        assert_eq!(slot.counters().get("disk_irq"), 1);
+    }
+
+    #[test]
+    fn unknown_disk_op_is_a_structured_error_not_a_panic() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(DiskGuest), stopwatch_cfg().mode);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let err = slot
+            .disk_ready(&p, SimTime::from_millis(1), 999)
+            .expect_err("unknown op id");
+        assert_eq!(err, SlotError::UnknownDiskOp { op_id: 999 });
+        assert!(err.to_string().contains("unknown op 999"), "{err}");
     }
 
     #[test]
@@ -1146,7 +1388,7 @@ mod tests {
         let mut run = |p: &SpeedProfile| {
             let mut cache = CacheModel::new(8, 2);
             let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
-            slot.boot(p, &mut cache, SimTime::ZERO);
+            slot.boot(p, &mut cache, SimTime::ZERO).expect("boot");
             let pkt = Packet {
                 src: EndpointId(1),
                 dst: EndpointId(7),
@@ -1155,10 +1397,16 @@ mod tests {
             // Packet arrives at (slightly) different real times per host.
             slot.on_packet_arrival(p, SimTime::from_micros(900), 0, pkt);
             for prop in [11_000_000u64, 11_500_000, 12_100_000] {
-                slot.add_proposal(p, SimTime::from_millis(2), 0, VirtNanos::from_nanos(prop));
+                slot.add_proposal(
+                    p,
+                    SimTime::from_millis(2),
+                    ChannelKind::Net,
+                    0,
+                    VirtNanos::from_nanos(prop),
+                );
             }
             let wake = slot.next_wake(p, SimTime::from_millis(2)).unwrap();
-            let out = slot.process(p, &mut cache, wake);
+            let out = slot.process(p, &mut cache, wake).expect("process");
             (slot.delivered_log().to_vec(), out)
         };
         let (log_fast, out_fast) = run(&fast);
@@ -1180,7 +1428,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         slot.stall_until(&p, SimTime::from_millis(1), SimTime::from_millis(5));
         let v_mid = slot.virt_at(&p, SimTime::from_millis(3));
         assert_eq!(v_mid.as_nanos(), 1_000_000, "no progress while stalled");
@@ -1209,11 +1457,11 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(TimerGuest { ticks: 0 }), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // First tick at virt 4ms (250 Hz).
         let wake = slot.next_wake(&p, SimTime::ZERO).unwrap();
         assert!((4_000_000..4_000_050).contains(&wake.as_nanos()));
-        slot.process(&p, &mut cache, wake);
+        slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(slot.counters().get("timer_irq"), 1);
         let wake2 = slot.next_wake(&p, wake).unwrap();
         assert!((8_000_000..8_000_050).contains(&wake2.as_nanos()));
@@ -1237,7 +1485,7 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::new(BusyEcho), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // Packet arrives at 2ms (mid-compute), delivered at exit ~2ms.
         let pkt = Packet {
             src: EndpointId(1),
@@ -1246,7 +1494,7 @@ mod tests {
         };
         slot.on_packet_arrival(&p, SimTime::from_millis(2), 0, pkt);
         let wake = slot.next_wake(&p, SimTime::from_millis(2)).unwrap();
-        let out1 = slot.process(&p, &mut cache, wake);
+        let out1 = slot.process(&p, &mut cache, wake).expect("process");
         // The handler ran (echo 43 queued BEHIND the boot send? No: actions
         // queue FIFO: compute, send(42), then handler pushes send(43)).
         // At 2ms the compute is still running, so nothing emitted yet.
@@ -1256,7 +1504,7 @@ mod tests {
             (10_000_000..10_000_050).contains(&wake2.as_nanos()),
             "compute completes near 10ms, got {wake2}"
         );
-        let out2 = slot.process(&p, &mut cache, wake2);
+        let out2 = slot.process(&p, &mut cache, wake2).expect("process");
         // Both sends now fire at pc = 10ms, in FIFO order.
         assert_eq!(out2.len(), 2);
         match (&out2[0], &out2[1]) {
@@ -1319,11 +1567,11 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<CacheProber>::default(), DefenseMode::Baseline);
-        slot.boot(&p, &mut cache, SimTime::ZERO);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // Probes issued at pc 0 deliver at +40/+400 ns; the injection exit
         // is the first one, at branch 50k = 50 us.
         let wake = slot.next_wake(&p, SimTime::ZERO).expect("probe wake");
-        slot.process(&p, &mut cache, wake);
+        slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(
             probe_readouts(&mut slot),
             vec![(3, CacheModel::HIT_NS), (4, CacheModel::MISS_NS)],
@@ -1344,11 +1592,15 @@ mod tests {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<CacheProber>::default(), stopwatch_cfg().mode);
-        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let proposals: Vec<(u64, VirtNanos)> = out
             .iter()
             .map(|o| match o {
-                SlotOutput::CacheProposal { probe_id, proposal } => (*probe_id, *proposal),
+                SlotOutput::Proposal {
+                    kind: ChannelKind::Cache,
+                    seq,
+                    proposal,
+                } => (*seq, *proposal),
                 other => panic!("{other:?}"),
             })
             .collect();
@@ -1359,13 +1611,13 @@ mod tests {
         assert_eq!(slot.next_wake(&p, SimTime::ZERO), None);
         for (probe_id, own) in &proposals {
             // Own proposal (as the cloud would add it back), then peers.
-            assert!(!slot.add_cache_proposal(*probe_id, *own));
+            assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Cache, *probe_id, *own));
             let peer = VirtNanos::from_nanos(CacheModel::HIT_NS);
-            assert!(!slot.add_cache_proposal(*probe_id, peer));
-            assert!(slot.add_cache_proposal(*probe_id, peer));
+            assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Cache, *probe_id, peer));
+            assert!(slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Cache, *probe_id, peer));
         }
         let wake = slot.next_wake(&p, SimTime::ZERO).expect("agreed wake");
-        slot.process(&p, &mut cache, wake);
+        slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(
             probe_readouts(&mut slot),
             vec![(3, CacheModel::HIT_NS), (4, CacheModel::HIT_NS)],
@@ -1381,29 +1633,59 @@ mod tests {
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<CacheProber>::default(), stopwatch_cfg().mode);
         let hit = VirtNanos::from_nanos(CacheModel::HIT_NS);
-        assert!(!slot.add_cache_proposal(0, hit), "no pending yet");
-        assert!(!slot.add_cache_proposal(0, hit));
-        let out = slot.boot(&p, &mut cache, SimTime::ZERO);
+        assert!(
+            !slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Cache, 0, hit),
+            "no pending yet"
+        );
+        assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Cache, 0, hit));
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         assert_eq!(out.len(), 2);
         // Both early proposals drained at issue; our own completes the set.
-        let SlotOutput::CacheProposal { probe_id, proposal } = out[0].clone() else {
+        let SlotOutput::Proposal { seq, proposal, .. } = out[0].clone() else {
             panic!("{:?}", out[0]);
         };
-        assert!(slot.add_cache_proposal(probe_id, proposal));
+        assert!(slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Cache, seq, proposal));
         let wake = slot.next_wake(&p, SimTime::ZERO).expect("probe 0 agreed");
-        slot.process(&p, &mut cache, wake);
+        slot.process(&p, &mut cache, wake).expect("process");
         assert_eq!(probe_readouts(&mut slot), vec![(3, CacheModel::HIT_NS)]);
+    }
+
+    #[test]
+    fn stray_net_proposals_are_dropped_not_buffered() {
+        // A net pending entry is opened by an external packet arrival,
+        // which a lossy fabric may never deliver — a stray proposal for a
+        // packet this replica never received must not leak into the
+        // early buffer (unlike cache/disk, whose local open is
+        // guaranteed by replica determinism).
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let stray = VirtNanos::from_millis(11);
+        assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Net, 0, stray));
+        // The packet then does arrive: the dropped stray must NOT count
+        // toward the three needed proposals.
+        let pkt = Packet {
+            src: EndpointId(1),
+            dst: EndpointId(7),
+            body: Body::Raw { tag: 0, len: 100 },
+        };
+        let t = SimTime::from_millis(1);
+        slot.on_packet_arrival(&p, t, 0, pkt);
+        assert!(!slot.add_proposal(&p, t, ChannelKind::Net, 0, stray));
+        assert!(
+            !slot.add_proposal(&p, t, ChannelKind::Net, 0, stray),
+            "two live proposals + one dropped stray must not fix delivery"
+        );
+        assert!(slot.add_proposal(&p, t, ChannelKind::Net, 0, stray));
     }
 
     #[test]
     #[should_panic(expected = "odd replica count")]
     fn even_replicas_rejected() {
         let mut cfg = stopwatch_cfg();
-        cfg.mode = DefenseMode::StopWatch {
-            delta_n: VirtOffset::from_millis(1),
-            delta_d: VirtOffset::from_millis(1),
-            replicas: 4,
-        };
+        cfg.mode =
+            DefenseMode::stop_watch(VirtOffset::from_millis(1), VirtOffset::from_millis(1), 4);
         GuestSlot::new(Box::new(IdleGuest), cfg, clock(), DiskImage::new(16));
     }
 }

@@ -8,8 +8,8 @@
 //! turn that set's probes into misses on that host. Under Baseline (one
 //! replica) the asymmetry shows through and the attacker recovers the
 //! secret set round after round; under StopWatch the probe readout is
-//! the **median** of the replicas' proposals (see
-//! `GuestSlot::add_cache_proposal`), and with only one of 3 (or 5)
+//! the **median** of the replicas' proposals (the unified
+//! `GuestSlot::add_proposal` agreement path), and with only one of 3 (or 5)
 //! replicas perturbed the median reads "hit" — the attacker's recovery
 //! accuracy collapses toward chance.
 //!
@@ -27,6 +27,7 @@ use stopwatch_core::cloud::{ClientHandle, CloudBuilder, CloudSim, VmHandle};
 use stopwatch_core::schema::ValueType;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
+use vmm::channel::ChannelKind;
 use vmm::guest::{GuestEnv, GuestProgram};
 
 /// Completion-report tag understood by [`CompletionWaiter`].
@@ -350,6 +351,10 @@ impl Workload for CacheChannelWorkload {
 
     fn params(&self) -> &[ParamSpec] {
         CACHE_PARAMS
+    }
+
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[ChannelKind::Net, ChannelKind::Cache]
     }
 
     fn install(

@@ -10,9 +10,12 @@
 //!   (Fig. 4, Sec. IX);
 //! * [`cache`] — the PRIME+PROBE guest pair exercising the shared-LLC
 //!   coresidency channel directly (Sec. III);
+//! * [`disk`] — the seek-timing guest pair exercising the shared-disk
+//!   channel the Δd release times close (Sec. V-A);
 //! * [`registry`] — the typed workload API: the open [`registry::Workload`]
 //!   trait + registration table sweep harnesses build scenarios from, with
-//!   a self-describing [`registry::ParamSpec`] schema per workload.
+//!   a self-describing [`registry::ParamSpec`] schema per workload (each
+//!   workload also names the timing channels it exercises).
 //!
 //! Adding a workload is implementing [`registry::Workload`] (in its own
 //! module, like the ones above) and calling [`registry::register`] — no
@@ -20,6 +23,7 @@
 
 pub mod attack;
 pub mod cache;
+pub mod disk;
 pub mod nfs;
 pub mod parsec;
 pub mod registry;
@@ -32,6 +36,7 @@ pub mod prelude {
         VictimGuest,
     };
     pub use crate::cache::{CacheChannelWorkload, CacheVictimGuest, PrimeProbeGuest};
+    pub use crate::disk::{DiskChannelWorkload, DiskProbeGuest, DiskSeekVictimGuest};
     pub use crate::nfs::{NfsOp, NfsServerGuest, NfsWorkload, NhfsstoneClient, PAPER_MIX};
     pub use crate::parsec::{
         profile, CompletionWaiter, ParsecGuest, ParsecProfile, ParsecWorkload, PARSEC,

@@ -15,6 +15,7 @@ use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmH
 use stopwatch_core::schema::ValueType;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
+use vmm::channel::ChannelKind;
 use vmm::guest::{GuestEnv, GuestProgram};
 
 /// NFS operation types with the paper's mix percentages.
@@ -519,6 +520,10 @@ impl Workload for NfsWorkload {
 
     fn params(&self) -> &[ParamSpec] {
         NFS_PARAMS
+    }
+
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[ChannelKind::Net, ChannelKind::Disk]
     }
 
     fn install(

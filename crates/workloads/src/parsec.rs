@@ -15,6 +15,7 @@ use simkit::time::SimTime;
 use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmHandle};
 use storage::block::BlockRange;
 use storage::device::DiskOp;
+use vmm::channel::ChannelKind;
 use vmm::guest::{GuestEnv, GuestProgram};
 
 /// One PARSEC application's profile.
@@ -263,6 +264,10 @@ impl Workload for ParsecWorkload {
 
     fn params(&self) -> &[ParamSpec] {
         &[]
+    }
+
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[ChannelKind::Net, ChannelKind::Disk]
     }
 
     fn install(

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 use stopwatch_core::cloud::{ClientHandle, CloudBuilder, CloudSim, VmHandle};
 use stopwatch_core::schema::{self, ValueType};
+use vmm::channel::ChannelKind;
 use vmm::guest::{GuestProgram, IdleGuest};
 
 /// One declared workload parameter: key, type, default, doc. The default
@@ -209,6 +210,15 @@ pub trait Workload: Send + Sync {
     /// The declared parameter schema.
     fn params(&self) -> &[ParamSpec];
 
+    /// The timing channels this workload exercises — which of the VMM's
+    /// agreement paths its guests actually drive (`swbench describe`
+    /// prints them). Defaults to the network channel, which every
+    /// client-measured workload crosses; override to add `cache`/`disk`
+    /// or (for client-less scaffolding) to claim none.
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[ChannelKind::Net]
+    }
+
     /// Wires the workload into `b`: its protected (or baseline) VM plus
     /// its measuring client. `params` has been validated against
     /// [`Workload::params`] by the caller.
@@ -255,6 +265,10 @@ impl Workload for IdleWorkload {
         &[]
     }
 
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[]
+    }
+
     fn install(
         &self,
         b: &mut CloudBuilder,
@@ -274,6 +288,7 @@ fn builtin_workloads() -> Vec<Arc<dyn Workload>> {
         Arc::new(crate::nfs::NfsWorkload),
         Arc::new(crate::attack::AttackWorkload),
         Arc::new(crate::cache::CacheChannelWorkload),
+        Arc::new(crate::disk::DiskChannelWorkload),
     ];
     for profile in crate::parsec::PARSEC {
         table.push(Arc::new(crate::parsec::ParsecWorkload::new(profile)));

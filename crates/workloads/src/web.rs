@@ -15,6 +15,7 @@ use stopwatch_core::cloud::{ClientApp, ClientHandle, CloudBuilder, CloudSim, VmH
 use stopwatch_core::schema::ValueType;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
+use vmm::channel::ChannelKind;
 use vmm::guest::{GuestEnv, GuestProgram};
 
 /// Request kind: fetch file `a` of `b` bytes.
@@ -522,6 +523,10 @@ impl Workload for WebHttpWorkload {
         WEB_PARAMS
     }
 
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[ChannelKind::Net, ChannelKind::Disk]
+    }
+
     fn install(
         &self,
         b: &mut CloudBuilder,
@@ -591,6 +596,10 @@ impl Workload for WebUdpWorkload {
 
     fn params(&self) -> &[ParamSpec] {
         WEB_PARAMS
+    }
+
+    fn channels(&self) -> &'static [ChannelKind] {
+        &[ChannelKind::Net, ChannelKind::Disk]
     }
 
     fn install(

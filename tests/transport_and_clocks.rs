@@ -76,7 +76,7 @@ proptest! {
                     }
                 }
             }
-            now = now + SimDuration::from_millis(60);
+            now += SimDuration::from_millis(60);
             to_server.extend(client.on_tick(now));
             to_client.extend(server.on_tick(now));
         }
@@ -123,7 +123,7 @@ proptest! {
                 let (pk, _) = client.on_datagram(udp_seg(&p), now);
                 to_server.extend(pk);
             }
-            now = now + SimDuration::from_millis(50);
+            now += SimDuration::from_millis(50);
             to_server.extend(client.on_tick(now));
         }
         prop_assert!(client.is_complete(), "transfer of {chunks} chunks never completed");
@@ -187,11 +187,7 @@ fn attacker_cannot_read_real_time_under_stopwatch() {
     let cfg = SlotConfig {
         endpoint: EndpointId(7),
         exit_every: 50_000,
-        mode: DefenseMode::StopWatch {
-            delta_n: VirtOffset::from_millis(10),
-            delta_d: VirtOffset::from_millis(10),
-            replicas: 3,
-        },
+        mode: DefenseMode::stop_watch(VirtOffset::from_millis(10), VirtOffset::from_millis(10), 3),
         clocks: PlatformClocks::default(),
     };
     let clock = VirtualClock::new(VirtNanos::ZERO, 1.0, None);
