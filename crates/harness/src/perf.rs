@@ -129,6 +129,36 @@ pub const PERF_BENCHES: &[PerfBench] = &[
             Ok(vec![s])
         },
     },
+    PerfBench {
+        name: "timer-storm",
+        about: "one cloud, dense virtual-timer arming under contention — stresses the vCPU scheduler + Δt agreement hot path",
+        build: |quick| {
+            let mut s = Scenario::new("timer-channel", 42);
+            s.label = "timer-storm".to_string();
+            s.cell = "timer-storm".to_string();
+            s.workload_params = vec![
+                ("arms".to_string(), "8".to_string()),
+                ("window_ms".to_string(), "5".to_string()),
+                (
+                    "rounds".to_string(),
+                    if quick { "400" } else { "1600" }.to_string(),
+                ),
+                ("secret".to_string(), "5".to_string()),
+                ("victim".to_string(), "true".to_string()),
+            ];
+            s.overrides = vec![
+                ("broadcast_band".to_string(), "off".to_string()),
+                ("disk".to_string(), "ssd".to_string()),
+                // Δt and the timeslice must fit inside the 5 ms probe
+                // window or the next arm would already be in the past
+                // when the previous fire delivers.
+                ("delta_t_ms".to_string(), "2".to_string()),
+                ("timeslice_ms".to_string(), "1".to_string()),
+            ];
+            s.duration = SimDuration::from_secs(600);
+            Ok(vec![s])
+        },
+    },
 ];
 
 /// Looks up a perf benchmark by name.
@@ -533,6 +563,26 @@ mod tests {
         let cache = perf_bench("cache-storm").unwrap().scenarios(true).unwrap();
         assert_eq!(cache.len(), 1, "single-cloud microbench");
         assert_eq!(cache[0].workload, "cache-channel");
+        let timer = perf_bench("timer-storm").unwrap().scenarios(true).unwrap();
+        assert_eq!(timer.len(), 1, "single-cloud microbench");
+        assert_eq!(timer[0].workload, "timer-channel");
+    }
+
+    #[test]
+    fn timer_storm_quick_run_counts_timer_work() {
+        let opts = PerfOptions {
+            quick: true,
+            warmup: 0,
+            repeats: 1,
+            threads: 1,
+            scalar: false,
+        };
+        let report = run_perf("timer-storm", &opts).expect("perf run");
+        assert!(report.events > 0);
+        assert!(
+            report.to_json().contains("\"bench\": \"timer-storm\""),
+            "report names its bench"
+        );
     }
 
     #[test]

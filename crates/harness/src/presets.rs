@@ -168,6 +168,31 @@ pub const PRESETS: &[Preset] = &[
         },
     },
     Preset {
+        name: "timer-channel",
+        about: "scheduler-beat burst recovery vs replica count (1/3/5), with and without the victim (Sec. V-C)",
+        build: |quick| {
+            // Same grid shape as cache-channel / disk-channel: the clean
+            // baseline cell anchors the leakage verdicts and the
+            // stopwatch=false rows repeat per replicas grid point. The
+            // attacker arms one virtual timer per scheduling window and
+            // reads its own dispatch jitter; under StopWatch every fire
+            // lands at the programmed deadline plus Δt, so the victim's
+            // timeslice beat disappears from the samples.
+            let spec = SweepSpec::new("timer-channel", "timer-channel")
+                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.replicas", &[3u64, 5])
+                .axis("victim", &["false", "true"])
+                .seed_shards(42, if quick { 2 } else { 6 });
+            let mut spec = with_params(
+                spec,
+                &[("rounds", if quick { "8" } else { "24" })],
+                &[("broadcast_band", "off"), ("disk", "ssd")],
+            );
+            spec.duration = SimDuration::from_secs(120);
+            spec
+        },
+    },
+    Preset {
         name: "replicas",
         about: "overhead vs replica count (3 vs 5, Sec. IX marginalization defense)",
         build: |quick| {

@@ -14,16 +14,20 @@ use stopwatch_core::config::CloudConfig;
 use workloads::registry::{self, InstalledWorkload, WorkloadParams};
 
 /// Slot counters folded into every result (summed over all replicas).
-const SLOT_COUNTERS: [&str; 9] = [
+const SLOT_COUNTERS: [&str; 13] = [
     "net_irq",
     "disk_irq",
     "cache_irq",
+    "vtimer_irq",
     "cache_probes",
     "cache_hits",
     "cache_misses",
+    "timer_arms",
     "stalls",
     "sync_violations",
     "dd_violations",
+    "dt_violations",
+    "sched_preemptions",
 ];
 
 /// One declarative cloud run.

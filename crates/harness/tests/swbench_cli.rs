@@ -80,6 +80,12 @@ fn describe_lists_channel_kinds_per_workload() {
         stdout.contains("channels: net, cache"),
         "cache-channel names its timing channels:\n{stdout}"
     );
+    let out = swbench(&["describe", "timer-channel"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("channels: net, timer"),
+        "timer-channel names the timer channel:\n{stdout}"
+    );
     let out = swbench(&["describe", "idle"]);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
@@ -209,6 +215,7 @@ fn perf_with_no_bench_lists_the_registry() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("delta-n"), "{stdout}");
     assert!(stdout.contains("packet-storm"), "{stdout}");
+    assert!(stdout.contains("timer-storm"), "{stdout}");
 }
 
 #[test]

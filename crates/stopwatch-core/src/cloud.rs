@@ -34,6 +34,7 @@ use vmm::channel::ChannelKind;
 use vmm::clock::VirtualClock;
 use vmm::guest::GuestProgram;
 use vmm::host::HostMachine;
+use vmm::sched::VcpuScheduler;
 use vmm::slot::{ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotOutput};
 use vmm::speed::SpeedProfile;
 
@@ -86,9 +87,9 @@ struct ClientRecord {
 }
 
 /// One replica's delivery-time proposal for one timing-channel event —
-/// network packet, cache probe, or disk completion, told apart by the
-/// [`ChannelKind`] wire id. Every kind rides the same PGM streams and the
-/// same demux.
+/// network packet, cache probe, disk completion, or virtual-timer fire,
+/// told apart by the [`ChannelKind`] wire id. Every kind rides the same
+/// PGM streams and the same demux.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct ProposalMsg {
     vm: usize,
@@ -119,6 +120,11 @@ pub struct Cloud {
     /// Pending wake per slot: the event and the time it fires at (kept so
     /// a reschedule to the same time can keep the pending event).
     wakes: FxHashMap<(usize, usize), (EventId, SimTime)>,
+    /// Pending virtual-timer hardware events: `(host, slot, fire_seq)` →
+    /// (event, scheduled time, programmed deadline). Tracked so activity
+    /// changes can re-target the physical fire time at the deadline's
+    /// virtual instant, the way `reschedule_wake` re-targets slot wakes.
+    timer_fires: FxHashMap<(usize, usize, u64), (EventId, SimTime, VirtNanos)>,
     pgm_tx: FxHashMap<(usize, usize), PgmSender<ProposalMsg>>,
     pgm_rx: FxHashMap<(usize, usize, usize), PgmReceiver<ProposalMsg>>,
     tunnel_last: FxHashMap<usize, SimTime>,
@@ -275,6 +281,14 @@ impl Cloud {
                         }
                     });
                 }
+                SlotOutput::TimerArm { fire_seq, deadline } => {
+                    // A guest armed a virtual timer. The hardware event
+                    // fires when the host's physical clock reaches the
+                    // deadline's virtual instant; the *guest-visible*
+                    // delivery time is then agreed exactly like a disk
+                    // completion's (deadline + Δt, replica median).
+                    self.schedule_timer_fire(sim, h, s, fire_seq, deadline);
+                }
                 SlotOutput::Packet {
                     out_seq, packet, ..
                 } => {
@@ -292,6 +306,48 @@ impl Cloud {
                 }
             }
         }
+    }
+
+    /// Schedules (or re-targets) the hardware event for an armed virtual
+    /// timer at the host's current physical estimate of the deadline's
+    /// virtual instant. Speed jitter is known to the profile, but host
+    /// contention changes as coresident guests start and stop working —
+    /// [`Cloud::pacing_tick`] re-calls this on every activity refresh so
+    /// the fire lands at the deadline, not at a stale projection of it.
+    fn schedule_timer_fire(
+        &mut self,
+        sim: &mut Sim<Cloud>,
+        h: usize,
+        s: usize,
+        fire_seq: u64,
+        deadline: VirtNanos,
+    ) {
+        let now = sim.now();
+        let at = self.hosts[h].timer_event_time(s, now, deadline).max(now);
+        if let Some(&(old_id, old_at, _)) = self.timer_fires.get(&(h, s, fire_seq)) {
+            if old_at == at {
+                return;
+            }
+            sim.cancel(old_id);
+        }
+        let id = sim.schedule(at, move |sim, cloud: &mut Cloud| {
+            cloud.timer_fires.remove(&(h, s, fire_seq));
+            let now = sim.now();
+            match cloud.hosts[h].timer_elapsed(s, now, fire_seq) {
+                Ok(Some(ArrivalOutcome::Proposal(proposal))) => {
+                    // The replicas agree on the fire's delivery timestamp
+                    // exactly like on a packet's Δn delivery time.
+                    cloud.propose_and_multicast(sim, h, s, ChannelKind::Timer, fire_seq, proposal);
+                }
+                Ok(Some(ArrivalOutcome::Scheduled)) => {
+                    cloud.reschedule_wake(sim, h, s);
+                }
+                Ok(None) => {} // fire was cancelled in time
+                Err(e) => cloud.fail(&format!("host {h} slot {s}"), e),
+            }
+        });
+        self.timer_fires
+            .insert((h, s, fire_seq), (id, at, deadline));
     }
 
     /// Applies slot `(h, s)`'s own delivery-time proposal locally, then
@@ -642,9 +698,24 @@ impl Cloud {
     fn pacing_tick(&mut self, sim: &mut Sim<Cloud>) {
         let now = sim.now();
         for h in 0..self.hosts.len() {
+            // The host scheduling tick rides the same heartbeat: rotate
+            // each host's vCPU run queue past its busy slots.
+            self.hosts[h].sched_tick();
             if self.hosts[h].refresh_activity(now) {
                 for s in 0..self.hosts[h].slot_count() {
                     self.reschedule_wake(sim, h, s);
+                }
+                // The phys↔virt mapping of this host just changed:
+                // re-target its pending virtual-timer hardware events.
+                let mut pending: Vec<(usize, u64, VirtNanos)> = self
+                    .timer_fires
+                    .iter()
+                    .filter(|&(&(hh, _, _), _)| hh == h)
+                    .map(|(&(_, s, f), &(_, _, d))| (s, f, d))
+                    .collect();
+                pending.sort_unstable();
+                for (s, f, d) in pending {
+                    self.schedule_timer_fire(sim, h, s, f, d);
                 }
             }
         }
@@ -823,6 +894,7 @@ impl CloudBuilder {
             if let Some((sets, ways)) = self.cache_geometry {
                 host.set_cache(vmm::cache::CacheModel::new(sets, ways));
             }
+            host.set_scheduler(VcpuScheduler::new(cfg.timeslice));
             hosts.push(host);
         }
         let ingress_node = NetNode(self.host_count);
@@ -855,9 +927,10 @@ impl CloudBuilder {
         for (vm_idx, (host_list, programs, stopwatch)) in self.vms.into_iter().enumerate() {
             let endpoint = EndpointId(1000 + vm_idx as u64);
             let mode = if stopwatch {
-                // Δn and Δd become per-channel policy (net / disk offsets;
-                // cache readouts propose their measured latency directly).
-                DefenseMode::stop_watch(cfg.delta_n, cfg.delta_d, cfg.replicas)
+                // Δn, Δd, and Δt become per-channel policy (net / disk /
+                // timer offsets; cache readouts propose their measured
+                // latency directly).
+                DefenseMode::stop_watch(cfg.delta_n, cfg.delta_d, cfg.delta_t, cfg.replicas)
             } else {
                 DefenseMode::Baseline
             };
@@ -916,6 +989,7 @@ impl CloudBuilder {
             client_by_endpoint,
             ingress_seq: 0,
             wakes: FxHashMap::default(),
+            timer_fires: FxHashMap::default(),
             pgm_tx: FxHashMap::default(),
             pgm_rx: FxHashMap::default(),
             tunnel_last: FxHashMap::default(),

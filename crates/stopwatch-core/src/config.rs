@@ -58,6 +58,13 @@ pub struct CloudConfig {
     /// Δd: virtual-time offset for disk/DMA completions (paper: ~8–15 ms,
     /// sized from worst-case disk access times).
     pub delta_d: VirtOffset,
+    /// Δt: virtual-time offset for guest virtual-timer fires, measured
+    /// from the *programmed* deadline (not the jittery dispatch instant),
+    /// sized to cover the worst-case vCPU run-queue wait.
+    pub delta_t: VirtOffset,
+    /// vCPU scheduler timeslice — the quantum each busy co-resident runs
+    /// before a newly-woken vCPU is dispatched.
+    pub timeslice: VirtOffset,
     /// Branches between guest-caused VM exits.
     pub exit_every: u64,
     /// Host base speed, branches per second.
@@ -97,6 +104,8 @@ impl Default for CloudConfig {
             replicas: 3,
             delta_n: VirtOffset::from_millis(10),
             delta_d: VirtOffset::from_millis(12),
+            delta_t: VirtOffset::from_millis(10),
+            timeslice: VirtOffset::from_millis(2),
             exit_every: 50_000,
             base_ips: 1.0e9,
             ips_jitter: 0.02,
@@ -306,6 +315,26 @@ static KNOBS: &[KnobSpec] = &[
         },
     },
     KnobSpec {
+        key: "delta_t_ms",
+        ty: ValueType::OffsetMs,
+        doc: "Δt: virtual-time offset for guest virtual-timer fires, ms",
+        get: |c| fmt_ns_as_ms(c.delta_t.as_nanos()),
+        set: |c, v| {
+            c.delta_t = VirtOffset::from_millis(parse_knob("delta_t_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "timeslice_ms",
+        ty: ValueType::OffsetMs,
+        doc: "vCPU scheduler timeslice (run-queue quantum), ms",
+        get: |c| fmt_ns_as_ms(c.timeslice.as_nanos()),
+        set: |c, v| {
+            c.timeslice = VirtOffset::from_millis(parse_knob("timeslice_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
         key: "exit_every",
         ty: ValueType::Int,
         doc: "branches between guest-caused VM exits",
@@ -471,6 +500,8 @@ mod tests {
             ("replicas", "5"),
             ("delta_n_ms", "4"),
             ("delta_d_ms", "6"),
+            ("delta_t_ms", "8"),
+            ("timeslice_ms", "1"),
             ("exit_every", "10000"),
             ("base_ips", "2e9"),
             ("ips_jitter", "0.05"),
@@ -487,6 +518,8 @@ mod tests {
         assert_eq!(c.replicas, 5);
         assert_eq!(c.delta_n.as_millis_f64(), 4.0);
         assert_eq!(c.delta_d.as_millis_f64(), 6.0);
+        assert_eq!(c.delta_t.as_millis_f64(), 8.0);
+        assert_eq!(c.timeslice.as_millis_f64(), 1.0);
         assert_eq!(c.exit_every, 10_000);
         assert_eq!(c.base_ips, 2e9);
         assert_eq!(c.ips_jitter, 0.05);

@@ -46,11 +46,20 @@ pub enum ChannelKind {
     Cache,
     /// Disk/DMA completions (Sec. V-A: Δd release times, now agreed).
     Disk,
+    /// Guest-programmed virtual-timer fires and preemption-slice
+    /// boundaries (Sec. V-C: Δt release times proposed by the vCPU
+    /// scheduler, median-delivered like every other interrupt).
+    Timer,
 }
 
 impl ChannelKind {
     /// Every channel kind, in wire-id order.
-    pub const ALL: [ChannelKind; 3] = [ChannelKind::Net, ChannelKind::Cache, ChannelKind::Disk];
+    pub const ALL: [ChannelKind; 4] = [
+        ChannelKind::Net,
+        ChannelKind::Cache,
+        ChannelKind::Disk,
+        ChannelKind::Timer,
+    ];
 
     /// Stable wire identifier (PGM proposal messages carry it).
     pub fn id(self) -> u8 {
@@ -58,6 +67,7 @@ impl ChannelKind {
             ChannelKind::Net => 0,
             ChannelKind::Cache => 1,
             ChannelKind::Disk => 2,
+            ChannelKind::Timer => 3,
         }
     }
 
@@ -67,6 +77,7 @@ impl ChannelKind {
             ChannelKind::Net => "net",
             ChannelKind::Cache => "cache",
             ChannelKind::Disk => "disk",
+            ChannelKind::Timer => "timer",
         }
     }
 
@@ -76,6 +87,7 @@ impl ChannelKind {
             ChannelKind::Net => "proposals_sent",
             ChannelKind::Cache => "cache_proposals_sent",
             ChannelKind::Disk => "disk_proposals_sent",
+            ChannelKind::Timer => "timer_proposals_sent",
         }
     }
 
@@ -83,9 +95,14 @@ impl ChannelKind {
     /// injected ordered by `(delivery virt, rank, id)`; the ranks keep the
     /// pre-unification order (timer 0, disk 1, net 2, cache 3) so event
     /// traces stay byte-identical with the per-kind implementation this
-    /// replaced.
+    /// replaced. Rank 0 — held in reserve for the legacy PIT class since
+    /// the unification — now belongs to the real timer channel; the PIT
+    /// tick itself sorts *before* same-instant channel interrupts because
+    /// its candidate key carries no kind (`None < Some(_)`), so the legacy
+    /// traces are unchanged.
     pub(crate) fn injection_rank(self) -> u8 {
         match self {
+            ChannelKind::Timer => 0,
             ChannelKind::Disk => 1,
             ChannelKind::Net => 2,
             ChannelKind::Cache => 3,
@@ -117,6 +134,17 @@ pub struct ChannelPolicy {
     /// lossy fabric, and buffering for an open that never comes would
     /// leak the buffer entry forever.
     pub buffer_early: bool,
+    /// Whether delivery is fixed as soon as the proposals received so far
+    /// *determine* the median (no assignment of the missing proposals can
+    /// change it — e.g. two equal proposals out of three). `true` for the
+    /// timer channel: its proposals are virtual-time-gated, so a replica
+    /// lagging in physical time (a contended host) sends its proposal
+    /// late in *wall-clock* terms; waiting for it would gate the fast
+    /// replicas' next hardware fires on the slowest host and compound the
+    /// lag into ever-later medians. `false` for the physically-gated
+    /// channels (net/disk arrivals, cache exits), whose proposals reach
+    /// every replica promptly regardless of virtual-time skew.
+    pub fix_on_majority: bool,
 }
 
 /// The full per-channel policy table of one StopWatch slot.
@@ -125,28 +153,46 @@ pub struct ChannelPolicies {
     net: ChannelPolicy,
     cache: ChannelPolicy,
     disk: ChannelPolicy,
+    timer: ChannelPolicy,
 }
 
 impl ChannelPolicies {
     /// The paper's StopWatch policy set: Δn-offset clamped network
     /// delivery, unclamped zero-offset cache readouts, Δd-offset
-    /// unclamped disk completions.
-    pub fn stopwatch(delta_n: VirtOffset, delta_d: VirtOffset) -> Self {
+    /// unclamped disk completions, Δt-offset unclamped timer fires.
+    pub fn stopwatch(delta_n: VirtOffset, delta_d: VirtOffset, delta_t: VirtOffset) -> Self {
         ChannelPolicies {
             net: ChannelPolicy {
                 offset: delta_n,
                 clamp_counter: Some("sync_violations"),
                 buffer_early: false,
+                fix_on_majority: false,
             },
             cache: ChannelPolicy {
                 offset: VirtOffset::from_nanos(0),
                 clamp_counter: None,
                 buffer_early: true,
+                fix_on_majority: false,
             },
             disk: ChannelPolicy {
                 offset: delta_d,
                 clamp_counter: None,
                 buffer_early: true,
+                fix_on_majority: false,
+            },
+            // Timers are guest-armed, so the pending entry exists on every
+            // replica before any proposal can arrive — buffer early peers
+            // like the other guest-initiated channels. The Δt offset is
+            // measured from the *programmed deadline*, not the dispatch
+            // time, so scheduler jitter never reaches the proposal; and
+            // because proposals are virtual-time-gated, delivery is fixed
+            // the moment the received proposals pin the median rather than
+            // waiting on the slowest (most contended) replica's fire.
+            timer: ChannelPolicy {
+                offset: delta_t,
+                clamp_counter: None,
+                buffer_early: true,
+                fix_on_majority: true,
             },
         }
     }
@@ -157,6 +203,7 @@ impl ChannelPolicies {
             ChannelKind::Net => &self.net,
             ChannelKind::Cache => &self.cache,
             ChannelKind::Disk => &self.disk,
+            ChannelKind::Timer => &self.timer,
         }
     }
 }
@@ -168,17 +215,21 @@ mod tests {
     #[test]
     fn wire_ids_are_stable_and_distinct() {
         let ids: Vec<u8> = ChannelKind::ALL.iter().map(|k| k.id()).collect();
-        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
         let names: Vec<&str> = ChannelKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["net", "cache", "disk"]);
+        assert_eq!(names, vec!["net", "cache", "disk", "timer"]);
     }
 
     #[test]
     fn stopwatch_policies_route_offsets_per_channel() {
-        let p =
-            ChannelPolicies::stopwatch(VirtOffset::from_millis(10), VirtOffset::from_millis(12));
+        let p = ChannelPolicies::stopwatch(
+            VirtOffset::from_millis(10),
+            VirtOffset::from_millis(12),
+            VirtOffset::from_millis(8),
+        );
         assert_eq!(p.policy(ChannelKind::Net).offset.as_millis_f64(), 10.0);
         assert_eq!(p.policy(ChannelKind::Disk).offset.as_millis_f64(), 12.0);
+        assert_eq!(p.policy(ChannelKind::Timer).offset.as_millis_f64(), 8.0);
         assert_eq!(p.policy(ChannelKind::Cache).offset.as_nanos(), 0);
         assert_eq!(
             p.policy(ChannelKind::Net).clamp_counter,
@@ -186,16 +237,36 @@ mod tests {
         );
         assert_eq!(p.policy(ChannelKind::Cache).clamp_counter, None);
         assert_eq!(p.policy(ChannelKind::Disk).clamp_counter, None);
+        assert_eq!(p.policy(ChannelKind::Timer).clamp_counter, None);
         // Guest-initiated channels buffer early peers (the local open is
         // guaranteed); externally opened net entries do not.
         assert!(!p.policy(ChannelKind::Net).buffer_early);
         assert!(p.policy(ChannelKind::Cache).buffer_early);
         assert!(p.policy(ChannelKind::Disk).buffer_early);
+        assert!(p.policy(ChannelKind::Timer).buffer_early);
+        // Only the virtual-time-gated timer channel fixes delivery on a
+        // median-determining majority; the physically-gated channels wait
+        // for the full proposal set so their traces are unchanged.
+        assert!(!p.policy(ChannelKind::Net).fix_on_majority);
+        assert!(!p.policy(ChannelKind::Cache).fix_on_majority);
+        assert!(!p.policy(ChannelKind::Disk).fix_on_majority);
+        assert!(p.policy(ChannelKind::Timer).fix_on_majority);
     }
 
     #[test]
     fn injection_ranks_preserve_the_legacy_order() {
+        assert!(ChannelKind::Timer.injection_rank() < ChannelKind::Disk.injection_rank());
         assert!(ChannelKind::Disk.injection_rank() < ChannelKind::Net.injection_rank());
         assert!(ChannelKind::Net.injection_rank() < ChannelKind::Cache.injection_rank());
+    }
+
+    #[test]
+    fn timer_owns_the_legacy_rank_zero() {
+        // Satellite: the rank the unification reserved for the PIT class
+        // now belongs to the real timer channel. The PIT tick still sorts
+        // first among same-instant candidates because its key carries
+        // `None` where channel interrupts carry `Some(kind)`.
+        assert_eq!(ChannelKind::Timer.injection_rank(), 0);
+        assert!(None::<ChannelKind> < Some(ChannelKind::Timer));
     }
 }

@@ -13,7 +13,7 @@
 //! virtual time keeps advancing).
 
 use netsim::packet::{Body, EndpointId, Packet};
-use simkit::time::VirtNanos;
+use simkit::time::{VirtNanos, VirtOffset};
 use std::collections::VecDeque;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
@@ -69,6 +69,29 @@ pub enum GuestAction {
         set: u64,
         /// Line tag within the set.
         tag: u64,
+    },
+    /// Arm (or re-arm) a guest-programmable virtual timer: the fire
+    /// arrives later via [`GuestProgram::on_vtimer`] — under StopWatch at
+    /// the replica-median timestamp, so vCPU-scheduler dispatch jitter
+    /// never reaches the guest.
+    SetTimer {
+        /// Guest-chosen timer identifier (re-arming an armed id replaces
+        /// its programmed deadline).
+        timer_id: u64,
+        /// Absolute virtual deadline. Must lie strictly in the guest's
+        /// future — a zero or already-passed deadline is a structured
+        /// slot failure, not a panic.
+        deadline: VirtNanos,
+        /// `Some(p)` re-arms every `p` after each fire (periodic mode);
+        /// `None` is one-shot.
+        period: Option<VirtOffset>,
+    },
+    /// Disarm a virtual timer; a cancel racing an in-flight fire lets the
+    /// fire win (the interrupt is already agreed on every replica).
+    CancelTimer {
+        /// The timer to disarm (unknown ids are a silent no-op, like real
+        /// hypervisor timer hypercalls).
+        timer_id: u64,
     },
 }
 
@@ -165,6 +188,32 @@ impl<'a> GuestEnv<'a> {
         self.actions.push_back(GuestAction::CacheProbe { set, tag });
     }
 
+    /// Arms one-shot virtual timer `timer_id` for the absolute virtual
+    /// `deadline`; the fire arrives via [`GuestProgram::on_vtimer`].
+    pub fn set_timer(&mut self, timer_id: u64, deadline: VirtNanos) {
+        self.actions.push_back(GuestAction::SetTimer {
+            timer_id,
+            deadline,
+            period: None,
+        });
+    }
+
+    /// Arms periodic virtual timer `timer_id`: first fire at `deadline`,
+    /// then re-armed every `period` after each fire.
+    pub fn set_periodic_timer(&mut self, timer_id: u64, deadline: VirtNanos, period: VirtOffset) {
+        self.actions.push_back(GuestAction::SetTimer {
+            timer_id,
+            deadline,
+            period: Some(period),
+        });
+    }
+
+    /// Disarms virtual timer `timer_id` (no-op for unknown ids).
+    pub fn cancel_timer(&mut self, timer_id: u64) {
+        self.actions
+            .push_back(GuestAction::CancelTimer { timer_id });
+    }
+
     /// Queued actions not yet executed.
     pub fn queue_len(&self) -> usize {
         self.actions.len()
@@ -195,6 +244,13 @@ pub trait GuestProgram {
 
     /// A continuation queued via [`GuestEnv::call_after`] was reached.
     fn on_call(&mut self, _token: u64, _env: &mut GuestEnv) {}
+
+    /// A virtual timer armed via [`GuestEnv::set_timer`] (or its periodic
+    /// sibling) fired. [`GuestEnv::irq_timestamp`] is the fire's delivery
+    /// time — under StopWatch the **replica-median** agreed timestamp, so
+    /// `irq_timestamp - deadline` is the guest's whole view of scheduler
+    /// latency.
+    fn on_vtimer(&mut self, _timer_id: u64, _env: &mut GuestEnv) {}
 
     /// A cache probe queued via [`GuestEnv::cache_probe`] completed.
     /// `latency_ns` is the probe's readout in virtual nanoseconds — under
@@ -244,10 +300,30 @@ mod tests {
         env.compute(100);
         env.disk_read(BlockRange::new(0, 1));
         env.send(EndpointId(9), Body::Raw { tag: 1, len: 10 });
-        assert_eq!(env.queue_len(), 3);
+        env.set_timer(4, VirtNanos::from_millis(7));
+        env.set_periodic_timer(5, VirtNanos::from_millis(9), VirtOffset::from_millis(2));
+        env.cancel_timer(4);
+        assert_eq!(env.queue_len(), 6);
         assert!(matches!(q[0], GuestAction::Compute { branches: 100 }));
         assert!(matches!(q[1], GuestAction::DiskRead { .. }));
         assert!(matches!(q[2], GuestAction::Send { .. }));
+        assert!(matches!(
+            q[3],
+            GuestAction::SetTimer {
+                timer_id: 4,
+                period: None,
+                ..
+            }
+        ));
+        assert!(matches!(
+            q[4],
+            GuestAction::SetTimer {
+                timer_id: 5,
+                period: Some(_),
+                ..
+            }
+        ));
+        assert!(matches!(q[5], GuestAction::CancelTimer { timer_id: 4 }));
     }
 
     #[test]

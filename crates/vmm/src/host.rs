@@ -6,11 +6,12 @@
 
 use crate::cache::CacheModel;
 use crate::channel::ChannelKind;
+use crate::sched::VcpuScheduler;
 use crate::slot::{ArrivalOutcome, GuestSlot, SlotError, SlotOutput};
 use crate::speed::SpeedProfile;
 use netsim::link::NetNode;
 use netsim::packet::Packet;
-use simkit::time::{SimTime, VirtNanos};
+use simkit::time::{SimTime, VirtNanos, VirtOffset};
 use storage::device::{DiskDevice, DiskRequest};
 use storage::model::AccessModel;
 
@@ -20,12 +21,17 @@ use storage::model::AccessModel;
 const DEFAULT_CACHE_SETS: u64 = 64;
 const DEFAULT_CACHE_WAYS: usize = 8;
 
+/// Default vCPU timeslice when nothing configures it (Xen's credit
+/// scheduler default quantum order of magnitude).
+const DEFAULT_TIMESLICE_MS: u64 = 2;
+
 /// One physical machine.
 pub struct HostMachine {
     id: NetNode,
     profile: SpeedProfile,
     disk: DiskDevice<Box<dyn AccessModel>>,
     cache: CacheModel,
+    sched: VcpuScheduler,
     slots: Vec<GuestSlot>,
     activity: Vec<f64>,
 }
@@ -47,9 +53,21 @@ impl HostMachine {
             profile,
             disk,
             cache: CacheModel::new(DEFAULT_CACHE_SETS, DEFAULT_CACHE_WAYS),
+            sched: VcpuScheduler::new(VirtOffset::from_millis(DEFAULT_TIMESLICE_MS)),
             slots: Vec::new(),
             activity: Vec::new(),
         }
+    }
+
+    /// Replaces this host's vCPU scheduler (the timeslice is a platform
+    /// property; call before booting any slot).
+    pub fn set_scheduler(&mut self, sched: VcpuScheduler) {
+        self.sched = sched;
+    }
+
+    /// The host's vCPU scheduler (accounting inspection).
+    pub fn scheduler(&self) -> &VcpuScheduler {
+        &self.sched
     }
 
     /// Replaces this host's shared LLC (geometry is a platform property;
@@ -197,6 +215,49 @@ impl HostMachine {
         slot.disk_ready(profile, now, op_id)
     }
 
+    /// The hardware timer event for `(slot, fire_seq)` elapsed: the vCPU
+    /// scheduler computes the slot's dispatch delay from the run queue of
+    /// currently busy co-residents, and the slot answers with its Δt
+    /// fire-time proposal (StopWatch) or schedules the jittered local
+    /// delivery (Baseline). Returns `Ok(None)` for cancelled fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the slot's [`SlotError`]s.
+    pub fn timer_elapsed(
+        &mut self,
+        idx: usize,
+        now: SimTime,
+        fire_seq: u64,
+    ) -> Result<Option<ArrivalOutcome>, SlotError> {
+        let busy = self.busy_slots();
+        let delay = self.sched.dispatch_delay(idx, &busy);
+        let (profile, slot) = (&self.profile, &mut self.slots[idx]);
+        slot.timer_elapsed(profile, now, fire_seq, delay)
+    }
+
+    /// Physical time at which slot `idx`'s virtual clock first reaches
+    /// `deadline` — when to schedule its hardware timer event.
+    pub fn timer_event_time(&self, idx: usize, now: SimTime, deadline: VirtNanos) -> SimTime {
+        self.slots[idx].phys_at_virt(&self.profile, now, deadline)
+    }
+
+    /// The periodic host scheduling tick (driven by the cloud's pacing
+    /// heartbeat): pure run-queue accounting, no guest-visible effect.
+    pub fn sched_tick(&mut self) {
+        let busy = self.busy_slots();
+        self.sched.tick(&busy);
+    }
+
+    fn busy_slots(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_busy())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Current virtual time of slot `idx`.
     pub fn virt_of(&self, idx: usize, now: SimTime) -> VirtNanos {
         self.slots[idx].virt_at(&self.profile, now)
@@ -308,6 +369,61 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(done > SimTime::ZERO);
+    }
+
+    #[test]
+    fn timer_elapsed_charges_run_queue_wait_to_the_waker() {
+        use crate::guest::{GuestEnv, GuestProgram};
+
+        // Slot 0 arms a timer; slot 1 sits on a long compute burst. The
+        // scheduler must charge slot 0 one slice of wait.
+        struct Arm;
+        impl GuestProgram for Arm {
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.set_timer(1, VirtNanos::from_millis(5));
+            }
+            fn on_packet(&mut self, _p: &Packet, _e: &mut GuestEnv) {}
+            fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        }
+        struct Burn;
+        impl GuestProgram for Burn {
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.compute(1_000_000_000);
+            }
+            fn on_packet(&mut self, _p: &Packet, _e: &mut GuestEnv) {}
+            fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        }
+        let mut h = host();
+        let slot_for = |prog: Box<dyn GuestProgram>, ep: u64| {
+            GuestSlot::new(
+                prog,
+                SlotConfig {
+                    endpoint: EndpointId(ep),
+                    exit_every: 50_000,
+                    mode: DefenseMode::Baseline,
+                    clocks: PlatformClocks::default(),
+                },
+                VirtualClock::new(VirtNanos::ZERO, 1.0, None),
+                DiskImage::new(1024),
+            )
+        };
+        let armer = h.add_slot(slot_for(Box::new(Arm), 1));
+        let burner = h.add_slot(slot_for(Box::new(Burn), 2));
+        let boot_out = h.boot_slot(armer, SimTime::ZERO).expect("boot armer");
+        h.boot_slot(burner, SimTime::ZERO).expect("boot burner");
+        assert!(h.slot(burner).is_busy());
+        let SlotOutput::TimerArm { fire_seq, deadline } = boot_out[0] else {
+            panic!("{:?}", boot_out[0]);
+        };
+        let t = h.timer_event_time(armer, SimTime::ZERO, deadline);
+        let outcome = h.timer_elapsed(armer, t, fire_seq).expect("live fire");
+        assert_eq!(outcome, Some(ArrivalOutcome::Scheduled));
+        // One busy co-resident => one slice (the default 2ms) of steal.
+        assert_eq!(h.scheduler().htimedelta(armer), 2_000_000);
+        assert_eq!(h.scheduler().preemptions(), 1);
+        // The sched tick is pure accounting.
+        h.sched_tick();
+        assert!(h.scheduler().slices_granted() >= 2);
     }
 
     #[test]

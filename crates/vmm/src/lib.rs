@@ -12,15 +12,19 @@
 //! * [`cache`] — the per-host shared LLC (set/way, deterministic LRU)
 //!   behind the coresidency channel (Sec. III);
 //! * [`channel`] — the unified timing-channel descriptors: every
-//!   interrupt class an attacker could time (net, cache, disk) named by a
-//!   [`channel::ChannelKind`] with a per-channel [`channel::ChannelPolicy`]
-//!   (Δn/Δd offsets, synchrony clamping);
+//!   interrupt class an attacker could time (net, cache, disk, timer)
+//!   named by a [`channel::ChannelKind`] with a per-channel
+//!   [`channel::ChannelPolicy`] (Δn/Δd/Δt offsets, synchrony clamping);
 //! * [`guest`] — the deterministic guest-program abstraction;
+//! * [`sched`] — the deterministic per-host vCPU scheduler (round-robin
+//!   timeslices, hypercraft-style `switch_vm_timer`/`htimedelta`
+//!   accounting) whose dispatch jitter is the timer channel's leak;
 //! * [`slot`] — the per-guest VMM machinery: guest-caused VM exits,
-//!   interrupt injection at VM entry, hidden device buffers, and **one**
-//!   replica-median agreement path shared by every timing channel;
-//! * [`host`] — a physical machine aggregating slots, a disk, and a speed
-//!   profile.
+//!   interrupt injection at VM entry, hidden device buffers,
+//!   guest-programmable virtual timers, and **one** replica-median
+//!   agreement path shared by every timing channel;
+//! * [`host`] — a physical machine aggregating slots, a disk, a vCPU
+//!   scheduler, and a speed profile.
 //!
 //! Cross-host coordination (proposal exchange, pacing, ingress/egress
 //! wiring) lives one level up, in `stopwatch-core`.
@@ -31,6 +35,7 @@ pub mod clock;
 pub mod devices;
 pub mod guest;
 pub mod host;
+pub mod sched;
 pub mod slot;
 pub mod speed;
 
@@ -42,6 +47,7 @@ pub mod prelude {
     pub use crate::devices::{PlatformClocks, TimePolicy};
     pub use crate::guest::{GuestAction, GuestEnv, GuestProgram, IdleGuest};
     pub use crate::host::HostMachine;
+    pub use crate::sched::VcpuScheduler;
     pub use crate::slot::{
         ArrivalOutcome, DefenseMode, GuestSlot, SlotConfig, SlotError, SlotOutput,
     };

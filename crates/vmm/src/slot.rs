@@ -43,7 +43,7 @@ use crate::speed::SpeedProfile;
 use netsim::packet::{EndpointId, Packet};
 use simkit::metrics::Counters;
 use simkit::time::{SimTime, VirtNanos, VirtOffset};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use storage::block::{BlockRange, DiskImage};
 use storage::device::{DiskOp, DiskRequest};
 
@@ -66,10 +66,15 @@ pub enum DefenseMode {
 
 impl DefenseMode {
     /// The paper's StopWatch arm: Δn network offsets, Δd disk offsets,
-    /// unclamped zero-offset cache readouts.
-    pub fn stop_watch(delta_n: VirtOffset, delta_d: VirtOffset, replicas: usize) -> Self {
+    /// Δt timer offsets, unclamped zero-offset cache readouts.
+    pub fn stop_watch(
+        delta_n: VirtOffset,
+        delta_d: VirtOffset,
+        delta_t: VirtOffset,
+        replicas: usize,
+    ) -> Self {
         DefenseMode::StopWatch {
-            channels: ChannelPolicies::stopwatch(delta_n, delta_d),
+            channels: ChannelPolicies::stopwatch(delta_n, delta_d, delta_t),
             replicas,
         }
     }
@@ -111,6 +116,24 @@ pub enum SlotError {
         /// The channel-local id.
         id: u64,
     },
+    /// A guest armed a virtual timer with an unusable program: a zero (or
+    /// otherwise non-future) deadline, or a zero period.
+    BadTimerDeadline {
+        /// The guest-chosen timer id.
+        timer_id: u64,
+        /// The rejected deadline.
+        deadline: VirtNanos,
+    },
+    /// A periodic timer's re-arm overflowed virtual time.
+    TimerOverflow {
+        /// The guest-chosen timer id.
+        timer_id: u64,
+    },
+    /// `timer_elapsed` named a fire this slot is not tracking.
+    UnknownTimerFire {
+        /// The unknown slot-local fire sequence number.
+        fire_seq: u64,
+    },
 }
 
 impl std::fmt::Display for SlotError {
@@ -128,6 +151,23 @@ impl std::fmt::Display for SlotError {
                     "{} interrupt {id} came due without an agreed delivery time",
                     kind.name()
                 )
+            }
+            SlotError::BadTimerDeadline { timer_id, deadline } => {
+                write!(
+                    f,
+                    "guest timer {timer_id} mis-programmed: deadline {}ns is not in the future \
+                     (or its period is zero)",
+                    deadline.as_nanos()
+                )
+            }
+            SlotError::TimerOverflow { timer_id } => {
+                write!(
+                    f,
+                    "periodic timer {timer_id} re-arm overflowed virtual time"
+                )
+            }
+            SlotError::UnknownTimerFire { fire_seq } => {
+                write!(f, "timer_elapsed for unknown fire {fire_seq}")
             }
         }
     }
@@ -166,6 +206,16 @@ pub enum SlotOutput {
         /// Proposed virtual delivery time.
         proposal: VirtNanos,
     },
+    /// The guest armed a virtual timer: the host must schedule a hardware
+    /// timer event at this slot's physical projection of `deadline` and
+    /// call back [`GuestSlot::timer_elapsed`] with `fire_seq` when it
+    /// elapses (the vCPU scheduler adds its dispatch delay there).
+    TimerArm {
+        /// Slot-local fire sequence number (identical across replicas).
+        fire_seq: u64,
+        /// The programmed absolute virtual deadline.
+        deadline: VirtNanos,
+    },
 }
 
 /// Outcome of channel input arriving at this slot's device model (an
@@ -198,6 +248,12 @@ enum ChannelPayload {
         range: BlockRange,
         issue_virt: VirtNanos,
         data: Option<Vec<u64>>,
+    },
+    /// A guest-programmed virtual timer awaiting its agreed fire time.
+    Timer {
+        timer_id: u64,
+        deadline: VirtNanos,
+        period: Option<VirtOffset>,
     },
 }
 
@@ -246,6 +302,23 @@ impl ChannelPending {
     }
 }
 
+/// The median of `needed` proposals when the `received` subset alone
+/// determines it. With `m = needed / 2` (odd `needed`) and `missing`
+/// proposals outstanding, the full-set median is bracketed by the order
+/// statistics `received[m - missing]` (every missing value below) and
+/// `received[m]` (every missing value above); when those coincide, no
+/// completion can move the median off that value.
+fn median_if_determined(received: &[VirtNanos], needed: usize) -> Option<VirtNanos> {
+    let m = needed / 2;
+    let missing = needed - received.len();
+    if m >= received.len() || m < missing {
+        return None;
+    }
+    let mut sorted = received.to_vec();
+    sorted.sort_unstable();
+    (sorted[m - missing] == sorted[m]).then(|| sorted[m])
+}
+
 /// All per-guest state of the VMM on one host.
 pub struct GuestSlot {
     program: Box<dyn GuestProgram>,
@@ -270,6 +343,13 @@ pub struct GuestSlot {
     early: BTreeMap<(ChannelKind, u64), Vec<VirtNanos>>,
     next_op_id: u64,
     next_probe_id: u64,
+    next_fire_seq: u64,
+    /// Armed virtual timers: guest timer id -> live fire sequence number.
+    armed: BTreeMap<u64, u64>,
+    /// Fires cancelled after their hardware event was scheduled; the
+    /// elapse callback consumes (and ignores) them, so the set never
+    /// outlives its events.
+    cancelled_fires: BTreeSet<u64>,
     out_seq: u64,
     ticks_delivered: u64,
     // Telemetry.
@@ -325,6 +405,9 @@ impl GuestSlot {
             early: BTreeMap::new(),
             next_op_id: 0,
             next_probe_id: 0,
+            next_fire_seq: 0,
+            armed: BTreeMap::new(),
+            cancelled_fires: BTreeSet::new(),
             out_seq: 0,
             ticks_delivered: 0,
             counters: Counters::new(),
@@ -338,8 +421,9 @@ impl GuestSlot {
     }
 
     /// Slot telemetry: `net_irq`, `disk_irq`, `timer_irq`, `cache_irq`,
-    /// `packets_out`, `cache_refs`, `cache_probes`, `cache_hits`,
-    /// `cache_misses`, `dd_violations`, `sync_violations`, `stalls`.
+    /// `vtimer_irq`, `timer_arms`, `packets_out`, `cache_refs`,
+    /// `cache_probes`, `cache_hits`, `cache_misses`, `dd_violations`,
+    /// `dt_violations`, `sched_preemptions`, `sync_violations`, `stalls`.
     pub fn counters(&self) -> &Counters {
         &self.counters
     }
@@ -564,6 +648,8 @@ impl GuestSlot {
                     | Some(GuestAction::Call { .. })
                     | Some(GuestAction::CacheTouch { .. })
                     | Some(GuestAction::CacheProbe { .. })
+                    | Some(GuestAction::SetTimer { .. })
+                    | Some(GuestAction::CancelTimer { .. })
             );
             if head_is_zero_branch && best.is_none_or(|b| (self.pc, 2) < b) {
                 best = Some((self.pc, 2));
@@ -578,11 +664,11 @@ impl GuestSlot {
                 1 => {
                     let (ib, _deliver, _rank, id, kind) = inj.expect("injection candidate");
                     self.pc = self.pc.max(ib);
-                    self.inject(kind, id)?;
+                    self.inject(kind, id, &mut out)?;
                 }
                 _ => {
                     let action = self.actions.pop_front().expect("zero-branch head");
-                    self.execute_zero_branch(action, cache, &mut out);
+                    self.execute_zero_branch(action, cache, &mut out)?;
                 }
             }
         }
@@ -594,7 +680,7 @@ impl GuestSlot {
         action: GuestAction,
         cache: &mut CacheModel,
         out: &mut Vec<SlotOutput>,
-    ) {
+    ) -> Result<(), SlotError> {
         match action {
             GuestAction::DiskRead { range } => {
                 out.push(self.issue_disk(DiskOp::Read, range, 0));
@@ -661,8 +747,84 @@ impl GuestSlot {
                     }
                 }
             }
+            GuestAction::SetTimer {
+                timer_id,
+                deadline,
+                period,
+            } => {
+                let now_virt = self.clock.virt(self.pc);
+                if deadline <= now_virt || period.is_some_and(|p| p.as_nanos() == 0) {
+                    // A zero (or otherwise non-future) deadline and a
+                    // zero period are guest programming errors: surface a
+                    // structured failure that fails this sweep cell, not
+                    // a panic that takes down the whole sweep.
+                    return Err(SlotError::BadTimerDeadline { timer_id, deadline });
+                }
+                self.arm_timer(timer_id, deadline, period, out);
+            }
+            GuestAction::CancelTimer { timer_id } => {
+                // Unknown ids are a silent no-op; a cancel that logically
+                // follows the fire loses the race identically on every
+                // replica (the fire's injection sorts before this action).
+                if let Some(fire_seq) = self.armed.remove(&timer_id) {
+                    self.cancel_fire(fire_seq);
+                }
+            }
             GuestAction::Compute { .. } => unreachable!("compute handled in main loop"),
         }
+        Ok(())
+    }
+
+    /// Arms `timer_id` for `deadline` (replacing any live arm of the same
+    /// id) and emits the [`SlotOutput::TimerArm`] the host turns into a
+    /// hardware timer event. The pending entry opens *now*, on every
+    /// replica, at the same logical point — which is why early peer timer
+    /// proposals can always be buffered (see [`ChannelPolicy`]).
+    fn arm_timer(
+        &mut self,
+        timer_id: u64,
+        deadline: VirtNanos,
+        period: Option<VirtOffset>,
+        out: &mut Vec<SlotOutput>,
+    ) {
+        if let Some(old) = self.armed.remove(&timer_id) {
+            self.cancel_fire(old);
+        }
+        let fire_seq = self.next_fire_seq;
+        self.next_fire_seq += 1;
+        self.armed.insert(timer_id, fire_seq);
+        self.counters.incr("timer_arms");
+        let payload = ChannelPayload::Timer {
+            timer_id,
+            deadline,
+            period,
+        };
+        match self.cfg.mode {
+            DefenseMode::StopWatch { .. } => {
+                // The fire time is agreed later, when each host's timer
+                // hardware elapses and the replicas exchange Δt proposals
+                // (see `timer_elapsed`).
+                self.open_pending(ChannelKind::Timer, fire_seq, payload);
+            }
+            DefenseMode::Baseline => {
+                // Delivered at the locally observed fire; `timer_elapsed`
+                // fixes the time (deadline + vCPU dispatch delay).
+                self.pending.insert(
+                    (ChannelKind::Timer, fire_seq),
+                    ChannelPending::agreeing(payload, 1),
+                );
+            }
+        }
+        out.push(SlotOutput::TimerArm { fire_seq, deadline });
+    }
+
+    /// Forgets a live fire: its pending entry, any buffered early peer
+    /// proposals, and marks it so the already-scheduled hardware event is
+    /// consumed silently.
+    fn cancel_fire(&mut self, fire_seq: u64) {
+        self.pending.remove(&(ChannelKind::Timer, fire_seq));
+        self.early.remove(&(ChannelKind::Timer, fire_seq));
+        self.cancelled_fires.insert(fire_seq);
     }
 
     /// Opens an agreement entry for `(kind, seq)` and drains any peer
@@ -684,7 +846,12 @@ impl GuestSlot {
         }
     }
 
-    fn inject(&mut self, kind: Option<ChannelKind>, id: u64) -> Result<(), SlotError> {
+    fn inject(
+        &mut self,
+        kind: Option<ChannelKind>,
+        id: u64,
+        out: &mut Vec<SlotOutput>,
+    ) -> Result<(), SlotError> {
         let at_pc = self.pc;
         let Some(kind) = kind else {
             let tick = self.cfg.clocks.pit_tick_time(self.ticks_delivered + 1);
@@ -732,6 +899,36 @@ impl GuestSlot {
                 self.run_handler(at_pc, Some(deliver), |prog, env| {
                     prog.on_disk_done(op, range, &data, env)
                 });
+            }
+            ChannelPayload::Timer {
+                timer_id,
+                deadline,
+                period,
+            } => {
+                self.counters.incr("vtimer_irq");
+                if self.armed.get(&timer_id) == Some(&id) {
+                    self.armed.remove(&timer_id);
+                }
+                self.run_handler(at_pc, Some(deliver), |prog, env| {
+                    prog.on_vtimer(timer_id, env)
+                });
+                if let Some(p) = period {
+                    // Periodic mode: re-arm from the *programmed* deadline
+                    // (not the delivery time), catching up past periods so
+                    // a delivery median beyond deadline+period cannot wedge
+                    // the timer. `pc` is logical, so the catch-up target is
+                    // replica-identical.
+                    let now_virt = self.clock.virt(self.pc);
+                    let mut next = deadline;
+                    while next <= now_virt {
+                        next = VirtNanos::from_nanos(
+                            next.as_nanos()
+                                .checked_add(p.as_nanos())
+                                .ok_or(SlotError::TimerOverflow { timer_id })?,
+                        );
+                    }
+                    self.arm_timer(timer_id, next, Some(p), out);
+                }
             }
         }
         Ok(())
@@ -863,6 +1060,94 @@ impl GuestSlot {
         }
     }
 
+    /// The host's hardware timer elapsed for `fire_seq` and the vCPU
+    /// scheduler dispatched this slot after `sched_delay` of run-queue
+    /// wait (zero on an uncontended host).
+    ///
+    /// Under StopWatch this VMM now proposes the fire's delivery
+    /// timestamp — `deadline + Δt`, or the locally observed fire time if
+    /// dispatch overran Δt (sized too small: `dt_violations` counts it) —
+    /// and the caller multicasts it; delivery happens at the replica
+    /// median, so one contended scheduler cannot shift what any guest's
+    /// timer observes. Under Baseline the fire is delivered at the local
+    /// dispatch time, scheduler jitter included — the leak the timer
+    /// workload measures.
+    ///
+    /// Returns `Ok(None)` for a fire the guest cancelled after its
+    /// hardware event was scheduled (the cancel already ran identically
+    /// on every replica).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::UnknownTimerFire`] when `fire_seq` is not live.
+    pub fn timer_elapsed(
+        &mut self,
+        profile: &SpeedProfile,
+        now: SimTime,
+        fire_seq: u64,
+        sched_delay: VirtOffset,
+    ) -> Result<Option<ArrivalOutcome>, SlotError> {
+        if self.cancelled_fires.remove(&fire_seq) {
+            return Ok(None);
+        }
+        let cur_virt = self.virt_at(profile, now);
+        let policy = self.policy(ChannelKind::Timer).copied();
+        let Some(pending) = self.pending.get_mut(&(ChannelKind::Timer, fire_seq)) else {
+            return Err(SlotError::UnknownTimerFire { fire_seq });
+        };
+        let ChannelPayload::Timer { deadline, .. } = pending.payload else {
+            return Err(SlotError::UnknownTimerFire { fire_seq });
+        };
+        if sched_delay.as_nanos() > 0 {
+            self.counters.incr("sched_preemptions");
+        }
+        // The locally observed fire: the programmed deadline plus however
+        // long the run queue held this vCPU (plus any lag of the hardware
+        // event itself).
+        let local_fire = (deadline + sched_delay).max(cur_virt);
+        match policy {
+            Some(policy) => {
+                // The programmed deadline is replica-identical; proposals
+                // differ only where local schedulers do.
+                let release = deadline + policy.offset;
+                let proposal = if release < local_fire {
+                    // Δt was sized below this host's dispatch latency —
+                    // the local overrun the paper's operators watch for.
+                    self.counters.incr("dt_violations");
+                    local_fire
+                } else {
+                    release
+                };
+                Ok(Some(ArrivalOutcome::Proposal(proposal)))
+            }
+            None => {
+                pending.deliver = Some(local_fire);
+                Ok(Some(ArrivalOutcome::Scheduled))
+            }
+        }
+    }
+
+    /// Physical time at which this slot's virtual clock first reaches `v`
+    /// — how the host schedules a virtual timer's hardware event.
+    pub fn phys_at_virt(&self, profile: &SpeedProfile, now: SimTime, v: VirtNanos) -> SimTime {
+        let target = self.clock.instr_for(v);
+        let start = now.max(self.resume_at);
+        let phys = self.branches_at(profile, now);
+        if target <= phys {
+            return start;
+        }
+        // Same float-inversion nudge as `next_wake`: land at or past the
+        // target branch so the elapse callback reads virt >= v.
+        let mut t = profile.time_for_branches(start, target - phys);
+        for _ in 0..16 {
+            if self.branches_at(profile, t) >= target {
+                return t;
+            }
+            t += simkit::time::SimDuration::from_nanos(2);
+        }
+        t
+    }
+
     /// Records one replica's delivery-time proposal for channel `kind`'s
     /// event `seq` (including this VMM's own). When all proposals are in,
     /// adopts the median; returns `true` if the delivery time is now
@@ -911,6 +1196,21 @@ impl GuestSlot {
             .count()
     }
 
+    /// `true` when `seq` lies below `kind`'s local allocation cursor —
+    /// i.e. this replica already opened (and since closed) the entry, so
+    /// a proposal for it is a stray, not an early peer.
+    fn already_opened(&self, kind: ChannelKind, seq: u64) -> bool {
+        let next = match kind {
+            ChannelKind::Cache => self.next_probe_id,
+            ChannelKind::Disk => self.next_op_id,
+            ChannelKind::Timer => self.next_fire_seq,
+            // Net ids are ingress-assigned, not locally allocated (and
+            // net never buffers early proposals anyway).
+            ChannelKind::Net => return false,
+        };
+        seq < next
+    }
+
     /// The median-agreement core shared by every channel and by the
     /// scalar and batched entry points. `cur_virt` is the replica's
     /// current virtual time (read once per batch by the callers).
@@ -928,7 +1228,10 @@ impl GuestSlot {
             // guaranteed local open; net entries are created by an
             // external arrival that a lossy fabric may never deliver, so
             // their strays are dropped instead of leaking in the buffer.
-            if policy.is_some_and(|p| p.buffer_early) {
+            // An id *below* the kind's local allocation cursor was already
+            // opened here (opens are in id order) and has since been
+            // delivered or cancelled — also a stray, never re-buffered.
+            if policy.is_some_and(|p| p.buffer_early) && !self.already_opened(kind, seq) {
                 self.early.entry((kind, seq)).or_default().push(proposal);
             }
             return false;
@@ -937,12 +1240,26 @@ impl GuestSlot {
             return true;
         }
         pending.proposals.push(proposal);
-        if pending.proposals.len() < pending.needed {
-            return false;
-        }
-        // All proposals are in: adopt the median by selecting the middle
-        // element in place (the proposal buffer is dead after this).
-        let median = timestats::order_stats::median_odd_in_place(&mut pending.proposals);
+        let median = if pending.proposals.len() < pending.needed {
+            // A virtual-time-gated channel (timer) fixes delivery the
+            // moment the received proposals *determine* the median: the
+            // still-missing proposals come from replicas whose virtual
+            // clocks lag (contended hosts), and gating injection on them
+            // would push the fast replicas' next fires — and thus the next
+            // median — ever later. Late stragglers hit the delivered
+            // fast-path above or the `already_opened` stray filter.
+            let early = policy
+                .filter(|p| p.fix_on_majority)
+                .and_then(|_| median_if_determined(&pending.proposals, pending.needed));
+            match early {
+                Some(m) => m,
+                None => return false,
+            }
+        } else {
+            // All proposals are in: adopt the median by selecting the
+            // middle element in place (the buffer is dead after this).
+            timestats::order_stats::median_odd_in_place(&mut pending.proposals)
+        };
         let clamp_counter = policy.and_then(|p| p.clamp_counter);
         match clamp_counter.filter(|_| median < cur_virt) {
             Some(counter) => {
@@ -955,6 +1272,13 @@ impl GuestSlot {
             None => pending.deliver = Some(median),
         }
         true
+    }
+
+    /// Early-buffered peer proposals currently awaiting a local open —
+    /// the quantity the buffer-leak regression property pins to zero
+    /// after every entry is opened or retired.
+    pub fn early_buffered(&self) -> usize {
+        self.early.values().map(Vec::len).sum()
     }
 
     /// The next absolute time at which this slot needs to run, given its
@@ -1025,6 +1349,7 @@ mod tests {
             endpoint: EndpointId(7),
             exit_every: 50_000, // 50 us at 1e9 b/s
             mode: DefenseMode::stop_watch(
+                VirtOffset::from_millis(10),
                 VirtOffset::from_millis(10),
                 VirtOffset::from_millis(10),
                 3,
@@ -1680,12 +2005,361 @@ mod tests {
         assert!(slot.add_proposal(&p, t, ChannelKind::Net, 0, stray));
     }
 
+    /// A guest that arms one-shot virtual timer 1 at boot and records each
+    /// fire's `(irq_timestamp, now)` pair.
+    #[derive(Default)]
+    struct VtimerGuest {
+        deadline_ms: u64,
+        period_ms: Option<u64>,
+        fires: Vec<(VirtNanos, VirtNanos)>,
+    }
+
+    impl GuestProgram for VtimerGuest {
+        fn on_boot(&mut self, env: &mut GuestEnv) {
+            let deadline = VirtNanos::from_millis(self.deadline_ms);
+            match self.period_ms {
+                Some(p) => env.set_periodic_timer(1, deadline, VirtOffset::from_millis(p)),
+                None => env.set_timer(1, deadline),
+            }
+        }
+        fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+        fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        fn on_vtimer(&mut self, timer_id: u64, env: &mut GuestEnv) {
+            assert_eq!(timer_id, 1);
+            self.fires.push((env.irq_timestamp, env.now));
+        }
+        fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn vtimer_fires(slot: &mut GuestSlot) -> Vec<(VirtNanos, VirtNanos)> {
+        slot.program_mut()
+            .as_any_mut()
+            .expect("vtimer guest")
+            .downcast_mut::<VtimerGuest>()
+            .expect("vtimer type")
+            .fires
+            .clone()
+    }
+
+    fn boot_vtimer(
+        mode: DefenseMode,
+        deadline_ms: u64,
+        period_ms: Option<u64>,
+    ) -> (GuestSlot, u64) {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let guest = VtimerGuest {
+            deadline_ms,
+            period_ms,
+            fires: Vec::new(),
+        };
+        let mut slot = slot_with(Box::new(guest), mode);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        assert_eq!(out.len(), 1);
+        let SlotOutput::TimerArm { fire_seq, deadline } = out[0] else {
+            panic!("{:?}", out[0]);
+        };
+        assert_eq!(deadline.as_nanos(), deadline_ms * 1_000_000);
+        (slot, fire_seq)
+    }
+
+    #[test]
+    fn baseline_timer_delivers_scheduler_jitter() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let (mut slot, fire_seq) = boot_vtimer(DefenseMode::Baseline, 5, None);
+        // Hardware event at the deadline projection; the vCPU scheduler
+        // held the slot 2ms behind a busy co-resident.
+        let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
+        let outcome = slot
+            .timer_elapsed(&p, t, fire_seq, VirtOffset::from_millis(2))
+            .expect("live fire");
+        assert_eq!(outcome, Some(ArrivalOutcome::Scheduled));
+        assert_eq!(slot.counters().get("sched_preemptions"), 1);
+        let wake = slot.next_wake(&p, t).expect("delivery scheduled");
+        slot.process(&p, &mut cache, wake).expect("process");
+        let fires = vtimer_fires(&mut slot);
+        assert_eq!(fires.len(), 1);
+        // The guest-visible fire carries the dispatch delay: the leak.
+        assert_eq!(fires[0].0.as_nanos(), 7_000_000);
+        assert_eq!(slot.counters().get("vtimer_irq"), 1);
+        assert_eq!(slot.counters().get("timer_arms"), 1);
+    }
+
+    #[test]
+    fn stopwatch_timer_proposes_deadline_plus_delta_t() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let (mut slot, fire_seq) = boot_vtimer(stopwatch_cfg().mode, 5, None);
+        let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
+        // Same 2ms of scheduler contention as the baseline test...
+        let outcome = slot
+            .timer_elapsed(&p, t, fire_seq, VirtOffset::from_millis(2))
+            .expect("live fire");
+        // ...but the proposal is deadline + Δt, independent of it.
+        let Some(ArrivalOutcome::Proposal(own)) = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(own.as_nanos(), 15_000_000, "deadline 5ms + Δt 10ms");
+        assert_eq!(slot.counters().get("dt_violations"), 0);
+        assert_eq!(slot.next_wake(&p, t), None, "no delivery before agreement");
+        for _ in 0..2 {
+            slot.add_proposal(&p, t, ChannelKind::Timer, fire_seq, own);
+        }
+        assert!(slot.add_proposal(&p, t, ChannelKind::Timer, fire_seq, own));
+        let wake = slot.next_wake(&p, t).expect("agreed");
+        slot.process(&p, &mut cache, wake).expect("process");
+        let fires = vtimer_fires(&mut slot);
+        assert_eq!(fires.len(), 1);
+        assert_eq!(
+            fires[0].0.as_nanos(),
+            15_000_000,
+            "guest reads the agreed median, not the local dispatch"
+        );
+    }
+
+    #[test]
+    fn dispatch_overrunning_delta_t_counts_a_dt_violation() {
+        let p = profile();
+        let (mut slot, fire_seq) = boot_vtimer(stopwatch_cfg().mode, 5, None);
+        let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
+        // 12ms of run-queue wait overruns Δt = 10ms: propose the local
+        // fire and count it.
+        let outcome = slot
+            .timer_elapsed(&p, t, fire_seq, VirtOffset::from_millis(12))
+            .expect("live fire");
+        let Some(ArrivalOutcome::Proposal(own)) = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(own.as_nanos(), 17_000_000, "local fire 5ms + 12ms");
+        assert_eq!(slot.counters().get("dt_violations"), 1);
+    }
+
+    #[test]
+    fn periodic_timer_rearms_from_the_programmed_deadline() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let (mut slot, fire0) = boot_vtimer(DefenseMode::Baseline, 5, Some(3));
+        let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
+        slot.timer_elapsed(&p, t, fire0, VirtOffset::from_nanos(0))
+            .expect("live fire");
+        let wake = slot.next_wake(&p, t).expect("due");
+        let out = slot.process(&p, &mut cache, wake).expect("process");
+        // The injection re-armed the next period: 5ms + 3ms = 8ms.
+        assert_eq!(out.len(), 1);
+        let SlotOutput::TimerArm { fire_seq, deadline } = out[0] else {
+            panic!("{:?}", out[0]);
+        };
+        assert_eq!(fire_seq, fire0 + 1);
+        assert_eq!(deadline.as_nanos(), 8_000_000);
+        // Second round: elapse, agree (baseline: local), deliver.
+        let t2 = slot.phys_at_virt(&p, wake, deadline);
+        slot.timer_elapsed(&p, t2, fire_seq, VirtOffset::from_nanos(0))
+            .expect("live fire");
+        let wake2 = slot.next_wake(&p, t2).expect("due");
+        slot.process(&p, &mut cache, wake2).expect("process");
+        assert_eq!(vtimer_fires(&mut slot).len(), 2);
+        // Boot arm plus one re-arm per injected fire.
+        assert_eq!(slot.counters().get("timer_arms"), 3);
+    }
+
+    #[test]
+    fn cancelled_fire_is_consumed_silently() {
+        struct CancelGuest;
+        impl GuestProgram for CancelGuest {
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.set_timer(9, VirtNanos::from_millis(20));
+                env.compute(1_000_000);
+                env.cancel_timer(9);
+            }
+            fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+            fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+            fn on_vtimer(&mut self, _t: u64, _env: &mut GuestEnv) {
+                panic!("cancelled timer must not fire");
+            }
+        }
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(CancelGuest), stopwatch_cfg().mode);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let SlotOutput::TimerArm { fire_seq, .. } = out[0] else {
+            panic!("{:?}", out[0]);
+        };
+        // The cancel runs once the compute finishes (1ms), well before the
+        // 20ms deadline.
+        let t = SimTime::from_millis(2);
+        slot.process(&p, &mut cache, t).expect("process");
+        // An early peer proposal for the cancelled fire must not leak
+        // into the buffer (the pending entry is gone and the fire is
+        // poisoned locally; every replica cancels at the same pc).
+        let stray = VirtNanos::from_millis(30);
+        assert!(!slot.add_proposal(&p, t, ChannelKind::Timer, fire_seq, stray));
+        assert_eq!(
+            slot.early_buffered(),
+            0,
+            "stray must not re-enter the buffer"
+        );
+        // The hardware event still elapses; it is consumed silently.
+        let elapsed = slot
+            .timer_elapsed(
+                &p,
+                SimTime::from_millis(20),
+                fire_seq,
+                VirtOffset::from_nanos(0),
+            )
+            .expect("cancelled fire is not an error");
+        assert_eq!(elapsed, None);
+        assert_eq!(slot.next_wake(&p, SimTime::from_millis(20)), None);
+        assert_eq!(slot.counters().get("vtimer_irq"), 0);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_structured_error_not_a_panic() {
+        struct BadGuest;
+        impl GuestProgram for BadGuest {
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.set_timer(3, VirtNanos::ZERO);
+            }
+            fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+            fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        }
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(BadGuest), stopwatch_cfg().mode);
+        let err = slot
+            .boot(&p, &mut cache, SimTime::ZERO)
+            .expect_err("zero deadline");
+        assert_eq!(
+            err,
+            SlotError::BadTimerDeadline {
+                timer_id: 3,
+                deadline: VirtNanos::ZERO
+            }
+        );
+        assert!(err.to_string().contains("mis-programmed"), "{err}");
+    }
+
+    #[test]
+    fn periodic_rearm_overflow_is_a_structured_error() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        // A period so large the first re-arm overflows u64 virtual time.
+        let huge = u64::MAX - 1_000_000;
+        struct OverflowGuest {
+            period: u64,
+        }
+        impl GuestProgram for OverflowGuest {
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.set_periodic_timer(
+                    4,
+                    VirtNanos::from_millis(5),
+                    VirtOffset::from_nanos(self.period),
+                );
+            }
+            fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+            fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        }
+        let mut slot = slot_with(
+            Box::new(OverflowGuest { period: huge }),
+            DefenseMode::Baseline,
+        );
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let SlotOutput::TimerArm { fire_seq, .. } = out[0] else {
+            panic!("{:?}", out[0]);
+        };
+        let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
+        slot.timer_elapsed(&p, t, fire_seq, VirtOffset::from_nanos(0))
+            .expect("live fire");
+        let wake = slot.next_wake(&p, t).expect("due");
+        // First fire injects fine; the catch-up re-arm (5ms + huge + huge)
+        // overflows and must surface as an error, not a wrapping panic.
+        let err = slot
+            .process(&p, &mut cache, wake)
+            .expect_err("re-arm overflows");
+        assert_eq!(err, SlotError::TimerOverflow { timer_id: 4 });
+    }
+
+    #[test]
+    fn rearming_a_live_timer_replaces_its_deadline() {
+        struct RearmGuest;
+        impl GuestProgram for RearmGuest {
+            fn on_boot(&mut self, env: &mut GuestEnv) {
+                env.set_timer(5, VirtNanos::from_millis(4));
+                env.set_timer(5, VirtNanos::from_millis(6));
+            }
+            fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+            fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
+        }
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(RearmGuest), DefenseMode::Baseline);
+        let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        assert_eq!(out.len(), 2, "both arms emit hardware events");
+        let SlotOutput::TimerArm { fire_seq: old, .. } = out[0] else {
+            panic!()
+        };
+        let SlotOutput::TimerArm { fire_seq: new, .. } = out[1] else {
+            panic!()
+        };
+        // The replaced fire's event is consumed silently; the live one
+        // proposes/schedules normally.
+        assert_eq!(
+            slot.timer_elapsed(&p, SimTime::from_millis(4), old, VirtOffset::from_nanos(0))
+                .expect("replaced fire"),
+            None
+        );
+        assert_eq!(
+            slot.timer_elapsed(&p, SimTime::from_millis(6), new, VirtOffset::from_nanos(0))
+                .expect("live fire"),
+            Some(ArrivalOutcome::Scheduled)
+        );
+    }
+
+    #[test]
+    fn unknown_timer_fire_is_a_structured_error() {
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let mut slot = slot_with(Box::new(IdleGuest), stopwatch_cfg().mode);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let err = slot
+            .timer_elapsed(&p, SimTime::from_millis(1), 42, VirtOffset::from_nanos(0))
+            .expect_err("no such fire");
+        assert_eq!(err, SlotError::UnknownTimerFire { fire_seq: 42 });
+    }
+
     #[test]
     #[should_panic(expected = "odd replica count")]
     fn even_replicas_rejected() {
         let mut cfg = stopwatch_cfg();
-        cfg.mode =
-            DefenseMode::stop_watch(VirtOffset::from_millis(1), VirtOffset::from_millis(1), 4);
+        cfg.mode = DefenseMode::stop_watch(
+            VirtOffset::from_millis(1),
+            VirtOffset::from_millis(1),
+            VirtOffset::from_millis(1),
+            4,
+        );
         GuestSlot::new(Box::new(IdleGuest), cfg, clock(), DiskImage::new(16));
+    }
+
+    #[test]
+    fn median_is_fixed_early_only_when_determined() {
+        let v = |ns: u64| VirtNanos::from_nanos(ns);
+        // 2-of-3 equal: the third proposal cannot move the median.
+        assert_eq!(median_if_determined(&[v(50), v(50)], 3), Some(v(50)));
+        // 2-of-3 unequal: the third could land between them.
+        assert_eq!(median_if_determined(&[v(50), v(60)], 3), None);
+        // 1-of-3 is never enough, even though it equals itself.
+        assert_eq!(median_if_determined(&[v(50)], 3), None);
+        // 5 replicas: three equal out of three received pin the median;
+        // the two missing values can only flank it.
+        assert_eq!(median_if_determined(&[v(9), v(9), v(9)], 5), Some(v(9)));
+        assert_eq!(median_if_determined(&[v(9), v(9), v(8)], 5), None);
+        // Four received with the two middle order statistics equal.
+        assert_eq!(
+            median_if_determined(&[v(7), v(9), v(9), v(12)], 5),
+            Some(v(9))
+        );
+        assert_eq!(median_if_determined(&[v(7), v(8), v(9), v(12)], 5), None);
     }
 }

@@ -12,6 +12,8 @@
 //!   coresidency channel directly (Sec. III);
 //! * [`disk`] — the seek-timing guest pair exercising the shared-disk
 //!   channel the Δd release times close (Sec. V-A);
+//! * [`timer`] — the virtual-timer guest pair exercising the vCPU
+//!   scheduler-beat channel the Δt release times close;
 //! * [`registry`] — the typed workload API: the open [`registry::Workload`]
 //!   trait + registration table sweep harnesses build scenarios from, with
 //!   a self-describing [`registry::ParamSpec`] schema per workload (each
@@ -27,6 +29,7 @@ pub mod disk;
 pub mod nfs;
 pub mod parsec;
 pub mod registry;
+pub mod timer;
 pub mod web;
 
 /// One-line import for the common types.
@@ -46,6 +49,7 @@ pub mod prelude {
         require as require_workload, workload_names, workloads, InstallCtx, InstalledWorkload,
         ParamSpec, Workload, WorkloadOutcome, WorkloadParams,
     };
+    pub use crate::timer::{TimerChannelWorkload, TimerProbeGuest, TimerVictimGuest};
     pub use crate::web::{
         DownloadResult, FileServerGuest, HttpDownloadClient, UdpDownloadClient, UdpFileGuest,
         WebHttpWorkload, WebUdpWorkload,

@@ -289,6 +289,7 @@ fn builtin_workloads() -> Vec<Arc<dyn Workload>> {
         Arc::new(crate::attack::AttackWorkload),
         Arc::new(crate::cache::CacheChannelWorkload),
         Arc::new(crate::disk::DiskChannelWorkload),
+        Arc::new(crate::timer::TimerChannelWorkload),
     ];
     for profile in crate::parsec::PARSEC {
         table.push(Arc::new(crate::parsec::ParsecWorkload::new(profile)));

@@ -178,6 +178,159 @@ proptest! {
     }
 }
 
+/// A guest that opens one pending entry on each guest-initiated channel
+/// at boot: a primed cache probe, a disk read, and a one-shot virtual
+/// timer.
+struct OpenerGuest;
+
+impl GuestProgram for OpenerGuest {
+    fn on_boot(&mut self, env: &mut GuestEnv) {
+        env.cache_touch(3, 1);
+        env.cache_probe(3, 1);
+        env.disk_read(BlockRange::new(0, 4));
+        env.set_timer(1, VirtNanos::from_millis(5));
+    }
+    fn on_packet(&mut self, _p: &Packet, _env: &mut GuestEnv) {}
+    fn on_disk_done(
+        &mut self,
+        _op: storage::DiskOp,
+        _r: BlockRange,
+        _d: &[u64],
+        _env: &mut GuestEnv,
+    ) {
+    }
+}
+
+proptest! {
+    /// The early-proposal buffer contract of [`ChannelPolicy::buffer_early`],
+    /// across every [`ChannelKind`]: a peer proposal arriving before this
+    /// replica opens the matching entry is *buffered then consumed* on the
+    /// guest-initiated channels (cache, disk, timer — their local open is
+    /// guaranteed by replica determinism), *dropped* on the externally
+    /// opened net channel, and dropped when the entry was already opened
+    /// and retired — the buffer never leaks an entry past the agreement
+    /// that should consume it.
+    #[test]
+    fn early_peer_proposals_buffer_or_drop_per_policy_and_never_leak(
+        five_replicas in any::<bool>(),
+        peers_raw in 1usize..5,
+        cache_ms in 1u64..40,
+        disk_ms in 1u64..40,
+        timer_ms in 1u64..40,
+    ) {
+        let needed = if five_replicas { 5 } else { 3 };
+        let peers = peers_raw.min(needed - 1);
+        let p = SpeedProfile::new(
+            1.0e9,
+            0.0,
+            SimDuration::from_millis(10),
+            SimRng::new(1).stream("h"),
+        );
+        let mut cache = CacheModel::new(8, 2);
+        let cfg = SlotConfig {
+            endpoint: EndpointId(7),
+            exit_every: 50_000,
+            mode: DefenseMode::stop_watch(
+                VirtOffset::from_millis(10),
+                VirtOffset::from_millis(10),
+                VirtOffset::from_millis(10),
+                needed,
+            ),
+            clocks: PlatformClocks::default(),
+        };
+        let mut slot = GuestSlot::new(
+            Box::new(OpenerGuest),
+            cfg,
+            VirtualClock::new(VirtNanos::ZERO, 1.0, None),
+            DiskImage::new(1 << 20),
+        );
+
+        // Pre-open peer proposals for event 0 of every kind. The three
+        // guest-initiated kinds buffer them; net drops its stray (the
+        // opening packet may never arrive on a lossy fabric).
+        let t0 = SimTime::ZERO;
+        let early = [
+            (ChannelKind::Cache, cache_ms),
+            (ChannelKind::Disk, disk_ms),
+            (ChannelKind::Timer, timer_ms),
+        ];
+        for &(kind, ms) in &early {
+            for peer in 0..peers {
+                let v = VirtNanos::from_millis(ms) + VirtOffset::from_nanos(peer as u64);
+                prop_assert!(!slot.add_proposal(&p, t0, kind, 0, v));
+            }
+        }
+        prop_assert!(!slot.add_proposal(&p, t0, ChannelKind::Net, 0, VirtNanos::from_millis(7)));
+        prop_assert_eq!(slot.early_buffered(), 3 * peers, "net stray dropped, rest held");
+
+        // Boot: every entry opens, draining the buffer into the pending
+        // table — nothing may remain buffered once the opens happened.
+        let out = slot.boot(&p, &mut cache, t0).expect("boot");
+        prop_assert_eq!(slot.early_buffered(), 0, "opens must drain the buffer");
+
+        // Complete each agreement: our own proposal plus however many
+        // straggler peers the replica count still requires.
+        let mut own: Vec<(ChannelKind, u64, VirtNanos)> = out
+            .iter()
+            .filter_map(|o| match o {
+                SlotOutput::Proposal { kind, seq, proposal } => Some((*kind, *seq, *proposal)),
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(own.len(), 1, "boot proposes the cache probe: {:?}", own);
+        let op_id = out
+            .iter()
+            .find_map(|o| match o {
+                SlotOutput::DiskSubmit { op_id, .. } => Some(*op_id),
+                _ => None,
+            })
+            .expect("disk submit");
+        let t_disk = SimTime::from_millis(3);
+        match slot.disk_ready(&p, t_disk, op_id).expect("known op") {
+            ArrivalOutcome::Proposal(v) => own.push((ChannelKind::Disk, op_id, v)),
+            other => prop_assert!(false, "stopwatch disk must propose: {other:?}"),
+        }
+        let t_fire = SimTime::from_millis(6);
+        match slot
+            .timer_elapsed(&p, t_fire, 0, VirtOffset::from_nanos(0))
+            .expect("known fire")
+        {
+            Some(ArrivalOutcome::Proposal(v)) => own.push((ChannelKind::Timer, 0, v)),
+            other => prop_assert!(false, "stopwatch timer must propose: {other:?}"),
+        }
+        let mut t = t_fire;
+        for &(kind, seq, v) in &own {
+            slot.add_proposal(&p, t, kind, seq, v);
+            for straggler in 0..(needed - 1 - peers) {
+                slot.add_proposal(
+                    &p,
+                    t,
+                    kind,
+                    seq,
+                    v + VirtOffset::from_nanos(straggler as u64),
+                );
+            }
+        }
+
+        // Drain deliveries; every interrupt must reach the guest.
+        while let Some(wake) = slot.next_wake(&p, t) {
+            t = t.max(wake);
+            slot.process(&p, &mut cache, t).expect("process");
+        }
+        prop_assert_eq!(slot.counters().get("cache_irq"), 1);
+        prop_assert_eq!(slot.counters().get("disk_irq"), 1);
+        prop_assert_eq!(slot.counters().get("vtimer_irq"), 1);
+        prop_assert_eq!(slot.early_buffered(), 0, "consumed, not leaked");
+
+        // Strays for the already-retired event 0 of every kind (an id
+        // below the allocation cursor) must be dropped, not re-buffered.
+        for &(kind, ms) in &early {
+            slot.add_proposal(&p, t, kind, 0, VirtNanos::from_millis(ms));
+        }
+        prop_assert_eq!(slot.early_buffered(), 0, "retired ids never re-buffer");
+    }
+}
+
 #[test]
 fn detector_needs_more_observations_under_median() {
     // Deterministic spot-check of the headline security property across a
