@@ -156,9 +156,9 @@ fn figure_scenario(
     overrides: &[(&str, &str)],
     seed: u64,
 ) -> Scenario {
+    let arm = if stopwatch { "stopwatch" } else { "baseline" };
     let mut s = Scenario::new(workload, seed);
-    s.label = format!("{workload}:sw={stopwatch}#{seed}");
-    s.stopwatch = stopwatch;
+    s.label = format!("{workload}:{arm}#{seed}");
     s.duration = SimDuration::from_secs(600);
     s.workload_params = params
         .iter()
@@ -168,6 +168,7 @@ fn figure_scenario(
         .iter()
         .map(|&(k, v)| (k.to_string(), v.to_string()))
         .collect();
+    s.overrides.push(("defense".to_string(), arm.to_string()));
     s
 }
 

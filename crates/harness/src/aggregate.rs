@@ -23,7 +23,7 @@ use timestats::ks::ks_distance;
 
 /// Version of the JSON report layout. Bumped whenever the report shape
 /// changes; consumers should assert it before parsing.
-pub const REPORT_SCHEMA_VERSION: u64 = 2;
+pub const REPORT_SCHEMA_VERSION: u64 = 3;
 
 /// Everything measured about one grid cell, merged over its seed shards.
 #[derive(Debug, Clone)]
@@ -34,8 +34,8 @@ pub struct CellAggregate {
     pub params: Vec<(String, String)>,
     /// The workload that ran in this cell.
     pub workload: String,
-    /// The defense arm of this cell.
-    pub stopwatch: bool,
+    /// The defense arm of this cell (a `vmm::defense` registry key).
+    pub defense: String,
     /// The seeds of the merged shards, in run order.
     pub seeds: Vec<u64>,
     /// The cell's fully-resolved [`CloudConfig`] knobs (`seed` omitted —
@@ -62,6 +62,24 @@ pub struct CellAggregate {
     pub extra: Vec<(String, f64)>,
     /// The merged samples (kept for leakage analysis).
     pub samples: Samples,
+    /// Cost of this cell's defense arm against its Baseline sibling —
+    /// the cell at the same grid coordinates with `cfg.defense=baseline`.
+    /// `None` for baseline cells and for sweeps without a defense axis.
+    pub overhead: Option<CellOverhead>,
+}
+
+/// What a defense arm costs relative to the undefended run of the same
+/// cell: throughput as a ratio and delivery-lag percentile deltas.
+#[derive(Debug, Clone)]
+pub struct CellOverhead {
+    /// The Baseline sibling cell the comparison is against.
+    pub vs_cell: String,
+    /// Completed operations relative to the sibling (1.0 = no cost).
+    pub throughput_ratio: f64,
+    /// Median latency shift vs the sibling, ms (positive = slower).
+    pub latency_p50_delta_ms: f64,
+    /// Tail (p95) latency shift vs the sibling, ms.
+    pub latency_p95_delta_ms: f64,
 }
 
 impl CellAggregate {
@@ -133,7 +151,7 @@ impl SweepReport {
                         cell: result.cell.clone(),
                         params: result.cell_params.clone(),
                         workload: result.workload.clone(),
-                        stopwatch: result.stopwatch,
+                        defense: result.defense.clone(),
                         seeds: Vec::new(),
                         resolved_config: result.resolved_config.clone(),
                         resolved_params: result.resolved_params.clone(),
@@ -145,6 +163,7 @@ impl SweepReport {
                         counters: Counters::new(),
                         extra: Vec::new(),
                         samples: Samples::new(),
+                        overhead: None,
                     });
                     cells.last_mut().expect("just pushed")
                 }
@@ -169,6 +188,11 @@ impl SweepReport {
         }
         for cell in &mut cells {
             cell.latency_ms = cell.samples.percentiles();
+        }
+        let overheads: Vec<Option<CellOverhead>> =
+            cells.iter().map(|c| cell_overhead(c, &cells)).collect();
+        for (cell, overhead) in cells.iter_mut().zip(overheads) {
+            cell.overhead = overhead;
         }
 
         if let Some(wanted) = baseline_cell {
@@ -221,9 +245,9 @@ impl SweepReport {
             // The cell's fully-resolved construction inputs: workload,
             // arm, seeds, parameters, and every config knob — enough to
             // re-run the cell from the report alone.
-            let resolved = Json::obj()
+            let mut resolved = Json::obj()
                 .with("workload", Json::str(&c.workload))
-                .with("stopwatch", Json::Bool(c.stopwatch))
+                .with("defense", Json::str(&c.defense))
                 .with(
                     "seeds",
                     Json::Arr(c.seeds.iter().map(|&s| Json::U64(s)).collect()),
@@ -240,6 +264,16 @@ impl SweepReport {
                         .iter()
                         .fold(Json::obj(), |acc, (k, v)| acc.with(k, Json::str(v))),
                 );
+            if let Some(o) = &c.overhead {
+                resolved = resolved.with(
+                    "overhead",
+                    Json::obj()
+                        .with("vs_cell", Json::str(&o.vs_cell))
+                        .with("throughput_ratio", Json::F64(o.throughput_ratio))
+                        .with("latency_p50_delta_ms", Json::F64(o.latency_p50_delta_ms))
+                        .with("latency_p95_delta_ms", Json::F64(o.latency_p95_delta_ms)),
+                );
+            }
             cells.push(
                 Json::obj()
                     .with("cell", Json::str(&c.cell))
@@ -328,7 +362,60 @@ impl SweepReport {
     }
 }
 
+/// Finds the cell's Baseline sibling — same grid coordinates, but with
+/// the `cfg.defense` axis set to `"baseline"` — and prices the arm
+/// against it. Only meaningful when the sweep actually varies the
+/// defense axis; otherwise there is no sibling and no overhead row.
+fn cell_overhead(cell: &CellAggregate, cells: &[CellAggregate]) -> Option<CellOverhead> {
+    if cell.defense == "baseline" {
+        return None;
+    }
+    let axis = cell
+        .params
+        .iter()
+        .position(|(k, _)| k == "cfg.defense" || k == "defense")?;
+    let mut wanted = cell.params.clone();
+    wanted[axis].1 = "baseline".to_string();
+    let base = cells.iter().find(|c| c.params == wanted)?;
+    Some(CellOverhead {
+        vs_cell: base.cell.clone(),
+        throughput_ratio: if base.completed == 0 {
+            // A sibling that completed nothing prices everything at
+            // infinity; report 0 instead of NaN for JSON stability.
+            0.0
+        } else {
+            cell.completed as f64 / base.completed as f64
+        },
+        latency_p50_delta_ms: cell.latency_ms.p50 - base.latency_ms.p50,
+        latency_p95_delta_ms: cell.latency_ms.p95 - base.latency_ms.p95,
+    })
+}
+
 fn leakage_verdicts(cells: &[CellAggregate], baseline_cell: Option<&str>) -> Vec<LeakageVerdict> {
+    // With no explicit anchor, a grid with a victim axis judges each
+    // victim cell against the clean (victim=false) cell of the *same*
+    // arm coordinates. Across defense arms this is the verdict that
+    // matters: a clean cell already reads differently per arm by
+    // construction (flat Δ releases vs raw timings), so only the
+    // within-arm comparison says whether the arm closed the channel.
+    if baseline_cell.is_none() {
+        let paired: Vec<LeakageVerdict> = cells
+            .iter()
+            .filter_map(|c| {
+                let axis = c
+                    .params
+                    .iter()
+                    .position(|(k, v)| k == "victim" && v == "true")?;
+                let mut wanted = c.params.clone();
+                wanted[axis].1 = "false".to_string();
+                let base = cells.iter().find(|b| b.params == wanted)?;
+                verdict_against(base, c)
+            })
+            .collect();
+        if !paired.is_empty() {
+            return paired;
+        }
+    }
     let baseline = match baseline_cell {
         Some(name) => cells.iter().find(|c| c.cell == name),
         None => cells.iter().find(|c| !c.samples.is_empty()),
@@ -336,31 +423,34 @@ fn leakage_verdicts(cells: &[CellAggregate], baseline_cell: Option<&str>) -> Vec
     let Some(base) = baseline else {
         return Vec::new();
     };
-    if base.samples.is_empty() {
-        return Vec::new();
-    }
-    let base_dist = Empirical::from_samples(base.samples.as_slice().iter().copied());
     cells
         .iter()
-        .filter(|c| c.cell != base.cell && !c.samples.is_empty())
-        .map(|c| {
-            let dist = Empirical::from_samples(c.samples.as_slice().iter().copied());
-            let ks = ks_distance(&base_dist, &dist);
-            let observations = Detector::from_samples(
-                base.samples.as_slice(),
-                c.samples.as_slice(),
-                10.min(base.samples.len().max(2)),
-            )
-            .observations_needed(0.95);
-            LeakageVerdict {
-                cell: c.cell.clone(),
-                baseline: base.cell.clone(),
-                ks_distance: ks,
-                observations_needed_95: observations,
-                distinguishable_at_95: observations <= c.samples.len() as u64,
-            }
-        })
+        .filter(|c| c.cell != base.cell)
+        .filter_map(|c| verdict_against(base, c))
         .collect()
+}
+
+/// One KS + χ² verdict for `cell` against `base`; `None` when either
+/// side has no samples to compare.
+fn verdict_against(base: &CellAggregate, cell: &CellAggregate) -> Option<LeakageVerdict> {
+    if base.samples.is_empty() || cell.samples.is_empty() {
+        return None;
+    }
+    let base_dist = Empirical::from_samples(base.samples.as_slice().iter().copied());
+    let dist = Empirical::from_samples(cell.samples.as_slice().iter().copied());
+    let observations = Detector::from_samples(
+        base.samples.as_slice(),
+        cell.samples.as_slice(),
+        10.min(base.samples.len().max(2)),
+    )
+    .observations_needed(0.95);
+    Some(LeakageVerdict {
+        cell: cell.cell.clone(),
+        baseline: base.cell.clone(),
+        ks_distance: ks_distance(&base_dist, &dist),
+        observations_needed_95: observations,
+        distinguishable_at_95: observations <= cell.samples.len() as u64,
+    })
 }
 
 #[cfg(test)]
@@ -376,7 +466,7 @@ mod tests {
                 cell: cell.to_string(),
                 cell_params: vec![("k".to_string(), cell.to_string())],
                 workload: "test-workload".to_string(),
-                stopwatch: true,
+                defense: "stopwatch".to_string(),
                 resolved_config: vec![("delta_n_ms".to_string(), "10".to_string())],
                 resolved_params: vec![("bytes".to_string(), "100".to_string())],
                 seed,
@@ -415,6 +505,41 @@ mod tests {
         assert_eq!(r.leakage[0].cell, "b");
         assert_eq!(r.leakage[0].baseline, "a");
         assert!(r.leakage[0].ks_distance > 0.9, "disjoint distributions");
+    }
+
+    fn arm_outcome(defense: &str, samples: Vec<f64>) -> RunOutcome {
+        let mut o = outcome(&format!("cfg.defense={defense},victim=true"), 1, samples);
+        let r = o.result.as_mut().expect("built Ok");
+        r.defense = defense.to_string();
+        r.cell_params = vec![
+            ("cfg.defense".to_string(), defense.to_string()),
+            ("victim".to_string(), "true".to_string()),
+        ];
+        o
+    }
+
+    #[test]
+    fn defended_cells_are_priced_against_their_baseline_sibling() {
+        let outcomes = vec![
+            arm_outcome("baseline", vec![1.0, 2.0, 3.0, 4.0]),
+            arm_outcome("deterland", vec![6.0, 7.0]),
+        ];
+        let r = SweepReport::from_outcomes("t", &outcomes, None);
+        assert!(r.cells[0].overhead.is_none(), "baseline has no sibling");
+        let o = r.cells[1].overhead.as_ref().expect("priced");
+        assert_eq!(o.vs_cell, "cfg.defense=baseline,victim=true");
+        assert!((o.throughput_ratio - 0.5).abs() < 1e-12);
+        assert!((o.latency_p50_delta_ms - 4.0).abs() < 1e-12);
+        let json = r.to_json();
+        assert!(json.contains("\"overhead\""), "{json}");
+        assert!(json.contains("\"throughput_ratio\": 0.5"), "{json}");
+    }
+
+    #[test]
+    fn sweeps_without_a_defense_axis_price_nothing() {
+        let outcomes = vec![outcome("a", 1, vec![1.0]), outcome("b", 1, vec![2.0])];
+        let r = SweepReport::from_outcomes("t", &outcomes, None);
+        assert!(r.cells.iter().all(|c| c.overhead.is_none()));
     }
 
     #[test]
@@ -467,7 +592,7 @@ mod tests {
             "\"counters\"",
             "\"resolved\"",
             "\"workload\": \"test-workload\"",
-            "\"stopwatch\": true",
+            "\"defense\": \"stopwatch\"",
             "\"delta_n_ms\": \"10\"",
             "\"bytes\": \"100\"",
         ] {

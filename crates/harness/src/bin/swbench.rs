@@ -10,12 +10,13 @@
 //!
 //! swbench sweep --workload NAME [--axis KEY=V1,V2,...]... [options]
 //!     Run a free-form cartesian sweep.
-//!     Axis keys: cfg.<key> (CloudConfig override), stopwatch, workload,
-//!     anything else is a workload parameter.
+//!     Axis keys: cfg.<key> (CloudConfig override), workload, anything
+//!     else is a workload parameter. The defense arm is the `defense`
+//!     config knob: sweep it with `--axis cfg.defense=...` or pin it
+//!     with `--set defense=NAME`.
 //!     Options:
 //!       --seeds N          seed shards per cell (default 4, base seed 42)
 //!       --seed-base N      first seed (default 42)
-//!       --stopwatch BOOL   default defense arm (default true)
 //!       --param K=V        base workload parameter
 //!       --set K=V          base CloudConfig override
 //!       --duration-s N     simulated-time budget per scenario (default 60)
@@ -40,8 +41,9 @@
 //!
 //! swbench describe [workload]
 //!     Print the full typed knob/parameter catalogue: every CloudConfig
-//!     knob (key, type, default, doc) and every registered workload with
-//!     its typed parameters — or just one workload's schema.
+//!     knob (key, type, default, doc), every registered defense arm with
+//!     the knobs it reads, and every registered workload with its typed
+//!     parameters — or just one workload's schema.
 //! ```
 
 use harness::prelude::*;
@@ -110,6 +112,23 @@ fn describe(which: Option<&str>) -> Result<(), String> {
                     knob.ty.to_string(),
                     knob.default_value(),
                     knob.doc
+                );
+            }
+            println!();
+            println!("Defense arms (`cfg.defense` axis, `--set defense=NAME`):");
+            // Alphabetical for the same reason as the workloads below.
+            let mut arms = vmm::defense::ARMS.to_vec();
+            arms.sort_by_key(|a| a.name());
+            for arm in arms {
+                println!("{:<18} {}", arm.name(), arm.about());
+                let knobs = arm.knobs();
+                println!(
+                    "  knobs: {}",
+                    if knobs.is_empty() {
+                        "(none)".to_string()
+                    } else {
+                        knobs.join(", ")
+                    }
                 );
             }
             println!();
@@ -261,7 +280,6 @@ fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
     let mut overrides = Vec::new();
     let mut seeds = 4usize;
     let mut seed_base = 42u64;
-    let mut stopwatch = true;
     let mut duration_s = 60u64;
     let mut flags = CommonFlags {
         threads: 0,
@@ -299,12 +317,6 @@ fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
                     .parse()
                     .map_err(|_| format!("bad --seed-base value {v:?}"))?;
             }
-            "--stopwatch" => {
-                let v = take_value(args, &mut i, "--stopwatch")?;
-                stopwatch = v
-                    .parse()
-                    .map_err(|_| format!("bad --stopwatch value {v:?}"))?;
-            }
             "--duration-s" => {
                 let v = take_value(args, &mut i, "--duration-s")?;
                 duration_s = v
@@ -317,7 +329,6 @@ fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
     }
     let workload = workload.ok_or_else(|| "sweep needs --workload".to_string())?;
     let mut spec = SweepSpec::new("custom", &workload).seed_shards(seed_base, seeds.max(1));
-    spec.stopwatch = stopwatch;
     spec.axes = axes;
     spec.base_params = params;
     spec.base_overrides = overrides;

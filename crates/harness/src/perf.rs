@@ -159,6 +159,47 @@ pub const PERF_BENCHES: &[PerfBench] = &[
             Ok(vec![s])
         },
     },
+    PerfBench {
+        name: "defense-storm",
+        about: "the timer-storm scenario once per registered defense arm — stresses the arm dispatch + release-rule hot paths",
+        build: |quick| {
+            // One dense timer-channel cloud per arm, so a slow release
+            // rule (or a regression in the arm dispatch itself) shows up
+            // in the same events/sec headline the other storms use. The
+            // epoch and bucket are sized like Δt: they must fit inside
+            // the 5 ms probe window (see timer-storm above).
+            let scenarios = vmm::defense::arm_names()
+                .into_iter()
+                .map(|arm| {
+                    let mut s = Scenario::new("timer-channel", 42);
+                    s.label = format!("defense-storm:{arm}");
+                    s.cell = format!("defense-storm:{arm}");
+                    s.workload_params = vec![
+                        ("arms".to_string(), "8".to_string()),
+                        ("window_ms".to_string(), "5".to_string()),
+                        (
+                            "rounds".to_string(),
+                            if quick { "200" } else { "800" }.to_string(),
+                        ),
+                        ("secret".to_string(), "5".to_string()),
+                        ("victim".to_string(), "true".to_string()),
+                    ];
+                    s.overrides = vec![
+                        ("broadcast_band".to_string(), "off".to_string()),
+                        ("disk".to_string(), "ssd".to_string()),
+                        ("delta_t_ms".to_string(), "2".to_string()),
+                        ("timeslice_ms".to_string(), "1".to_string()),
+                        ("defense".to_string(), arm.to_string()),
+                        ("epoch_ms".to_string(), "2".to_string()),
+                        ("bucket_ns".to_string(), "2000000".to_string()),
+                    ];
+                    s.duration = SimDuration::from_secs(600);
+                    s
+                })
+                .collect();
+            Ok(scenarios)
+        },
+    },
 ];
 
 /// Looks up a perf benchmark by name.
@@ -566,6 +607,24 @@ mod tests {
         let timer = perf_bench("timer-storm").unwrap().scenarios(true).unwrap();
         assert_eq!(timer.len(), 1, "single-cloud microbench");
         assert_eq!(timer[0].workload, "timer-channel");
+        let defense = perf_bench("defense-storm")
+            .unwrap()
+            .scenarios(true)
+            .unwrap();
+        assert_eq!(
+            defense.len(),
+            vmm::defense::arm_names().len(),
+            "one cloud per registered arm"
+        );
+        for (s, arm) in defense.iter().zip(vmm::defense::arm_names()) {
+            assert_eq!(s.workload, "timer-channel");
+            assert!(
+                s.overrides
+                    .contains(&("defense".to_string(), arm.to_string())),
+                "scenario {} pins its arm",
+                s.label
+            );
+        }
     }
 
     #[test]

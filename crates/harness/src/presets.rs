@@ -66,7 +66,7 @@ pub const PRESETS: &[Preset] = &[
             };
             let spec = SweepSpec::new("fig5", "web-http")
                 .axis("workload", &["web-http", "web-udp"])
-                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.defense", &["baseline", "stopwatch"])
                 .axis("bytes", sizes)
                 .seed_shards(42, if quick { 1 } else { 3 });
             let mut spec = with_params(spec, &[("downloads", "2")], &[]);
@@ -80,7 +80,7 @@ pub const PRESETS: &[Preset] = &[
         build: |quick| {
             let rates: &[u64] = if quick { &[100, 400] } else { &[25, 50, 100, 200, 400] };
             let spec = SweepSpec::new("fig6", "nfs")
-                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.defense", &["baseline", "stopwatch"])
                 .axis("rate", rates)
                 .seed_shards(42, if quick { 1 } else { 3 });
             let mut spec =
@@ -94,7 +94,7 @@ pub const PRESETS: &[Preset] = &[
         about: "attacker-observed probe deltas with/without a coresident victim, both defense arms (Fig. 4)",
         build: |quick| {
             let spec = SweepSpec::new("attack", "attack")
-                .axis("stopwatch", &["true", "false"])
+                .axis("cfg.defense", &["stopwatch", "baseline"])
                 .axis("victim", &["false", "true"])
                 .seed_shards(42, if quick { 2 } else { 6 });
             let mut spec = with_params(
@@ -114,12 +114,12 @@ pub const PRESETS: &[Preset] = &[
             // baseline cell comes first so it anchors the leakage
             // verdicts (clean probes read identical flat hit latencies
             // in every arm). The replicas knob is a no-op under the
-            // baseline arm, so the stopwatch=false cells repeat at each
+            // baseline arm, so the defense=baseline cells repeat at each
             // replicas grid point — kept deliberately: the grid stays
             // rectangular and the duplicated baseline rows double as a
             // determinism cross-check (their verdicts must read ks=0).
             let spec = SweepSpec::new("cache-channel", "cache-channel")
-                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.defense", &["baseline", "stopwatch"])
                 .axis("cfg.replicas", &[3u64, 5])
                 .axis("victim", &["false", "true"])
                 .seed_shards(42, if quick { 2 } else { 6 });
@@ -141,7 +141,7 @@ pub const PRESETS: &[Preset] = &[
         about: "seek-timing secret recovery vs replica count (1/3/5), with and without the victim (Sec. V-A)",
         build: |quick| {
             // Same grid shape as cache-channel: the clean baseline cell
-            // anchors the leakage verdicts, stopwatch=false rows repeat
+            // anchors the leakage verdicts, defense=baseline rows repeat
             // per replicas grid point (kept for rectangularity + as a
             // determinism cross-check), and the per-arm latency totals
             // feed the KS pipeline. The overrides are the channel's
@@ -149,7 +149,7 @@ pub const PRESETS: &[Preset] = &[
             // above its worst-case access time, and a large image so the
             // probe arms sit far apart on the platter.
             let spec = SweepSpec::new("disk-channel", "disk-channel")
-                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.defense", &["baseline", "stopwatch"])
                 .axis("cfg.replicas", &[3u64, 5])
                 .axis("victim", &["false", "true"])
                 .seed_shards(42, if quick { 2 } else { 6 });
@@ -173,13 +173,13 @@ pub const PRESETS: &[Preset] = &[
         build: |quick| {
             // Same grid shape as cache-channel / disk-channel: the clean
             // baseline cell anchors the leakage verdicts and the
-            // stopwatch=false rows repeat per replicas grid point. The
+            // defense=baseline rows repeat per replicas grid point. The
             // attacker arms one virtual timer per scheduling window and
             // reads its own dispatch jitter; under StopWatch every fire
             // lands at the programmed deadline plus Δt, so the victim's
             // timeslice beat disappears from the samples.
             let spec = SweepSpec::new("timer-channel", "timer-channel")
-                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.defense", &["baseline", "stopwatch"])
                 .axis("cfg.replicas", &[3u64, 5])
                 .axis("victim", &["false", "true"])
                 .seed_shards(42, if quick { 2 } else { 6 });
@@ -187,6 +187,45 @@ pub const PRESETS: &[Preset] = &[
                 spec,
                 &[("rounds", if quick { "8" } else { "24" })],
                 &[("broadcast_band", "off"), ("disk", "ssd")],
+            );
+            spec.duration = SimDuration::from_secs(120);
+            spec
+        },
+    },
+    Preset {
+        name: "defense-shootout",
+        about: "every registered defense arm vs every timing-channel workload: leakage verdict + overhead per (defense, channel, replicas) cell",
+        build: |quick| {
+            // One rectangular grid over the whole defense registry: arm x
+            // channel workload x replica count x victim presence. The
+            // Baseline arm comes first so every defended cell has an
+            // undefended sibling to be priced against (the `overhead`
+            // block), and the victim axis gives every arm its own clean
+            // reference cell — a victim cell's verdict is judged against
+            // the clean cell of the *same* arm, so "TIGHT" means the arm
+            // closed the channel, not that it merely reshaped timings.
+            // Single-host arms ignore cfg.replicas (their rows repeat per
+            // grid point, same convention as the channel presets). The
+            // overrides are the superset of the channels' physics: the
+            // rotating disk + large image that the disk channel needs are
+            // inert for the cache and timer attacks, which never touch
+            // the disk after boot.
+            let replicas: &[u64] = if quick { &[3] } else { &[3, 5] };
+            let spec = SweepSpec::new("defense-shootout", "cache-channel")
+                .axis("workload", &["cache-channel", "disk-channel", "timer-channel"])
+                .axis("cfg.defense", &["baseline", "bucketed", "deterland", "stopwatch"])
+                .axis("cfg.replicas", replicas)
+                .axis("victim", &["false", "true"])
+                .seed_shards(42, if quick { 1 } else { 4 });
+            let mut spec = with_params(
+                spec,
+                &[("rounds", if quick { "6" } else { "20" })],
+                &[
+                    ("broadcast_band", "off"),
+                    ("disk", "rotating"),
+                    ("delta_d_ms", "25"),
+                    ("image_blocks", "16000000"),
+                ],
             );
             spec.duration = SimDuration::from_secs(120);
             spec
@@ -233,7 +272,7 @@ pub const PRESETS: &[Preset] = &[
             ];
             let spec = SweepSpec::new("parsec", "parsec:ferret")
                 .axis("workload", &apps)
-                .axis("stopwatch", &["false", "true"])
+                .axis("cfg.defense", &["baseline", "stopwatch"])
                 .seed_shards(42, if quick { 1 } else { 3 });
             let mut spec = with_params(spec, &[], &[("broadcast_band", "off")]);
             spec.duration = SimDuration::from_secs(120);
@@ -292,16 +331,43 @@ mod tests {
     #[test]
     fn cache_channel_grid_covers_arms_replicas_and_victim() {
         let spec = preset("cache-channel").unwrap().spec(true);
-        // stopwatch x replicas x victim x 2 seeds.
+        // defense x replicas x victim x 2 seeds.
         assert_eq!(spec.scenario_count(), 2 * 2 * 2 * 2);
         let scenarios = spec.scenarios().expect("expands");
         assert_eq!(
-            scenarios[0].cell, "stopwatch=false,cfg.replicas=3,victim=false",
+            scenarios[0].cell, "cfg.defense=baseline,cfg.replicas=3,victim=false",
             "clean baseline cell anchors the leakage verdicts"
         );
-        assert!(scenarios.iter().any(|s| s.stopwatch));
+        assert!(scenarios.iter().any(|s| s
+            .overrides
+            .contains(&("defense".to_string(), "stopwatch".to_string()))));
         assert!(scenarios.iter().any(|s| s
             .overrides
             .contains(&("replicas".to_string(), "5".to_string()))));
+    }
+
+    #[test]
+    fn defense_shootout_covers_the_whole_registry() {
+        let spec = preset("defense-shootout").unwrap().spec(true);
+        // 3 workloads x 4 arms x 1 replica count x victim on/off, 1 seed.
+        assert_eq!(spec.scenario_count(), 3 * 4 * 2);
+        let scenarios = spec.scenarios().expect("expands");
+        for arm in vmm::defense::arm_names() {
+            assert!(
+                scenarios.iter().any(|s| s
+                    .overrides
+                    .contains(&("defense".to_string(), arm.to_string()))),
+                "arm {arm} missing from the shootout grid"
+            );
+        }
+        for workload in ["cache-channel", "disk-channel", "timer-channel"] {
+            assert!(
+                scenarios.iter().any(|s| s.workload == workload),
+                "workload {workload} missing from the shootout grid"
+            );
+        }
+        // Full shape widens to both replica counts and 4 seeds.
+        let full = preset("defense-shootout").unwrap().spec(false);
+        assert_eq!(full.scenario_count(), 3 * 4 * 2 * 2 * 4);
     }
 }

@@ -43,8 +43,6 @@ pub struct Scenario {
     pub workload: String,
     /// Workload parameters handed to the registry.
     pub workload_params: Vec<(String, String)>,
-    /// StopWatch protection on (vs. unmodified-Xen baseline).
-    pub stopwatch: bool,
     /// Host machine count; 0 means "as many as the placement needs".
     pub hosts: usize,
     /// Replica hosts of the workload VM; empty means hosts `0..replicas`.
@@ -68,8 +66,10 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// A minimal scenario: `workload` under StopWatch at `seed`, default
-    /// config, 60 simulated seconds.
+    /// A minimal scenario: `workload` under the default defense arm
+    /// (StopWatch) at `seed`, default config, 60 simulated seconds. The
+    /// arm is a config knob — add a `("defense", ...)` override to run
+    /// another one.
     pub fn new(workload: &str, seed: u64) -> Self {
         Scenario {
             label: format!("{workload}#{seed}"),
@@ -77,7 +77,6 @@ impl Scenario {
             cell_params: Vec::new(),
             workload: workload.to_string(),
             workload_params: Vec::new(),
-            stopwatch: true,
             hosts: 0,
             replica_hosts: Vec::new(),
             seed,
@@ -158,14 +157,7 @@ impl Scenario {
         let (cfg, replica_hosts, hosts) = self.resolve()?;
         let seed = cfg.seed; // post-override: workload streams follow the cloud
         let mut b = CloudBuilder::new(cfg, hosts);
-        let wl = registry::install(
-            &self.workload,
-            &mut b,
-            self.stopwatch,
-            &replica_hosts,
-            &self.params(),
-            seed,
-        )?;
+        let wl = registry::install(&self.workload, &mut b, &replica_hosts, &self.params(), seed)?;
         let mut sim = b.build();
         if self.scalar_reference {
             sim.set_scalar_reference(true);
@@ -205,12 +197,17 @@ impl Scenario {
         for name in SLOT_COUNTERS {
             counters.push((name.to_string(), sim.cloud.total_counter(name)));
         }
+        let defense = resolved_config
+            .iter()
+            .find(|(k, _)| k == "defense")
+            .map(|(_, v)| v.clone())
+            .expect("defense is a schema knob");
         Ok(ScenarioResult {
             label: self.label.clone(),
             cell: self.cell.clone(),
             cell_params: self.cell_params.clone(),
             workload: self.workload.clone(),
-            stopwatch: self.stopwatch,
+            defense,
             resolved_config,
             resolved_params,
             seed: self.seed,
@@ -237,8 +234,8 @@ pub struct ScenarioResult {
     pub cell_params: Vec<(String, String)>,
     /// The workload that ran.
     pub workload: String,
-    /// The defense arm it ran under.
-    pub stopwatch: bool,
+    /// The defense arm it ran under (a `vmm::defense` registry key).
+    pub defense: String,
     /// Every [`CloudConfig`] knob with its effective value (schema order,
     /// `seed` omitted — see [`ScenarioResult::seed`]). With
     /// `resolved_params` this makes the run reproducible from its report
@@ -261,7 +258,7 @@ pub struct ScenarioResult {
     pub finished_ms: f64,
     /// Events the engine executed (a determinism fingerprint).
     pub events_executed: u64,
-    /// Replica count of the workload VM (1 for baseline runs).
+    /// Replica count of the workload VM (1 for single-host arms).
     pub replicas: u64,
     /// Cloud counters plus summed per-slot counters.
     pub counters: Vec<(String, u64)>,
@@ -334,7 +331,7 @@ mod tests {
     fn results_embed_resolved_config_and_params() {
         let r = quick_scenario(3).run().unwrap();
         assert_eq!(r.workload, "web-http");
-        assert!(r.stopwatch);
+        assert_eq!(r.defense, "stopwatch");
         let cfg: std::collections::BTreeMap<&str, &str> = r
             .resolved_config
             .iter()

@@ -5,8 +5,9 @@
 //! Axis keys are routed by namespace:
 //!
 //! * `cfg.<key>` — a [`CloudConfig`](stopwatch_core::config::CloudConfig)
-//!   override (see [`CloudConfig::knobs`] for the schema);
-//! * `stopwatch` — the defense arm, `true`/`false`;
+//!   override (see [`CloudConfig::knobs`] for the schema; the defense
+//!   arm is the `cfg.defense` knob, backed by the `vmm::defense`
+//!   registry);
 //! * `workload` — the workload registry key itself;
 //! * anything else — a workload parameter (`bytes`, `rate`, `victim`, ...).
 //!
@@ -51,8 +52,6 @@ pub struct SweepSpec {
     pub name: String,
     /// Base workload (an axis named `workload` overrides per cell).
     pub workload: String,
-    /// Base defense arm (an axis named `stopwatch` overrides per cell).
-    pub stopwatch: bool,
     /// Host count (0 = sized from the placement).
     pub hosts: usize,
     /// Replica placement (empty = hosts `0..replicas`).
@@ -81,7 +80,6 @@ impl SweepSpec {
         SweepSpec {
             name: name.to_string(),
             workload: workload.to_string(),
-            stopwatch: true,
             hosts: 0,
             replica_hosts: Vec::new(),
             base_overrides: Vec::new(),
@@ -118,10 +116,11 @@ impl SweepSpec {
     /// Validates the whole spec against the merged knob/parameter schema
     /// without expanding it: every workload in play must be registered,
     /// every `cfg.*` key must be a [`CloudConfig`] knob whose values
-    /// parse, every `stopwatch` value must be a boolean, and every other
-    /// key must be a declared parameter of **every** workload in play
-    /// (with values of the declared type). [`SweepSpec::scenarios`] calls
-    /// this, so a typo anywhere in a spec fails before anything runs.
+    /// parse (`cfg.defense` values resolve against the defense-arm
+    /// registry), and every other key must be a declared parameter of
+    /// **every** workload in play (with values of the declared type).
+    /// [`SweepSpec::scenarios`] calls this, so a typo anywhere in a spec
+    /// fails before anything runs.
     ///
     /// # Errors
     ///
@@ -161,11 +160,15 @@ impl SweepSpec {
             if axis.key == "workload" {
                 continue; // validated above
             } else if axis.key == "stopwatch" {
-                for value in &axis.values {
-                    value
-                        .parse::<bool>()
-                        .map_err(|_| format!("{what}: stopwatch value {value:?} is not a bool"))?;
-                }
+                // The pre-defense-registry arm toggle: point migrating
+                // specs at the knob that replaced it.
+                let ty = CloudConfig::knob("defense")
+                    .expect("defense is a schema knob")
+                    .ty;
+                return Err(format!(
+                    "{what}: the boolean stopwatch axis was replaced by the \
+                     \"cfg.defense\" knob ({ty})"
+                ));
             } else if let Some(cfg_key) = axis.key.strip_prefix("cfg.") {
                 for value in &axis.values {
                     scratch
@@ -251,15 +254,10 @@ impl SweepSpec {
         seed: u64,
     ) -> Result<Scenario, String> {
         let mut workload = self.workload.clone();
-        let mut stopwatch = self.stopwatch;
         let mut overrides = self.base_overrides.clone();
         let mut params = self.base_params.clone();
         for &(key, value) in coords {
-            if key == "stopwatch" {
-                stopwatch = value
-                    .parse::<bool>()
-                    .map_err(|_| format!("stopwatch axis value {value:?} is not a bool"))?;
-            } else if key == "workload" {
+            if key == "workload" {
                 workload = value.to_string();
             } else if let Some(cfg_key) = key.strip_prefix("cfg.") {
                 overrides.push((cfg_key.to_string(), value.to_string()));
@@ -276,7 +274,6 @@ impl SweepSpec {
                 .collect(),
             workload,
             workload_params: params,
-            stopwatch,
             hosts: self.hosts,
             replica_hosts: self.replica_hosts.clone(),
             seed,
@@ -335,7 +332,7 @@ mod tests {
     fn expansion_is_row_major_with_seeds_innermost() {
         let spec = SweepSpec::new("t", "web-http")
             .axis("cfg.delta_n_ms", &[2, 8])
-            .axis("stopwatch", &["false", "true"])
+            .axis("cfg.defense", &["baseline", "stopwatch"])
             .seed_shards(10, 2);
         assert_eq!(spec.scenario_count(), 8);
         let scenarios = spec.scenarios().unwrap();
@@ -344,21 +341,22 @@ mod tests {
         assert_eq!(
             labels,
             vec![
-                "cfg.delta_n_ms=2,stopwatch=false#10",
-                "cfg.delta_n_ms=2,stopwatch=false#11",
-                "cfg.delta_n_ms=2,stopwatch=true#10",
-                "cfg.delta_n_ms=2,stopwatch=true#11",
-                "cfg.delta_n_ms=8,stopwatch=false#10",
-                "cfg.delta_n_ms=8,stopwatch=false#11",
-                "cfg.delta_n_ms=8,stopwatch=true#10",
-                "cfg.delta_n_ms=8,stopwatch=true#11",
+                "cfg.delta_n_ms=2,cfg.defense=baseline#10",
+                "cfg.delta_n_ms=2,cfg.defense=baseline#11",
+                "cfg.delta_n_ms=2,cfg.defense=stopwatch#10",
+                "cfg.delta_n_ms=2,cfg.defense=stopwatch#11",
+                "cfg.delta_n_ms=8,cfg.defense=baseline#10",
+                "cfg.delta_n_ms=8,cfg.defense=baseline#11",
+                "cfg.delta_n_ms=8,cfg.defense=stopwatch#10",
+                "cfg.delta_n_ms=8,cfg.defense=stopwatch#11",
             ]
         );
-        assert!(!scenarios[0].stopwatch);
-        assert!(scenarios[2].stopwatch);
         assert_eq!(
             scenarios[4].overrides,
-            vec![("delta_n_ms".to_string(), "8".to_string())]
+            vec![
+                ("delta_n_ms".to_string(), "8".to_string()),
+                ("defense".to_string(), "baseline".to_string()),
+            ]
         );
     }
 
@@ -383,8 +381,27 @@ mod tests {
         assert!(spec.scenarios().is_err());
         let spec2 = SweepSpec::new("t", "idle").axis::<_, u64>("bytes", &[]);
         assert!(spec2.scenarios().is_err());
-        let spec3 = SweepSpec::new("t", "idle").axis("stopwatch", &["maybe"]);
+        let spec3 = SweepSpec::new("t", "idle").axis("cfg.defense", &["maybe"]);
         assert!(spec3.scenarios().is_err());
+    }
+
+    #[test]
+    fn retired_stopwatch_axis_points_at_the_defense_knob() {
+        let spec = SweepSpec::new("t", "idle").axis("stopwatch", &["false", "true"]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("cfg.defense"), "{err}");
+        assert!(
+            err.contains("baseline|bucketed|deterland|stopwatch"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_defense_axis_value_suggests_nearest_arm() {
+        let spec = SweepSpec::new("t", "idle").axis("cfg.defense", &["determand"]);
+        let err = spec.validate().unwrap_err();
+        assert!(err.contains("axis \"cfg.defense\""), "{err}");
+        assert!(err.contains("did you mean \"deterland\""), "{err}");
     }
 
     #[test]

@@ -104,6 +104,57 @@ fn describe_lists_channel_kinds_per_workload() {
 }
 
 #[test]
+fn describe_lists_every_defense_arm_with_its_knobs() {
+    let out = swbench(&["describe"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Defense arms"),
+        "defenses section missing:\n{stdout}"
+    );
+    // Every registered arm, in alphabetical order, with its knob keys.
+    let mut names = vmm::defense::arm_names();
+    names.sort_unstable();
+    let positions: Vec<usize> = names
+        .iter()
+        .map(|n| {
+            stdout
+                .find(&format!("\n{n} "))
+                .unwrap_or_else(|| panic!("defense arm {n} missing from describe"))
+        })
+        .collect();
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    assert_eq!(positions, sorted, "defense arms are not alphabetical");
+    // The knob cross-references point at real CloudConfig knobs.
+    assert!(stdout.contains("epoch_ms"), "deterland knob missing");
+    assert!(stdout.contains("bucket_ns"), "bucketed knob missing");
+    assert!(stdout.contains("knobs: (none)"), "baseline reads no knobs");
+    // And the defense knob itself advertises the registry as its type.
+    assert!(
+        stdout.contains("baseline|bucketed|deterland|stopwatch"),
+        "defense knob enum missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn retired_stopwatch_flag_and_axis_point_at_the_defense_knob() {
+    let out = swbench(&["sweep", "--workload", "web-http", "--stopwatch", "false"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
+    let out = swbench(&[
+        "sweep",
+        "--workload",
+        "web-http",
+        "--axis",
+        "stopwatch=false,true",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("cfg.defense"), "migration hint missing: {err}");
+}
+
+#[test]
 fn describe_one_workload_and_suggest_on_typo() {
     let out = swbench(&["describe", "nfs"]);
     assert!(out.status.success(), "{}", stderr(&out));

@@ -76,7 +76,10 @@ pub struct ClientHandle {
 struct VmRecord {
     endpoint: EndpointId,
     replicas: Vec<(usize, usize)>, // (host index, slot index)
-    stopwatch: bool,
+    /// `true` for VMs under a replicated (median-agreement) defense arm:
+    /// their outputs tunnel to the egress for voting and they are paced.
+    /// Single-host arms (baseline, deterland, bucketed) send directly.
+    replicated: bool,
 }
 
 struct ClientRecord {
@@ -392,7 +395,7 @@ impl Cloud {
         let vm_idx = self.vm_of_slot(h, s);
         let guest_ep = self.vms[vm_idx].endpoint;
         let host_node = self.hosts[h].id();
-        if self.vms[vm_idx].stopwatch {
+        if self.vms[vm_idx].replicated {
             // Tunnel to the egress node over TCP (Sec. VI); it forwards on
             // the second copy.
             let bytes = packet.wire_bytes() + TUNNEL_OVERHEAD;
@@ -723,7 +726,7 @@ impl Cloud {
             return;
         };
         for vm_idx in 0..self.vms.len() {
-            if !self.vms[vm_idx].stopwatch {
+            if !self.vms[vm_idx].replicated {
                 continue;
             }
             // Fastest and second-fastest replica, without sorting (and
@@ -768,8 +771,8 @@ impl Cloud {
 }
 
 /// A VM awaiting construction: (replica hosts, one program per replica,
-/// StopWatch-protected?).
-type PendingVm = (Vec<usize>, Vec<Box<dyn GuestProgram>>, bool);
+/// the defense mode its slots run under).
+type PendingVm = (Vec<usize>, Vec<Box<dyn GuestProgram>>, DefenseMode);
 
 /// Builder for a [`CloudSim`].
 pub struct CloudBuilder {
@@ -814,8 +817,9 @@ impl CloudBuilder {
         self.host_count
     }
 
-    /// The endpoint the *next* [`CloudBuilder::add_stopwatch_vm`] /
-    /// [`CloudBuilder::add_baseline_vm`] call will assign.
+    /// The endpoint the *next* [`CloudBuilder::add_defended_vm`] /
+    /// [`CloudBuilder::add_stopwatch_vm`] / [`CloudBuilder::add_baseline_vm`]
+    /// call will assign.
     ///
     /// Guest programs sometimes need a peer's endpoint at construction time
     /// (e.g. a monitor a workload reports completion to); scenario factories
@@ -830,8 +834,38 @@ impl CloudBuilder {
         EndpointId(2000 + self.clients.len() as u64)
     }
 
-    /// Adds a StopWatch-protected VM: `make()` is invoked once per replica
-    /// (the replicas must be identical); `hosts` lists the replica hosts.
+    /// Adds a VM guarded by the **configured** defense arm
+    /// (`cfg.defense`, resolved through the `vmm::defense` registry):
+    /// a replicated arm consumes all of `hosts` as replica hosts and
+    /// invokes `make()` once per replica (the replicas must be
+    /// identical); a single-host arm runs one instance on `hosts[0]`.
+    /// Scenario factories call this so one workload definition runs
+    /// under every arm a sweep names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.defense` names no registered arm, if `hosts` is
+    /// empty or names an unknown host, or (replicated arms) if
+    /// `hosts` does not match the configured replica count.
+    pub fn add_defended_vm<F>(&mut self, hosts: &[usize], make: F) -> VmHandle
+    where
+        F: Fn() -> Box<dyn GuestProgram>,
+    {
+        let arm = self.cfg.defense_arm();
+        let mode = arm.mode(&self.cfg.defense_knobs());
+        let hosts = if arm.replicated() {
+            assert_eq!(hosts.len(), self.cfg.replicas, "replica count mismatch");
+            hosts
+        } else {
+            assert!(!hosts.is_empty(), "need at least one host");
+            &hosts[..1]
+        };
+        self.push_vm(hosts, mode, make)
+    }
+
+    /// Adds a StopWatch-protected VM regardless of `cfg.defense`:
+    /// `make()` is invoked once per replica (the replicas must be
+    /// identical); `hosts` lists the replica hosts.
     ///
     /// # Panics
     ///
@@ -842,21 +876,35 @@ impl CloudBuilder {
         F: Fn() -> Box<dyn GuestProgram>,
     {
         assert_eq!(hosts.len(), self.cfg.replicas, "replica count mismatch");
+        // Δn, Δd, and Δt become per-channel policy (net / disk / timer
+        // offsets; cache readouts propose their measured latency
+        // directly).
+        let mode = DefenseMode::stop_watch(
+            self.cfg.delta_n,
+            self.cfg.delta_d,
+            self.cfg.delta_t,
+            self.cfg.replicas,
+        );
+        self.push_vm(hosts, mode, make)
+    }
+
+    /// Adds an unprotected (baseline / unmodified-Xen) VM on one host,
+    /// regardless of `cfg.defense`.
+    pub fn add_baseline_vm(&mut self, host: usize, program: Box<dyn GuestProgram>) -> VmHandle {
+        let mut program = Some(program);
+        self.push_vm(&[host], DefenseMode::baseline(), move || {
+            program.take().expect("single-host arm makes one program")
+        })
+    }
+
+    fn push_vm<F>(&mut self, hosts: &[usize], mode: DefenseMode, mut make: F) -> VmHandle
+    where
+        F: FnMut() -> Box<dyn GuestProgram>,
+    {
         assert!(hosts.iter().all(|&h| h < self.host_count), "unknown host");
         let endpoint = self.next_vm_endpoint();
         let programs = (0..hosts.len()).map(|_| make()).collect();
-        self.vms.push((hosts.to_vec(), programs, true));
-        VmHandle {
-            index: self.vms.len() - 1,
-            endpoint,
-        }
-    }
-
-    /// Adds an unprotected (baseline / unmodified-Xen) VM on one host.
-    pub fn add_baseline_vm(&mut self, host: usize, program: Box<dyn GuestProgram>) -> VmHandle {
-        assert!(host < self.host_count, "unknown host");
-        let endpoint = self.next_vm_endpoint();
-        self.vms.push((vec![host], vec![program], false));
+        self.vms.push((hosts.to_vec(), programs, mode));
         VmHandle {
             index: self.vms.len() - 1,
             endpoint,
@@ -924,16 +972,9 @@ impl CloudBuilder {
         let mut ingress = IngressNode::new();
         let mut vms = Vec::new();
         let mut by_endpoint = FxHashMap::default();
-        for (vm_idx, (host_list, programs, stopwatch)) in self.vms.into_iter().enumerate() {
+        for (vm_idx, (host_list, programs, mode)) in self.vms.into_iter().enumerate() {
             let endpoint = EndpointId(1000 + vm_idx as u64);
-            let mode = if stopwatch {
-                // Δn, Δd, and Δt become per-channel policy (net / disk /
-                // timer offsets; cache readouts propose their measured
-                // latency directly).
-                DefenseMode::stop_watch(cfg.delta_n, cfg.delta_d, cfg.delta_t, cfg.replicas)
-            } else {
-                DefenseMode::Baseline
-            };
+            let replicated = matches!(mode, DefenseMode::StopWatch { .. });
             let mut clocks: Vec<u64> = host_list.iter().map(|&h| host_rtc[h]).collect();
             clocks.sort_unstable();
             let start = VirtNanos::from_nanos(clocks[clocks.len() / 2]);
@@ -959,7 +1000,7 @@ impl CloudBuilder {
             vms.push(VmRecord {
                 endpoint,
                 replicas,
-                stopwatch,
+                replicated,
             });
         }
 
@@ -1233,6 +1274,45 @@ mod tests {
         assert!(sw.cloud.client_app::<Pinger>(csw).unwrap().is_done());
         assert!(bl.cloud.client_app::<Pinger>(cbl).unwrap().is_done());
         assert!(t_bl < t_sw, "baseline {t_bl} should beat stopwatch {t_sw}");
+    }
+
+    #[test]
+    fn defended_vm_follows_the_configured_arm() {
+        // Default config: the stopwatch arm replicates across all hosts
+        // and tunnels outputs through the egress.
+        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
+        let vm = b.add_defended_vm(&[0, 1, 2], || Box::new(Echo));
+        let client = b.add_client(Box::new(Pinger {
+            server: vm.endpoint,
+            to_send: 1,
+            sent: 0,
+            replies: Vec::new(),
+            me: EndpointId(2000),
+        }));
+        let mut sim = b.build();
+        sim.run_until_clients_done(SimTime::from_secs(5));
+        assert_eq!(sim.cloud.vm_replicas(vm).len(), 3);
+        assert!(sim.cloud.client_app::<Pinger>(client).unwrap().is_done());
+        assert_eq!(sim.cloud.stats().get("egress_forwarded"), 1);
+
+        // A single-host arm ignores the surplus hosts and sends directly
+        // (no egress voting).
+        let mut cfg = CloudConfig::fast_test();
+        cfg.apply("defense", "deterland").unwrap();
+        let mut b = CloudBuilder::new(cfg, 3);
+        let vm = b.add_defended_vm(&[0, 1, 2], || Box::new(Echo));
+        let client = b.add_client(Box::new(Pinger {
+            server: vm.endpoint,
+            to_send: 1,
+            sent: 0,
+            replies: Vec::new(),
+            me: EndpointId(2000),
+        }));
+        let mut sim = b.build();
+        sim.run_until_clients_done(SimTime::from_secs(5));
+        assert_eq!(sim.cloud.vm_replicas(vm).len(), 1);
+        assert!(sim.cloud.client_app::<Pinger>(client).unwrap().is_done());
+        assert_eq!(sim.cloud.stats().get("egress_forwarded"), 0);
     }
 
     #[test]

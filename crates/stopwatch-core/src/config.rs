@@ -12,7 +12,15 @@ use crate::schema::{self, ValueType};
 use netsim::link::LinkModel;
 use simkit::time::{SimDuration, VirtOffset};
 use vmm::clock::EpochConfig;
+use vmm::defense::{DefenseKnobs, DefenseMode, DefensePolicy};
 use vmm::devices::PlatformClocks;
+
+/// The registered defense-arm names, alphabetical — the `defense` knob's
+/// enum options. Kept in lockstep with `vmm::defense::ARMS` by the
+/// `defense_knob_matches_the_registry` test (the list must be `'static`
+/// for [`ValueType::Enum`], so it cannot be built from the registry at
+/// runtime).
+static DEFENSE_ARMS: &[&str] = &["baseline", "bucketed", "deterland", "stopwatch"];
 
 /// Which disk medium backs the hosts (Sec. VII-D conjectures SSDs would
 /// shrink Δd).
@@ -49,6 +57,9 @@ impl Default for PacingConfig {
 pub struct CloudConfig {
     /// Master seed; everything stochastic derives from it.
     pub seed: u64,
+    /// Which defense arm guards the timing channels (a `vmm::defense`
+    /// registry key; see `swbench describe`).
+    pub defense: String,
     /// Replicas per StopWatch guest (odd, >= 3).
     pub replicas: usize,
     /// Δn: virtual-time offset for network-interrupt proposals. The paper
@@ -62,6 +73,12 @@ pub struct CloudConfig {
     /// from the *programmed* deadline (not the jittery dispatch instant),
     /// sized to cover the worst-case vCPU run-queue wait.
     pub delta_t: VirtOffset,
+    /// Deterland arm: deterministic release-epoch length.
+    pub epoch: VirtOffset,
+    /// Bucketed arm: quantization level width.
+    pub bucket: VirtOffset,
+    /// Bucketed arm: number of distinguishable levels before the cap.
+    pub buckets: u64,
     /// vCPU scheduler timeslice — the quantum each busy co-resident runs
     /// before a newly-woken vCPU is dispatched.
     pub timeslice: VirtOffset,
@@ -101,10 +118,14 @@ impl Default for CloudConfig {
     fn default() -> Self {
         CloudConfig {
             seed: 42,
+            defense: "stopwatch".to_string(),
             replicas: 3,
             delta_n: VirtOffset::from_millis(10),
             delta_d: VirtOffset::from_millis(12),
             delta_t: VirtOffset::from_millis(10),
+            epoch: VirtOffset::from_millis(5),
+            bucket: VirtOffset::from_millis(5),
+            buckets: 4,
             timeslice: VirtOffset::from_millis(2),
             exit_every: 50_000,
             base_ips: 1.0e9,
@@ -201,6 +222,43 @@ impl CloudConfig {
         }
         Ok(())
     }
+
+    /// The configured defense arm, resolved through the `vmm::defense`
+    /// registry.
+    ///
+    /// # Panics
+    ///
+    /// On an arm name the registry does not know — unreachable through
+    /// [`CloudConfig::apply`], which validates the `defense` knob, but
+    /// possible when the field is assigned directly.
+    pub fn defense_arm(&self) -> &'static dyn DefensePolicy {
+        vmm::defense::arm(&self.defense).unwrap_or_else(|| {
+            panic!(
+                "{}",
+                schema::unknown_key("defense arm", &self.defense, DEFENSE_ARMS)
+            )
+        })
+    }
+
+    /// The knob bundle defense arms lower from — every field mirrors one
+    /// `apply` key.
+    pub fn defense_knobs(&self) -> DefenseKnobs {
+        DefenseKnobs {
+            delta_n: self.delta_n,
+            delta_d: self.delta_d,
+            delta_t: self.delta_t,
+            replicas: self.replicas,
+            epoch: self.epoch,
+            bucket: self.bucket,
+            buckets: self.buckets,
+        }
+    }
+
+    /// The configured arm lowered to the slot's hot-path
+    /// [`DefenseMode`].
+    pub fn defense_mode(&self) -> DefenseMode {
+        self.defense_arm().mode(&self.defense_knobs())
+    }
 }
 
 /// One row of the knob schema: a self-describing, introspectable
@@ -285,6 +343,19 @@ static KNOBS: &[KnobSpec] = &[
         },
     },
     KnobSpec {
+        key: "defense",
+        ty: ValueType::Enum(DEFENSE_ARMS),
+        doc: "defense arm guarding the timing channels (see the describe defenses section)",
+        get: |c| c.defense.clone(),
+        set: |c, v| {
+            if vmm::defense::arm(v).is_none() {
+                return Err(schema::unknown_key("defense arm", v, DEFENSE_ARMS));
+            }
+            c.defense = v.to_string();
+            Ok(())
+        },
+    },
+    KnobSpec {
         key: "replicas",
         ty: ValueType::Int,
         doc: "replicas per StopWatch guest (odd, >= 3)",
@@ -321,6 +392,36 @@ static KNOBS: &[KnobSpec] = &[
         get: |c| fmt_ns_as_ms(c.delta_t.as_nanos()),
         set: |c, v| {
             c.delta_t = VirtOffset::from_millis(parse_knob("delta_t_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "epoch_ms",
+        ty: ValueType::OffsetMs,
+        doc: "deterland arm: deterministic release-epoch length, ms",
+        get: |c| fmt_ns_as_ms(c.epoch.as_nanos()),
+        set: |c, v| {
+            c.epoch = VirtOffset::from_millis(parse_knob("epoch_ms", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "bucket_ns",
+        ty: ValueType::Int,
+        doc: "bucketed arm: quantization level width, virtual ns",
+        get: |c| c.bucket.as_nanos().to_string(),
+        set: |c, v| {
+            c.bucket = VirtOffset::from_nanos(parse_knob("bucket_ns", v)?);
+            Ok(())
+        },
+    },
+    KnobSpec {
+        key: "buckets",
+        ty: ValueType::Int,
+        doc: "bucketed arm: distinguishable levels before the lag cap",
+        get: |c| c.buckets.to_string(),
+        set: |c, v| {
+            c.buckets = parse_knob("buckets", v)?;
             Ok(())
         },
     },
@@ -475,6 +576,7 @@ mod tests {
     #[test]
     fn defaults_match_paper_constants() {
         let c = CloudConfig::default();
+        assert_eq!(c.defense, "stopwatch");
         assert_eq!(c.replicas, 3);
         assert_eq!(c.platform_clocks.pit_hz, 250);
         // Δn in the paper translated to ~7–12 ms; Δd to ~8–15 ms.
@@ -497,10 +599,14 @@ mod tests {
         let mut c = CloudConfig::default();
         c.apply_all([
             ("seed", "9"),
+            ("defense", "deterland"),
             ("replicas", "5"),
             ("delta_n_ms", "4"),
             ("delta_d_ms", "6"),
             ("delta_t_ms", "8"),
+            ("epoch_ms", "3"),
+            ("bucket_ns", "250000"),
+            ("buckets", "8"),
             ("timeslice_ms", "1"),
             ("exit_every", "10000"),
             ("base_ips", "2e9"),
@@ -515,10 +621,14 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(c.seed, 9);
+        assert_eq!(c.defense, "deterland");
         assert_eq!(c.replicas, 5);
         assert_eq!(c.delta_n.as_millis_f64(), 4.0);
         assert_eq!(c.delta_d.as_millis_f64(), 6.0);
         assert_eq!(c.delta_t.as_millis_f64(), 8.0);
+        assert_eq!(c.epoch.as_millis_f64(), 3.0);
+        assert_eq!(c.bucket.as_nanos(), 250_000);
+        assert_eq!(c.buckets, 8);
         assert_eq!(c.timeslice.as_millis_f64(), 1.0);
         assert_eq!(c.exit_every, 10_000);
         assert_eq!(c.base_ips, 2e9);
@@ -545,6 +655,74 @@ mod tests {
         assert!(c.apply("seed", "not-a-number").is_err());
         assert!(c.apply("disk", "floppy").is_err());
         assert!(c.apply("broadcast_band", "10").is_err());
+        assert!(c.apply("defense", "qubes").is_err());
+    }
+
+    #[test]
+    fn defense_knob_matches_the_registry() {
+        // The static enum list the knob schema exposes must track the
+        // vmm::defense registry exactly.
+        assert_eq!(DEFENSE_ARMS, vmm::defense::arm_names().as_slice());
+        // Every arm's declared knob keys exist in the config schema, so
+        // `swbench describe` can cross-link them.
+        for a in vmm::defense::ARMS {
+            for key in a.knobs() {
+                assert!(
+                    CloudConfig::knob(key).is_some(),
+                    "arm {:?} reads unknown knob {key:?}",
+                    a.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_defense_arm_gets_a_did_you_mean() {
+        let mut c = CloudConfig::default();
+        let err = c.apply("defense", "bucketd").unwrap_err();
+        assert!(err.contains("defense arm"), "{err}");
+        assert!(err.contains("did you mean \"bucketed\""), "{err}");
+    }
+
+    #[test]
+    fn defense_mode_lowers_through_the_registry() {
+        use vmm::defense::ReleaseRule;
+        use vmm::slot::DefenseMode;
+
+        let mut c = CloudConfig::default();
+        assert_eq!(c.defense_arm().name(), "stopwatch");
+        assert!(c.defense_arm().replicated());
+        assert_eq!(
+            c.defense_mode(),
+            DefenseMode::stop_watch(c.delta_n, c.delta_d, c.delta_t, c.replicas)
+        );
+        c.apply("defense", "baseline").unwrap();
+        assert_eq!(c.defense_mode(), DefenseMode::baseline());
+        c.apply_all([("defense", "deterland"), ("epoch_ms", "7")])
+            .unwrap();
+        assert_eq!(
+            c.defense_mode(),
+            DefenseMode::Local {
+                release: ReleaseRule::EpochBoundary {
+                    epoch: VirtOffset::from_millis(7)
+                }
+            }
+        );
+        c.apply_all([
+            ("defense", "bucketed"),
+            ("bucket_ns", "1000"),
+            ("buckets", "6"),
+        ])
+        .unwrap();
+        assert_eq!(
+            c.defense_mode(),
+            DefenseMode::Local {
+                release: ReleaseRule::Quantize {
+                    bucket: VirtOffset::from_nanos(1000),
+                    buckets: 6
+                }
+            }
+        );
     }
 
     #[test]

@@ -323,7 +323,7 @@ mod tests {
             SlotConfig {
                 endpoint: EndpointId(1),
                 exit_every: 50_000,
-                mode: DefenseMode::Baseline,
+                mode: DefenseMode::baseline(),
                 clocks: PlatformClocks::default(),
             },
             VirtualClock::new(VirtNanos::ZERO, 1.0, None),
@@ -400,7 +400,7 @@ mod tests {
                 SlotConfig {
                     endpoint: EndpointId(ep),
                     exit_every: 50_000,
-                    mode: DefenseMode::Baseline,
+                    mode: DefenseMode::baseline(),
                     clocks: PlatformClocks::default(),
                 },
                 VirtualClock::new(VirtNanos::ZERO, 1.0, None),

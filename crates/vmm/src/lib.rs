@@ -15,6 +15,10 @@
 //!   interrupt class an attacker could time (net, cache, disk, timer)
 //!   named by a [`channel::ChannelKind`] with a per-channel
 //!   [`channel::ChannelPolicy`] (Δn/Δd/Δt offsets, synchrony clamping);
+//! * [`defense`] — the pluggable defense arms: StopWatch's replica
+//!   median, Deterland epoch-boundary release, Tizpaz-Niari bucketed
+//!   quantization, and the unprotected baseline, all as release
+//!   policies over the same channel core;
 //! * [`guest`] — the deterministic guest-program abstraction;
 //! * [`sched`] — the deterministic per-host vCPU scheduler (round-robin
 //!   timeslices, hypercraft-style `switch_vm_timer`/`htimedelta`
@@ -32,6 +36,7 @@
 pub mod cache;
 pub mod channel;
 pub mod clock;
+pub mod defense;
 pub mod devices;
 pub mod guest;
 pub mod host;
@@ -44,6 +49,7 @@ pub mod prelude {
     pub use crate::cache::CacheModel;
     pub use crate::channel::{ChannelKind, ChannelPolicies, ChannelPolicy};
     pub use crate::clock::{EpochConfig, VirtualClock};
+    pub use crate::defense::{DefenseKnobs, DefensePolicy, ReleaseRule};
     pub use crate::devices::{PlatformClocks, TimePolicy};
     pub use crate::guest::{GuestAction, GuestEnv, GuestProgram, IdleGuest};
     pub use crate::host::HostMachine;

@@ -35,8 +35,9 @@
 //!   logical behaviour.
 
 use crate::cache::CacheModel;
-use crate::channel::{ChannelKind, ChannelPolicies, ChannelPolicy};
+use crate::channel::{ChannelKind, ChannelPolicy};
 use crate::clock::VirtualClock;
+pub use crate::defense::{DefenseMode, ReleaseRule};
 use crate::devices::PlatformClocks;
 use crate::guest::{GuestAction, GuestEnv, GuestProgram};
 use crate::speed::SpeedProfile;
@@ -46,39 +47,6 @@ use simkit::time::{SimTime, VirtNanos, VirtOffset};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use storage::block::{BlockRange, DiskImage};
 use storage::device::{DiskOp, DiskRequest};
-
-/// Defense configuration for a slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DefenseMode {
-    /// StopWatch: replica-median agreement on every timing channel, with
-    /// per-channel [`ChannelPolicy`] offsets (Δn, Δd) and clamping; guest
-    /// outputs tunneled to the egress.
-    StopWatch {
-        /// Per-channel proposal/delivery policies.
-        channels: ChannelPolicies,
-        /// Number of replicas (3 in the paper; 5 discussed in Sec. IX).
-        replicas: usize,
-    },
-    /// Unmodified Xen: interrupts delivered at the earliest exit, outputs
-    /// sent directly.
-    Baseline,
-}
-
-impl DefenseMode {
-    /// The paper's StopWatch arm: Δn network offsets, Δd disk offsets,
-    /// Δt timer offsets, unclamped zero-offset cache readouts.
-    pub fn stop_watch(
-        delta_n: VirtOffset,
-        delta_d: VirtOffset,
-        delta_t: VirtOffset,
-        replicas: usize,
-    ) -> Self {
-        DefenseMode::StopWatch {
-            channels: ChannelPolicies::stopwatch(delta_n, delta_d, delta_t),
-            replicas,
-        }
-    }
-}
 
 /// Static configuration of a guest slot.
 #[derive(Debug, Clone)]
@@ -511,13 +479,24 @@ impl GuestSlot {
         self.exit_ceil(self.clock.instr_for(deliver))
     }
 
-    /// The policy of one channel under the current defense mode (the
-    /// baseline policy is never consulted — baseline entries are delivered
-    /// at locally decided times).
+    /// The policy of one channel under the current defense mode (local
+    /// arms never consult a channel policy — their entries are delivered
+    /// at locally decided, release-rule-shaped times).
     fn policy(&self, kind: ChannelKind) -> Option<&ChannelPolicy> {
         match &self.cfg.mode {
             DefenseMode::StopWatch { channels, .. } => Some(channels.policy(kind)),
-            DefenseMode::Baseline => None,
+            DefenseMode::Local { .. } => None,
+        }
+    }
+
+    /// A local arm's delivery time for an event locally observed at
+    /// `local`, anchored at `reference` where the event has a
+    /// replica-identical issue instant (see [`ReleaseRule::apply`]).
+    /// Identity under baseline; never called in StopWatch mode.
+    fn local_release(&self, local: VirtNanos, reference: Option<VirtNanos>) -> VirtNanos {
+        match self.cfg.mode {
+            DefenseMode::Local { release } => release.apply(local, reference),
+            DefenseMode::StopWatch { .. } => local,
         }
     }
 
@@ -739,10 +718,12 @@ impl GuestSlot {
                         });
                     }
                     None => {
-                        // Unprotected: the local latency is the readout.
+                        // Local arm: the release-rule-shaped local
+                        // latency is the readout (identity = baseline).
+                        let deliver = self.local_release(local, Some(issue_virt));
                         self.pending.insert(
                             (ChannelKind::Cache, probe_id),
-                            ChannelPending::local(payload, local),
+                            ChannelPending::local(payload, deliver),
                         );
                     }
                 }
@@ -806,9 +787,10 @@ impl GuestSlot {
                 // (see `timer_elapsed`).
                 self.open_pending(ChannelKind::Timer, fire_seq, payload);
             }
-            DefenseMode::Baseline => {
+            DefenseMode::Local { .. } => {
                 // Delivered at the locally observed fire; `timer_elapsed`
-                // fixes the time (deadline + vCPU dispatch delay).
+                // fixes the time (deadline + vCPU dispatch delay, shaped
+                // by the arm's release rule).
                 self.pending.insert(
                     (ChannelKind::Timer, fire_seq),
                     ChannelPending::agreeing(payload, 1),
@@ -954,9 +936,9 @@ impl GuestSlot {
                 // have proposed this op.
                 self.open_pending(ChannelKind::Disk, op_id, payload);
             }
-            DefenseMode::Baseline => {
+            DefenseMode::Local { .. } => {
                 // Delivered when the data is ready; `disk_ready` fixes the
-                // time.
+                // time (shaped by the arm's release rule).
                 self.pending.insert(
                     (ChannelKind::Disk, op_id),
                     ChannelPending::agreeing(payload, 1),
@@ -988,7 +970,9 @@ impl GuestSlot {
                 ArrivalOutcome::Proposal(proposal)
             }
             None => {
-                let deliver = self.virt_at(profile, now);
+                // No replica-identical anchor for an external arrival:
+                // local arms shape the absolute arrival time.
+                let deliver = self.local_release(self.virt_at(profile, now), None);
                 self.pending.insert(
                     (ChannelKind::Net, ingress_seq),
                     ChannelPending::local(payload, deliver),
@@ -1020,6 +1004,10 @@ impl GuestSlot {
         let cur_virt = self.virt_at(profile, now);
         let image = &self.image;
         let policy = self.policy(ChannelKind::Disk).copied();
+        let release = match self.cfg.mode {
+            DefenseMode::Local { release } => release,
+            DefenseMode::StopWatch { .. } => ReleaseRule::Identity,
+        };
         let Some(pending) = self.pending.get_mut(&(ChannelKind::Disk, op_id)) else {
             return Err(SlotError::UnknownDiskOp { op_id });
         };
@@ -1053,8 +1041,10 @@ impl GuestSlot {
                 Ok(ArrivalOutcome::Proposal(proposal))
             }
             None => {
-                // Baseline: deliver at the next exit after the data is in.
-                pending.deliver = Some(cur_virt);
+                // Local arm: deliver at the next exit after the data is
+                // in, the completion instant shaped by the release rule
+                // anchored at the replica-identical issue time.
+                pending.deliver = Some(release.apply(cur_virt, Some(issue_virt)));
                 Ok(ArrivalOutcome::Scheduled)
             }
         }
@@ -1092,6 +1082,10 @@ impl GuestSlot {
         }
         let cur_virt = self.virt_at(profile, now);
         let policy = self.policy(ChannelKind::Timer).copied();
+        let release = match self.cfg.mode {
+            DefenseMode::Local { release } => release,
+            DefenseMode::StopWatch { .. } => ReleaseRule::Identity,
+        };
         let Some(pending) = self.pending.get_mut(&(ChannelKind::Timer, fire_seq)) else {
             return Err(SlotError::UnknownTimerFire { fire_seq });
         };
@@ -1121,7 +1115,11 @@ impl GuestSlot {
                 Ok(Some(ArrivalOutcome::Proposal(proposal)))
             }
             None => {
-                pending.deliver = Some(local_fire);
+                // Local arm: the guest-visible fire is the release-shaped
+                // dispatch time, anchored at the programmed deadline —
+                // identity leaks the scheduler jitter (baseline), an
+                // epoch boundary or bucket grid hides it.
+                pending.deliver = Some(release.apply(local_fire, Some(deadline)));
                 Ok(Some(ArrivalOutcome::Scheduled))
             }
         }
@@ -1410,7 +1408,7 @@ mod tests {
     fn idle_guest_has_no_wake() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::baseline());
         let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         assert!(out.is_empty());
         assert_eq!(slot.next_wake(&p, SimTime::ZERO), None);
@@ -1420,7 +1418,7 @@ mod tests {
     fn virt_advances_while_idle() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let v1 = slot.virt_at(&p, SimTime::from_millis(1));
         let v2 = slot.virt_at(&p, SimTime::from_millis(5));
@@ -1432,7 +1430,7 @@ mod tests {
     fn virt_at_last_exit_quantizes() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // At t=123.456us, branches=123456; last exit at 100000.
         let v = slot.virt_at_last_exit(&p, SimTime::from_nanos(123_456));
@@ -1504,7 +1502,7 @@ mod tests {
     fn baseline_packet_delivers_at_next_exit() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::<EchoGuest>::default(), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::<EchoGuest>::default(), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let pkt = Packet {
             src: EndpointId(1),
@@ -1660,7 +1658,7 @@ mod tests {
     fn baseline_disk_delivers_when_ready() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(DiskGuest), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(DiskGuest), DefenseMode::baseline());
         let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let SlotOutput::DiskSubmit { op_id, .. } = &out[0] else {
             panic!()
@@ -1710,7 +1708,7 @@ mod tests {
             SimDuration::from_millis(10),
             SimRng::new(2).stream("slow"),
         );
-        let mut run = |p: &SpeedProfile| {
+        let run = |p: &SpeedProfile| {
             let mut cache = CacheModel::new(8, 2);
             let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
             slot.boot(p, &mut cache, SimTime::ZERO).expect("boot");
@@ -1752,7 +1750,7 @@ mod tests {
     fn stall_freezes_virtual_time() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(IdleGuest), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         slot.stall_until(&p, SimTime::from_millis(1), SimTime::from_millis(5));
         let v_mid = slot.virt_at(&p, SimTime::from_millis(3));
@@ -1781,7 +1779,7 @@ mod tests {
         }
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(TimerGuest { ticks: 0 }), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(TimerGuest { ticks: 0 }), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // First tick at virt 4ms (250 Hz).
         let wake = slot.next_wake(&p, SimTime::ZERO).unwrap();
@@ -1809,7 +1807,7 @@ mod tests {
         }
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(BusyEcho), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(BusyEcho), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // Packet arrives at 2ms (mid-compute), delivered at exit ~2ms.
         let pkt = Packet {
@@ -1891,7 +1889,7 @@ mod tests {
     fn baseline_cache_probe_reads_local_hit_and_miss() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::<CacheProber>::default(), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::<CacheProber>::default(), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // Probes issued at pc 0 deliver at +40/+400 ns; the injection exit
         // is the first one, at branch 50k = 50 us.
@@ -2069,7 +2067,7 @@ mod tests {
     fn baseline_timer_delivers_scheduler_jitter() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let (mut slot, fire_seq) = boot_vtimer(DefenseMode::Baseline, 5, None);
+        let (mut slot, fire_seq) = boot_vtimer(DefenseMode::baseline(), 5, None);
         // Hardware event at the deadline projection; the vCPU scheduler
         // held the slot 2ms behind a busy co-resident.
         let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
@@ -2141,7 +2139,7 @@ mod tests {
     fn periodic_timer_rearms_from_the_programmed_deadline() {
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let (mut slot, fire0) = boot_vtimer(DefenseMode::Baseline, 5, Some(3));
+        let (mut slot, fire0) = boot_vtimer(DefenseMode::baseline(), 5, Some(3));
         let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
         slot.timer_elapsed(&p, t, fire0, VirtOffset::from_nanos(0))
             .expect("live fire");
@@ -2263,7 +2261,7 @@ mod tests {
         }
         let mut slot = slot_with(
             Box::new(OverflowGuest { period: huge }),
-            DefenseMode::Baseline,
+            DefenseMode::baseline(),
         );
         let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         let SlotOutput::TimerArm { fire_seq, .. } = out[0] else {
@@ -2294,7 +2292,7 @@ mod tests {
         }
         let p = profile();
         let mut cache = CacheModel::new(8, 2);
-        let mut slot = slot_with(Box::new(RearmGuest), DefenseMode::Baseline);
+        let mut slot = slot_with(Box::new(RearmGuest), DefenseMode::baseline());
         let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         assert_eq!(out.len(), 2, "both arms emit hardware events");
         let SlotOutput::TimerArm { fire_seq: old, .. } = out[0] else {
@@ -2327,6 +2325,65 @@ mod tests {
             .timer_elapsed(&p, SimTime::from_millis(1), 42, VirtOffset::from_nanos(0))
             .expect_err("no such fire");
         assert_eq!(err, SlotError::UnknownTimerFire { fire_seq: 42 });
+    }
+
+    #[test]
+    fn deterland_timer_hides_the_dispatch_delay() {
+        // Same 2ms scheduler hold as `baseline_timer_delivers_scheduler_jitter`,
+        // but the epoch-boundary release lands the on-time and the delayed
+        // fire on the same boundary: the jitter never reaches the guest.
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let deterland = DefenseMode::Local {
+            release: ReleaseRule::EpochBoundary {
+                epoch: VirtOffset::from_millis(5),
+            },
+        };
+        let mut observe = |delay_ms: u64| {
+            let guest = VtimerGuest {
+                deadline_ms: 5,
+                period_ms: None,
+                fires: Vec::new(),
+            };
+            let mut slot = slot_with(Box::new(guest), deterland);
+            let out = slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+            let SlotOutput::TimerArm { fire_seq, .. } = out[0] else {
+                panic!("{:?}", out[0]);
+            };
+            let t = slot.phys_at_virt(&p, SimTime::ZERO, VirtNanos::from_millis(5));
+            slot.timer_elapsed(&p, t, fire_seq, VirtOffset::from_millis(delay_ms))
+                .expect("live fire");
+            let wake = slot.next_wake(&p, t).expect("due");
+            slot.process(&p, &mut cache, wake).expect("process");
+            vtimer_fires(&mut slot)[0].0
+        };
+        let on_time = observe(0);
+        let delayed = observe(2);
+        assert_eq!(on_time.as_nanos(), 10_000_000, "next 5ms boundary past 5ms");
+        assert_eq!(on_time, delayed, "sub-epoch jitter is invisible");
+    }
+
+    #[test]
+    fn bucketed_cache_probe_reads_one_quantized_level() {
+        // Hit (~40ns) and miss (~400ns) both quantize up to the first
+        // 1000ns level: the PRIME+PROBE readout collapses.
+        let p = profile();
+        let mut cache = CacheModel::new(8, 2);
+        let bucketed = DefenseMode::Local {
+            release: ReleaseRule::Quantize {
+                bucket: VirtOffset::from_nanos(1_000),
+                buckets: 4,
+            },
+        };
+        let mut slot = slot_with(Box::<CacheProber>::default(), bucketed);
+        slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
+        let wake = slot.next_wake(&p, SimTime::ZERO).expect("probe wake");
+        slot.process(&p, &mut cache, wake).expect("process");
+        assert_eq!(
+            probe_readouts(&mut slot),
+            vec![(3, 1_000), (4, 1_000)],
+            "hit and miss read the same bucket"
+        );
     }
 
     #[test]

@@ -419,16 +419,10 @@ mod tests {
             ("rounds", "10"),
             ("victim", if victim { "true" } else { "false" }),
         ]);
-        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
-        let wl = install(
-            "cache-channel",
-            &mut b,
-            stopwatch,
-            &[0, 1, 2],
-            &params,
-            seed,
-        )
-        .expect("install");
+        let mut cfg = CloudConfig::fast_test();
+        cfg.defense = if stopwatch { "stopwatch" } else { "baseline" }.to_string();
+        let mut b = CloudBuilder::new(cfg, 3);
+        let wl = install("cache-channel", &mut b, &[0, 1, 2], &params, seed).expect("install");
         let mut sim = b.build();
         sim.run_until_clients_done(SimTime::from_secs(120));
         let drain = sim.now() + SimDuration::from_millis(500);
@@ -505,12 +499,12 @@ mod tests {
     fn bad_geometry_is_rejected() {
         let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
         let bad = WorkloadParams::from_pairs([("secret", "99")]);
-        let err = install("cache-channel", &mut b, true, &[0, 1, 2], &bad, 1)
+        let err = install("cache-channel", &mut b, &[0, 1, 2], &bad, 1)
             .err()
             .expect("out-of-range secret");
         assert!(err.contains("out of range"), "{err}");
         let zero = WorkloadParams::from_pairs([("sets", "0"), ("secret", "0")]);
-        let err = install("cache-channel", &mut b, true, &[0, 1, 2], &zero, 1)
+        let err = install("cache-channel", &mut b, &[0, 1, 2], &zero, 1)
             .err()
             .expect("zero sets");
         assert!(err.contains("sets >= 1"), "{err}");

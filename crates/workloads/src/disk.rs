@@ -457,9 +457,9 @@ mod tests {
         ])
         .expect("overrides");
         cfg.seed = seed;
+        cfg.defense = if stopwatch { "stopwatch" } else { "baseline" }.to_string();
         let mut b = CloudBuilder::new(cfg, 3);
-        let wl =
-            install("disk-channel", &mut b, stopwatch, &[0, 1, 2], &params, seed).expect("install");
+        let wl = install("disk-channel", &mut b, &[0, 1, 2], &params, seed).expect("install");
         let mut sim = b.build();
         sim.run_until_clients_done(SimTime::from_secs(120));
         let drain = sim.now() + SimDuration::from_millis(500);
@@ -541,12 +541,12 @@ mod tests {
     fn bad_geometry_is_rejected() {
         let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
         let bad = WorkloadParams::from_pairs([("secret", "99")]);
-        let err = install("disk-channel", &mut b, true, &[0, 1, 2], &bad, 1)
+        let err = install("disk-channel", &mut b, &[0, 1, 2], &bad, 1)
             .err()
             .expect("out-of-range secret");
         assert!(err.contains("out of range"), "{err}");
         let one_arm = WorkloadParams::from_pairs([("arms", "1"), ("secret", "0")]);
-        let err = install("disk-channel", &mut b, true, &[0, 1, 2], &one_arm, 1)
+        let err = install("disk-channel", &mut b, &[0, 1, 2], &one_arm, 1)
             .err()
             .expect("one arm");
         assert!(err.contains("arms >= 2"), "{err}");

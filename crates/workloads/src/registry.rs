@@ -133,34 +133,29 @@ impl WorkloadParams {
     }
 }
 
-/// What a workload installs against: the defense arm, the replica
-/// placement, and the run's master seed (for client-side randomness).
+/// What a workload installs against: the replica placement and the run's
+/// master seed (for client-side randomness). The defense arm comes from
+/// the cloud's own configuration (`cfg.defense`), so one workload
+/// definition runs under every registered arm.
 #[derive(Debug, Clone, Copy)]
 pub struct InstallCtx<'a> {
-    /// StopWatch protection on (vs. unmodified baseline).
-    pub stopwatch: bool,
-    /// Hosts carrying the workload VM's replicas (baseline runs use the
-    /// first entry only).
+    /// Hosts offered to the workload VM: replicated arms (StopWatch)
+    /// spread replicas over all of them, single-host arms (baseline,
+    /// deterland, bucketed) run on the first entry only.
     pub replica_hosts: &'a [usize],
     /// Master seed for this run.
     pub seed: u64,
 }
 
 impl InstallCtx<'_> {
-    /// Adds the workload's protected (or baseline) VM: replicated over
-    /// `replica_hosts` under StopWatch, a single unprotected instance on
-    /// `replica_hosts[0]` otherwise — the comparison arm of every paper
-    /// figure.
+    /// Adds the workload's VM under the builder's configured defense arm
+    /// — the comparison axis of every shootout figure.
     pub fn add_vm(
         &self,
         b: &mut CloudBuilder,
         make: &dyn Fn() -> Box<dyn GuestProgram>,
     ) -> VmHandle {
-        if self.stopwatch {
-            b.add_stopwatch_vm(self.replica_hosts, make)
-        } else {
-            b.add_baseline_vm(self.replica_hosts[0], make())
-        }
+        b.add_defended_vm(self.replica_hosts, make)
     }
 }
 
@@ -353,12 +348,10 @@ pub fn workload_names() -> Vec<String> {
         .collect()
 }
 
-/// Wires workload `name` into the builder: the protected (or baseline) VM
-/// on `replica_hosts`, plus its measuring client. Parameters are
-/// validated against the workload's schema first.
-///
-/// With `stopwatch` false the VM is an unprotected baseline instance on
-/// `replica_hosts[0]` — the comparison arm of every paper figure.
+/// Wires workload `name` into the builder: its VM under the builder's
+/// configured defense arm (`cfg.defense`) on `replica_hosts`, plus its
+/// measuring client. Parameters are validated against the workload's
+/// schema first.
 ///
 /// # Errors
 ///
@@ -368,7 +361,6 @@ pub fn workload_names() -> Vec<String> {
 pub fn install(
     name: &str,
     b: &mut CloudBuilder,
-    stopwatch: bool,
     replica_hosts: &[usize],
     params: &WorkloadParams,
     seed: u64,
@@ -379,7 +371,6 @@ pub fn install(
     let workload = require(name)?;
     params.validate(name, workload.params())?;
     let ctx = InstallCtx {
-        stopwatch,
         replica_hosts,
         seed,
     };
@@ -394,8 +385,10 @@ mod tests {
     use stopwatch_core::config::CloudConfig;
 
     fn run(name: &str, stopwatch: bool, params: WorkloadParams) -> WorkloadOutcome {
-        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
-        let wl = install(name, &mut b, stopwatch, &[0, 1, 2], &params, 7).expect("install");
+        let mut cfg = CloudConfig::fast_test();
+        cfg.defense = if stopwatch { "stopwatch" } else { "baseline" }.to_string();
+        let mut b = CloudBuilder::new(cfg, 3);
+        let wl = install(name, &mut b, &[0, 1, 2], &params, 7).expect("install");
         let mut sim = b.build();
         sim.run_until_clients_done(SimTime::from_secs(120));
         let drain = sim.now() + SimDuration::from_millis(500);
@@ -442,29 +435,20 @@ mod tests {
     #[test]
     fn unknown_workload_and_params_error() {
         let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
-        assert!(install(
-            "no-such",
-            &mut b,
-            true,
-            &[0, 1, 2],
-            &WorkloadParams::new(),
-            1
-        )
-        .is_err());
+        assert!(install("no-such", &mut b, &[0, 1, 2], &WorkloadParams::new(), 1).is_err());
         let bad = WorkloadParams::from_pairs([("byts", "10")]);
-        assert!(install("web-http", &mut b, true, &[0, 1, 2], &bad, 1).is_err());
+        assert!(install("web-http", &mut b, &[0, 1, 2], &bad, 1).is_err());
         let unparsable = WorkloadParams::from_pairs([("bytes", "many")]);
-        assert!(install("web-http", &mut b, true, &[0, 1, 2], &unparsable, 1).is_err());
+        assert!(install("web-http", &mut b, &[0, 1, 2], &unparsable, 1).is_err());
         assert!(install(
             "parsec:quake",
             &mut b,
-            true,
             &[0, 1, 2],
             &WorkloadParams::new(),
             1
         )
         .is_err());
-        assert!(install("idle", &mut b, true, &[], &WorkloadParams::new(), 1).is_err());
+        assert!(install("idle", &mut b, &[], &WorkloadParams::new(), 1).is_err());
     }
 
     #[test]
@@ -527,15 +511,7 @@ mod tests {
         register(Arc::new(Custom)); // same name: replaces, not duplicates
         assert_eq!(workload_names().len(), before + 1);
         let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
-        assert!(install(
-            "custom-test",
-            &mut b,
-            true,
-            &[0, 1, 2],
-            &WorkloadParams::new(),
-            1
-        )
-        .is_ok());
+        assert!(install("custom-test", &mut b, &[0, 1, 2], &WorkloadParams::new(), 1).is_ok());
     }
 
     #[test]

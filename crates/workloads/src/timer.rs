@@ -405,16 +405,10 @@ mod tests {
     fn run(stopwatch: bool, victim: bool, seed: u64) -> WorkloadOutcome {
         let params =
             WorkloadParams::from_pairs([("victim", if victim { "true" } else { "false" })]);
-        let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
-        let wl = install(
-            "timer-channel",
-            &mut b,
-            stopwatch,
-            &[0, 1, 2],
-            &params,
-            seed,
-        )
-        .expect("install");
+        let mut cfg = CloudConfig::fast_test();
+        cfg.defense = if stopwatch { "stopwatch" } else { "baseline" }.to_string();
+        let mut b = CloudBuilder::new(cfg, 3);
+        let wl = install("timer-channel", &mut b, &[0, 1, 2], &params, seed).expect("install");
         let mut sim = b.build();
         sim.run_until_clients_done(SimTime::from_secs(120));
         let drain = sim.now() + SimDuration::from_millis(500);
@@ -486,12 +480,12 @@ mod tests {
     fn bad_arms_are_rejected() {
         let mut b = CloudBuilder::new(CloudConfig::fast_test(), 3);
         let bad = WorkloadParams::from_pairs([("secret", "9")]);
-        let err = install("timer-channel", &mut b, true, &[0, 1, 2], &bad, 1)
+        let err = install("timer-channel", &mut b, &[0, 1, 2], &bad, 1)
             .err()
             .expect("out-of-range secret");
         assert!(err.contains("out of range"), "{err}");
         let one = WorkloadParams::from_pairs([("arms", "1"), ("secret", "0")]);
-        let err = install("timer-channel", &mut b, true, &[0, 1, 2], &one, 1)
+        let err = install("timer-channel", &mut b, &[0, 1, 2], &one, 1)
             .err()
             .expect("one arm");
         assert!(err.contains("arms >= 2"), "{err}");

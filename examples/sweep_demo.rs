@@ -6,7 +6,7 @@
 //!
 //! The same sweep is available from the command line as
 //! `swbench sweep --workload web-http --axis cfg.delta_n_ms=2,6,10 \
-//!  --axis stopwatch=false,true --seeds 4 --param bytes=50000`.
+//!  --axis cfg.defense=baseline,stopwatch --seeds 4 --param bytes=50000`.
 
 use stopwatch_repro::harness::prelude::*;
 use stopwatch_repro::simkit::time::SimDuration;
@@ -14,7 +14,7 @@ use stopwatch_repro::simkit::time::SimDuration;
 fn main() {
     let mut spec = SweepSpec::new("sweep-demo", "web-http")
         .axis("cfg.delta_n_ms", &[2u64, 6, 10])
-        .axis("stopwatch", &["false", "true"])
+        .axis("cfg.defense", &["baseline", "stopwatch"])
         .seed_shards(42, 4);
     spec.base_params = vec![
         ("bytes".to_string(), "50000".to_string()),

@@ -10,7 +10,7 @@ use simkit::time::SimDuration;
 /// anchored on the clean baseline cell.
 fn grid() -> SweepSpec {
     let mut spec = SweepSpec::new("cache-flip", "cache-channel")
-        .axis("stopwatch", &["false", "true"])
+        .axis("cfg.defense", &["baseline", "stopwatch"])
         .axis("victim", &["false", "true"])
         .seed_shards(42, 3);
     spec.base_params = vec![
@@ -39,7 +39,7 @@ fn report() -> SweepReport {
     SweepReport::from_outcomes(
         "cache-flip",
         &outcomes,
-        Some("stopwatch=false,victim=false"),
+        Some("cfg.defense=baseline,victim=false"),
     )
 }
 
@@ -65,7 +65,7 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
 
     // One replica (baseline): the victim's evictions shift the probe
     // latency distribution — an observer distinguishes it from clean.
-    let leaky = verdict(&r, "stopwatch=false,victim=true");
+    let leaky = verdict(&r, "cfg.defense=baseline,victim=true");
     assert!(
         leaky.distinguishable_at_95,
         "baseline + victim must be LEAKY: {leaky:?}"
@@ -74,7 +74,7 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
 
     // Three replicas (StopWatch): the median readout hides the one
     // perturbed replica — indistinguishable from the clean cell.
-    let tight = verdict(&r, "stopwatch=true,victim=true");
+    let tight = verdict(&r, "cfg.defense=stopwatch,victim=true");
     assert!(
         !tight.distinguishable_at_95,
         "StopWatch + victim must be TIGHT: {tight:?}"
@@ -92,8 +92,8 @@ fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
         let c = cell(&r, name);
         c.extra("recovered_rounds") / c.extra("probe_rounds")
     };
-    let baseline = acc("stopwatch=false,victim=true");
-    let stopwatch = acc("stopwatch=true,victim=true");
+    let baseline = acc("cfg.defense=baseline,victim=true");
+    let stopwatch = acc("cfg.defense=stopwatch,victim=true");
     let chance = 1.0 / 4.0;
     assert!(
         baseline >= 0.9,

@@ -14,7 +14,7 @@ use simkit::time::SimDuration;
 /// apart on the platter.
 fn grid() -> SweepSpec {
     let mut spec = SweepSpec::new("disk-flip", "disk-channel")
-        .axis("stopwatch", &["false", "true"])
+        .axis("cfg.defense", &["baseline", "stopwatch"])
         .axis("victim", &["false", "true"])
         .seed_shards(42, 3);
     spec.base_params = vec![("rounds".to_string(), "12".to_string())];
@@ -65,10 +65,10 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
     // One replica (baseline): the victim's parked head and FIFO queueing
     // shift the probe-latency distribution — an observer distinguishes it
     // from the clean cell of the same arm.
-    let r = report("stopwatch=false,victim=false");
+    let r = report("cfg.defense=baseline,victim=false");
     assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
     assert_eq!(r.cells.len(), 4, "2 arms x victim on/off");
-    let leaky = verdict(&r, "stopwatch=false,victim=true");
+    let leaky = verdict(&r, "cfg.defense=baseline,victim=true");
     assert!(
         leaky.distinguishable_at_95,
         "baseline + victim must be LEAKY: {leaky:?}"
@@ -79,8 +79,8 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
     // point, the median ignores the one perturbed disk, and every probe
     // reads the identical flat latency — indistinguishable from the
     // protected clean cell.
-    let r = report("stopwatch=true,victim=false");
-    let tight = verdict(&r, "stopwatch=true,victim=true");
+    let r = report("cfg.defense=stopwatch,victim=false");
+    let tight = verdict(&r, "cfg.defense=stopwatch,victim=true");
     assert!(
         !tight.distinguishable_at_95,
         "StopWatch + victim must be TIGHT: {tight:?}"
@@ -93,13 +93,13 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
 
 #[test]
 fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
-    let r = report("stopwatch=false,victim=false");
+    let r = report("cfg.defense=baseline,victim=false");
     let acc = |name: &str| {
         let c = cell(&r, name);
         c.extra("recovered_rounds") / c.extra("probe_rounds")
     };
-    let baseline = acc("stopwatch=false,victim=true");
-    let stopwatch = acc("stopwatch=true,victim=true");
+    let baseline = acc("cfg.defense=baseline,victim=true");
+    let stopwatch = acc("cfg.defense=stopwatch,victim=true");
     let chance = 1.0 / 4.0;
     assert!(
         baseline >= 0.75,
@@ -124,7 +124,7 @@ fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
     // The paper's Δd diagnostic: only the victim's host ever overruns the
     // release point, and only in the replicated arm is that visible as a
     // counted (but harmless) violation rather than a timing leak.
-    let clean_sw = cell(&r, "stopwatch=true,victim=false");
+    let clean_sw = cell(&r, "cfg.defense=stopwatch,victim=false");
     assert_eq!(
         clean_sw.counters.get("dd_violations"),
         0,

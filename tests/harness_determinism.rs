@@ -9,7 +9,7 @@ use simkit::time::SimDuration;
 fn demo_spec() -> SweepSpec {
     let mut spec = SweepSpec::new("determinism", "web-http")
         .axis("cfg.delta_n_ms", &[2u64, 10])
-        .axis("stopwatch", &["false", "true"])
+        .axis("cfg.defense", &["baseline", "stopwatch"])
         .seed_shards(7, 2);
     spec.base_params = vec![
         ("bytes".to_string(), "20000".to_string()),
@@ -52,7 +52,7 @@ fn sweep_json_is_byte_identical_at_1_2_and_8_threads() {
     // And the run was not vacuous: all cells populated, no failures.
     assert!(one.contains("\"scenarios\": 8"));
     assert!(one.contains("\"failures\": []"));
-    assert!(one.contains("cfg.delta_n_ms=10,stopwatch=true"));
+    assert!(one.contains("cfg.delta_n_ms=10,cfg.defense=stopwatch"));
     // The report header carries the schema version, and every cell embeds
     // its fully-resolved construction inputs (config knobs + workload
     // params + seeds) so any cell is reproducible from the report alone.
@@ -98,7 +98,7 @@ fn batched_and_scalar_engines_produce_identical_sweep_json() {
 fn cache_channel_sweep_is_thread_count_and_engine_arm_invariant() {
     let json = |threads: usize, scalar_reference: bool| {
         let mut spec = SweepSpec::new("cache-det", "cache-channel")
-            .axis("stopwatch", &["false", "true"])
+            .axis("cfg.defense", &["baseline", "stopwatch"])
             .seed_shards(7, 2);
         spec.base_params = vec![
             ("rounds".to_string(), "8".to_string()),

@@ -15,7 +15,7 @@ use simkit::time::SimDuration;
 /// timeslice whenever the victim's periodic burst holds the host.
 fn grid(replicas: u64) -> SweepSpec {
     let mut spec = SweepSpec::new("timer-flip", "timer-channel")
-        .axis("stopwatch", &["false", "true"])
+        .axis("cfg.defense", &["baseline", "stopwatch"])
         .axis("victim", &["false", "true"])
         .seed_shards(42, 3);
     spec.base_params = vec![("rounds".to_string(), "12".to_string())];
@@ -65,10 +65,10 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
     // holds the host through one probe window per round, and that
     // window's timer fires a timeslice late — an observer distinguishes
     // the victim cell from the clean cell of the same arm.
-    let r = report(3, "stopwatch=false,victim=false");
+    let r = report(3, "cfg.defense=baseline,victim=false");
     assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
     assert_eq!(r.cells.len(), 4, "2 arms x victim on/off");
-    let leaky = verdict(&r, "stopwatch=false,victim=true");
+    let leaky = verdict(&r, "cfg.defense=baseline,victim=true");
     assert!(
         leaky.distinguishable_at_95,
         "baseline + victim must be LEAKY: {leaky:?}"
@@ -79,8 +79,8 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
     // deadline plus Δt, the median ignores the one contended host's
     // dispatch jitter, and every fire reads the identical flat release —
     // indistinguishable from the protected clean cell.
-    let r = report(3, "stopwatch=true,victim=false");
-    let tight = verdict(&r, "stopwatch=true,victim=true");
+    let r = report(3, "cfg.defense=stopwatch,victim=false");
+    let tight = verdict(&r, "cfg.defense=stopwatch,victim=true");
     assert!(
         !tight.distinguishable_at_95,
         "StopWatch + victim must be TIGHT: {tight:?}"
@@ -93,15 +93,15 @@ fn leakage_verdict_flips_from_leaky_to_tight_with_replication() {
 
 #[test]
 fn five_replicas_stay_tight_too() {
-    let r = report(5, "stopwatch=true,victim=false");
+    let r = report(5, "cfg.defense=stopwatch,victim=false");
     assert!(r.failures.is_empty(), "failures: {:?}", r.failures);
-    let tight = verdict(&r, "stopwatch=true,victim=true");
+    let tight = verdict(&r, "cfg.defense=stopwatch,victim=true");
     assert!(
         !tight.distinguishable_at_95,
         "5 replicas must stay TIGHT: {tight:?}"
     );
     assert!(tight.ks_distance < 1e-9, "{tight:?}");
-    let c = cell(&r, "stopwatch=true,victim=true");
+    let c = cell(&r, "cfg.defense=stopwatch,victim=true");
     let acc = c.extra("recovered_rounds") / c.extra("probe_rounds");
     let chance = 1.0 / 4.0;
     assert!(
@@ -112,13 +112,13 @@ fn five_replicas_stay_tight_too() {
 
 #[test]
 fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
-    let r = report(3, "stopwatch=false,victim=false");
+    let r = report(3, "cfg.defense=baseline,victim=false");
     let acc = |name: &str| {
         let c = cell(&r, name);
         c.extra("recovered_rounds") / c.extra("probe_rounds")
     };
-    let baseline = acc("stopwatch=false,victim=true");
-    let stopwatch = acc("stopwatch=true,victim=true");
+    let baseline = acc("cfg.defense=baseline,victim=true");
+    let stopwatch = acc("cfg.defense=stopwatch,victim=true");
     let chance = 1.0 / 4.0;
     assert!(
         baseline >= 0.75,
@@ -143,7 +143,10 @@ fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
     // The paper's Δt diagnostic: a 10ms Δt covers the worst-case 2ms
     // run-queue wait with room to spare, so no replica ever overruns its
     // release point — in either stopwatch cell.
-    for name in ["stopwatch=true,victim=false", "stopwatch=true,victim=true"] {
+    for name in [
+        "cfg.defense=stopwatch,victim=false",
+        "cfg.defense=stopwatch,victim=true",
+    ] {
         assert_eq!(
             cell(&r, name).counters.get("dt_violations"),
             0,
@@ -152,7 +155,7 @@ fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
     }
     // And the contended cell really did exercise the scheduler: the
     // victim's bursts preempted attacker fires.
-    let contended = cell(&r, "stopwatch=true,victim=true");
+    let contended = cell(&r, "cfg.defense=stopwatch,victim=true");
     assert!(
         contended.counters.get("sched_preemptions") > 0,
         "victim bursts must contend the run queue"
@@ -168,7 +171,7 @@ fn recovery_accuracy_degrades_toward_chance_as_replicas_grow() {
 fn timer_sweep_is_thread_count_and_engine_arm_invariant() {
     let json = |threads: usize, scalar_reference: bool| {
         let mut spec = SweepSpec::new("timer-det", "timer-channel")
-            .axis("stopwatch", &["false", "true"])
+            .axis("cfg.defense", &["baseline", "stopwatch"])
             .seed_shards(7, 2);
         spec.base_params = vec![
             ("rounds".to_string(), "8".to_string()),
