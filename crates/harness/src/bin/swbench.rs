@@ -24,9 +24,10 @@
 //!       --baseline CELL    leakage baseline cell (default: first cell)
 //!       --out FILE         JSON output path
 //!
-//! swbench perf [<bench>] [--quick] [--scalar] [--repeats N] [--warmup N]
-//!              [--threads N] [--out FILE]
-//!              [--baseline FILE [--max-regress FRAC]]
+//! swbench perf [<bench>|--all] [--quick] [--scalar] [--repeats N]
+//!              [--warmup N] [--threads N] [--out FILE]
+//!              [--baseline FILE | --baseline-dir DIR]
+//!              [--max-regress FRAC]
 //!     Run a named throughput benchmark (no name: list them): warmup
 //!     passes, then timed repeats whose median wall time yields
 //!     events/sec and packets/sec. Writes a schema-versioned
@@ -35,6 +36,11 @@
 //!     more than --max-regress (default 0.30) below the baseline file's —
 //!     the CI perf gate. --scalar runs the pre-batching reference paths,
 //!     for measuring the batching speedup.
+//!     --all runs every registered bench in one pass and writes the
+//!     consolidated BENCH_trajectory.json (--out overrides its path); with
+//!     --baseline-dir every bench is gated against the directory's
+//!     BENCH_<bench>-baseline.json and a missing baseline is an error, so
+//!     a newly added bench cannot silently skip the gate.
 //!
 //! swbench workloads
 //!     Print the workload registry keys.
@@ -342,8 +348,10 @@ fn parse_sweep(args: &[String]) -> Result<Invocation, String> {
 }
 
 /// Everything a `swbench perf` invocation needs.
+#[derive(Debug)]
 struct PerfInvocation {
     bench: Option<String>,
+    all: bool,
     quick: bool,
     scalar: bool,
     warmup: Option<usize>,
@@ -351,12 +359,14 @@ struct PerfInvocation {
     threads: usize,
     out: Option<PathBuf>,
     baseline: Option<PathBuf>,
+    baseline_dir: Option<PathBuf>,
     max_regress: f64,
 }
 
 fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
     let mut inv = PerfInvocation {
         bench: None,
+        all: false,
         quick: false,
         scalar: false,
         warmup: None,
@@ -364,11 +374,13 @@ fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
         threads: 0,
         out: None,
         baseline: None,
+        baseline_dir: None,
         max_regress: 0.30,
     };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--all" => inv.all = true,
             "--quick" => inv.quick = true,
             "--scalar" => inv.scalar = true,
             "--warmup" => {
@@ -390,6 +402,9 @@ fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
             "--baseline" => {
                 inv.baseline = Some(PathBuf::from(take_value(args, &mut i, "--baseline")?))
             }
+            "--baseline-dir" => {
+                inv.baseline_dir = Some(PathBuf::from(take_value(args, &mut i, "--baseline-dir")?))
+            }
             "--max-regress" => {
                 let v = take_value(args, &mut i, "--max-regress")?;
                 let f: f64 = v
@@ -406,10 +421,24 @@ fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
         }
         i += 1;
     }
+    if inv.all && inv.bench.is_some() {
+        return Err("--all runs every bench; drop the bench name".to_string());
+    }
+    if inv.all && inv.baseline.is_some() {
+        return Err("--all gates via --baseline-dir, not a single --baseline file".to_string());
+    }
+    if inv.baseline_dir.is_some() && !inv.all {
+        return Err(
+            "--baseline-dir only applies to --all (use --baseline for one bench)".to_string(),
+        );
+    }
     Ok(inv)
 }
 
 fn run_perf_bench(inv: PerfInvocation) -> Result<(), String> {
+    if inv.all {
+        return run_perf_all(inv);
+    }
     let Some(bench) = inv.bench else {
         for b in PERF_BENCHES {
             println!("{:<14} {}", b.name, b.about);
@@ -446,6 +475,85 @@ fn run_perf_bench(inv: PerfInvocation) -> Result<(), String> {
         println!("{verdict}");
     }
     Ok(())
+}
+
+/// The consolidated perf pass: every registered bench in one invocation,
+/// each gated against `<baseline-dir>/BENCH_<bench>-baseline.json`, with
+/// one schema-versioned `BENCH_trajectory.json` artifact at the end. All
+/// benches run (and write their reports) even when an early one regresses
+/// — the combined verdict decides the exit code, so one artifact always
+/// shows the whole trajectory.
+fn run_perf_all(inv: PerfInvocation) -> Result<(), String> {
+    let opts = PerfOptions {
+        quick: inv.quick,
+        warmup: inv.warmup.unwrap_or(1),
+        repeats: inv.repeats.unwrap_or(if inv.quick { 3 } else { 5 }),
+        threads: inv.threads,
+        scalar: inv.scalar,
+    };
+    // Baselines are resolved up front: with a baseline dir, every
+    // registered bench must have one checked in — a bench added without a
+    // baseline fails the gate loudly instead of silently skipping it.
+    let mut baselines: Vec<Option<String>> = Vec::new();
+    for b in PERF_BENCHES {
+        match &inv.baseline_dir {
+            None => baselines.push(None),
+            Some(dir) => {
+                let path = dir.join(baseline_file_name(b.name));
+                let doc = std::fs::read_to_string(&path).map_err(|e| {
+                    format!(
+                        "bench {:?} has no usable baseline at {path:?}: {e} — every \
+                         registered bench must check one in before the consolidated \
+                         gate can run (refresh with `swbench perf {} --quick \
+                         --threads 1 --out {path:?}`)",
+                        b.name, b.name
+                    )
+                })?;
+                baselines.push(Some(doc));
+            }
+        }
+    }
+    let mut trajectory = Trajectory::default();
+    for (b, baseline) in PERF_BENCHES.iter().zip(baselines) {
+        eprintln!(
+            "perf {:?}: {} mode, {} warmup + {} timed passes",
+            b.name,
+            if opts.quick { "quick" } else { "full" },
+            opts.warmup,
+            opts.repeats
+        );
+        let report = run_perf(b.name, &opts)?;
+        println!("{}", report.summary());
+        let out = PathBuf::from(format!("BENCH_{}.json", b.name));
+        std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out:?}: {e}"))?;
+        let verdict = baseline
+            .as_deref()
+            .map(|doc| check_against_baseline(&report, doc, inv.max_regress));
+        match &verdict {
+            Some(Ok(line)) => println!("{line}"),
+            Some(Err(line)) => println!("FAIL {line}"),
+            None => {}
+        }
+        trajectory.entries.push(TrajectoryEntry { report, verdict });
+    }
+    let out = inv
+        .out
+        .unwrap_or_else(|| PathBuf::from("BENCH_trajectory.json"));
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating {parent:?}: {e}"))?;
+    }
+    std::fs::write(&out, trajectory.to_json()).map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("trajectory report: {}", out.display());
+    let failures = trajectory.failures();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "perf gate failed for {} bench(es): {}",
+            failures.len(),
+            failures.join(", ")
+        ))
+    }
 }
 
 fn run_spec(inv: Invocation) -> Result<(), String> {
@@ -568,7 +676,7 @@ mod tests {
             "--warmup",
             "2",
             "--baseline",
-            "BENCH_baseline.json",
+            "BENCH_delta-n-baseline.json",
             "--max-regress",
             "0.5",
         ]))
@@ -581,6 +689,24 @@ mod tests {
         assert!(parse_perf(&argv(&["x", "--repeats", "0"])).is_err());
         assert!(parse_perf(&argv(&["x", "--max-regress", "1.5"])).is_err());
         assert!(parse_perf(&argv(&["x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn perf_all_parses_and_rejects_conflicts() {
+        let inv = parse_perf(&argv(&["--all", "--quick", "--baseline-dir", "."])).unwrap();
+        assert!(inv.all && inv.bench.is_none());
+        assert_eq!(inv.baseline_dir.as_deref(), Some(std::path::Path::new(".")));
+
+        // Report-only (no gate) is the nightly shape.
+        let inv = parse_perf(&argv(&["--all"])).unwrap();
+        assert!(inv.all && inv.baseline_dir.is_none());
+
+        let err = parse_perf(&argv(&["delta-n", "--all"])).unwrap_err();
+        assert!(err.contains("drop the bench name"), "{err}");
+        let err = parse_perf(&argv(&["--all", "--baseline", "B.json"])).unwrap_err();
+        assert!(err.contains("--baseline-dir"), "{err}");
+        let err = parse_perf(&argv(&["delta-n", "--baseline-dir", "."])).unwrap_err();
+        assert!(err.contains("only applies to --all"), "{err}");
     }
 
     #[test]

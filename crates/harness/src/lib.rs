@@ -59,8 +59,8 @@ pub mod prelude {
     pub use crate::aggregate::{CellAggregate, LeakageVerdict, SweepReport, REPORT_SCHEMA_VERSION};
     pub use crate::json::Json;
     pub use crate::perf::{
-        check_against_baseline, perf_bench, run_perf, PerfOptions, PerfReport,
-        BENCH_SCHEMA_VERSION, PERF_BENCHES,
+        baseline_file_name, check_against_baseline, perf_bench, run_perf, PerfOptions, PerfReport,
+        Trajectory, TrajectoryEntry, BENCH_SCHEMA_VERSION, PERF_BENCHES, TRAJECTORY_SCHEMA_VERSION,
     };
     pub use crate::presets::{preset, PRESETS};
     pub use crate::runner::{run_scenarios, RunOutcome, RunnerOptions};

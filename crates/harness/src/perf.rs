@@ -279,6 +279,12 @@ pub struct PerfReport {
 impl PerfReport {
     /// Renders the schema-versioned `BENCH_<name>.json` document.
     pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+
+    /// The report as a [`Json`] value — embeddable in aggregate documents
+    /// (the consolidated `BENCH_trajectory.json`) as well as standalone.
+    pub fn to_json_value(&self) -> Json {
         Json::obj()
             .with("schema_version", Json::U64(BENCH_SCHEMA_VERSION))
             .with("bench", Json::str(&self.bench))
@@ -302,7 +308,6 @@ impl PerfReport {
             .with("events_per_sec", Json::F64(self.events_per_sec))
             .with("packets_per_sec", Json::F64(self.packets_per_sec))
             .with("events_per_sec_best", Json::F64(self.events_per_sec_best))
-            .render_pretty()
     }
 
     /// One human line for the terminal.
@@ -318,6 +323,79 @@ impl PerfReport {
             self.events_per_sec,
             self.packets_per_sec,
         )
+    }
+}
+
+/// Version of the consolidated `BENCH_trajectory.json` layout. Bumped
+/// whenever the trajectory shape changes, independently of the per-bench
+/// [`BENCH_SCHEMA_VERSION`] each embedded report carries.
+pub const TRAJECTORY_SCHEMA_VERSION: u64 = 1;
+
+/// The checked-in baseline file name for one bench inside a baseline
+/// directory: `BENCH_<bench>-baseline.json`. One naming rule for every
+/// bench, so the consolidated gate can enumerate [`PERF_BENCHES`] and
+/// refuse to run with a baseline missing (a new bench must check in a
+/// baseline before it can ride the gate — it cannot silently skip it).
+pub fn baseline_file_name(bench: &str) -> String {
+    format!("BENCH_{bench}-baseline.json")
+}
+
+/// One bench's entry in a consolidated `swbench perf --all` pass.
+#[derive(Debug, Clone)]
+pub struct TrajectoryEntry {
+    /// The bench's finished report.
+    pub report: PerfReport,
+    /// Gate outcome against the bench's checked-in baseline: the human
+    /// verdict line (`Ok`) or the regression / unusable-baseline message
+    /// (`Err`). `None` when the pass ran without a baseline directory
+    /// (report-only, e.g. the nightly job).
+    pub verdict: Option<Result<String, String>>,
+}
+
+/// The consolidated report of one `swbench perf --all` pass — every
+/// registered bench's report plus its gate verdict, in registry order.
+/// Rendered as the schema-versioned `BENCH_trajectory.json` artifact that
+/// CI uploads per run, giving the repo a per-commit perf trajectory in
+/// one document instead of five loose files.
+#[derive(Debug, Clone, Default)]
+pub struct Trajectory {
+    /// One entry per bench, in [`PERF_BENCHES`] order.
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+impl Trajectory {
+    /// Renders the `BENCH_trajectory.json` document.
+    pub fn to_json(&self) -> String {
+        let benches = self
+            .entries
+            .iter()
+            .map(|e| {
+                let (gate, verdict) = match &e.verdict {
+                    None => ("none", String::new()),
+                    Some(Ok(line)) => ("ok", line.clone()),
+                    Some(Err(line)) => ("fail", line.clone()),
+                };
+                Json::obj()
+                    .with("gate", Json::str(gate))
+                    .with("verdict", Json::str(verdict))
+                    .with("report", e.report.to_json_value())
+            })
+            .collect();
+        Json::obj()
+            .with("schema_version", Json::U64(TRAJECTORY_SCHEMA_VERSION))
+            .with("kind", Json::str("perf-trajectory"))
+            .with("benches", Json::Arr(benches))
+            .render_pretty()
+    }
+
+    /// The benches whose gate failed (empty = the consolidated pass is
+    /// green).
+    pub fn failures(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.verdict, Some(Err(_))))
+            .map(|e| e.report.bench.as_str())
+            .collect()
     }
 }
 
@@ -712,6 +790,46 @@ mod tests {
         );
         let err = check_against_baseline(&fake_report(100_000.0), &stale, 0.30).unwrap_err();
         assert!(err.contains("refresh the baseline"), "{err}");
+    }
+
+    #[test]
+    fn baseline_file_names_follow_one_rule() {
+        for b in PERF_BENCHES {
+            let name = baseline_file_name(b.name);
+            assert_eq!(name, format!("BENCH_{}-baseline.json", b.name));
+        }
+    }
+
+    #[test]
+    fn trajectory_json_embeds_reports_and_verdicts() {
+        let mut t = Trajectory::default();
+        t.entries.push(TrajectoryEntry {
+            report: fake_report(100_000.0),
+            verdict: Some(Ok("perf gate ok: ...".to_string())),
+        });
+        let mut slow = fake_report(10_000.0);
+        slow.bench = "packet-storm".to_string();
+        t.entries.push(TrajectoryEntry {
+            report: slow,
+            verdict: Some(Err("throughput regression: ...".to_string())),
+        });
+        let mut ungated = fake_report(50_000.0);
+        ungated.bench = "disk-storm".to_string();
+        t.entries.push(TrajectoryEntry {
+            report: ungated,
+            verdict: None,
+        });
+        assert_eq!(t.failures(), vec!["packet-storm"]);
+        let json = t.to_json();
+        assert!(json.contains(&format!("\"schema_version\": {TRAJECTORY_SCHEMA_VERSION}")));
+        assert!(json.contains("\"kind\": \"perf-trajectory\""));
+        assert!(json.contains("\"gate\": \"ok\""));
+        assert!(json.contains("\"gate\": \"fail\""));
+        assert!(json.contains("\"gate\": \"none\""), "report-only entries");
+        // The embedded per-bench reports keep their own schema version.
+        assert!(json.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(json.contains("\"bench\": \"delta-n\""));
+        assert!(json.contains("\"bench\": \"packet-storm\""));
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Differential gate: the batched engine (hierarchical time-wheel +
+//! batched median agreement) and the scalar reference paths must produce
+//! **byte-identical** sweep reports, not just matching totals. This is
+//! the end-to-end teeth behind `Sim::set_scalar_reference` — any
+//! divergence in event order, medians, counters, or float formatting
+//! shows up as a byte diff here.
+
+use harness::prelude::*;
+
+fn sweep_json(name: &str, scalar: bool) -> String {
+    let spec = preset(name).expect("preset exists").spec(true);
+    let mut scenarios = spec.scenarios().expect("scenario list builds");
+    for s in &mut scenarios {
+        s.scalar_reference = scalar;
+    }
+    let opts = RunnerOptions {
+        threads: 1,
+        progress: false,
+    };
+    let outcomes = run_scenarios(&scenarios, &opts);
+    for o in &outcomes {
+        assert!(
+            o.result.is_ok(),
+            "scenario {:?} failed: {:?}",
+            o.label,
+            o.result.as_ref().err()
+        );
+    }
+    SweepReport::from_outcomes(name, &outcomes, None).to_json()
+}
+
+#[test]
+fn delta_n_quick_sweep_is_byte_identical_batched_vs_scalar() {
+    let batched = sweep_json("delta-n", false);
+    let scalar = sweep_json("delta-n", true);
+    assert!(
+        batched == scalar,
+        "batched and scalar sweep JSON diverge (lengths {} vs {})",
+        batched.len(),
+        scalar.len()
+    );
+}
+
+#[test]
+fn timer_channel_quick_sweep_is_byte_identical_batched_vs_scalar() {
+    // The timer channel adds the vCPU-scheduler and virtual-timer paths
+    // (cancellations, re-targeted hardware events) on top of delta-n's
+    // packet flow — the cases where wheel tombstones could diverge.
+    let batched = sweep_json("timer-channel", false);
+    let scalar = sweep_json("timer-channel", true);
+    assert!(
+        batched == scalar,
+        "batched and scalar sweep JSON diverge (lengths {} vs {})",
+        batched.len(),
+        scalar.len()
+    );
+}

@@ -6,28 +6,37 @@
 //! run fully deterministic — a property the StopWatch reproduction leans on
 //! heavily (replica determinism is part of the defense itself).
 //!
-//! # Batched scheduling
+//! # Batched scheduling over a hierarchical time-wheel
 //!
 //! The run loop advances time in **timestamp batches**: when the clock
 //! reaches the next pending timestamp, every event sharing it is drained
-//! from the heap into a FIFO *lane* in one pass, then executed in sequence
-//! order. Events scheduled *at the current time* (immediate work, past
-//! times clamped to `now`) are appended straight to the lane and never
-//! touch the heap — the common "N packets land on one tick" case pays one
-//! heap pop per *timestamp*, not per event, and handler-chained immediate
-//! events pay no heap traffic at all. The lane is a persistent allocation
-//! reused across batches and runs.
+//! from the queue into a FIFO *lane* in one pass, then executed in
+//! sequence order. Events scheduled *at the current time* (immediate work,
+//! past times clamped to `now`) are appended straight to the lane and
+//! never touch the queue — the common "N packets land on one tick" case
+//! pays one queue operation per *timestamp*, not per event, and
+//! handler-chained immediate events pay no queue traffic at all. The lane
+//! is a persistent allocation reused across batches and runs.
+//!
+//! The batched queue itself is a hierarchical time-wheel
+//! (`crate::wheel`): O(1) filing per event, occupancy-bitmap scans to the
+//! next timestamp, and pooled bucket storage so steady-state runs perform
+//! no queue allocations. The scalar reference loop keeps the original
+//! binary heap.
 //!
 //! Batching changes only *where* events wait, never *when* or in what
 //! order they run: the execution order is identical to the scalar
 //! one-pop-per-event loop, which is retained as
 //! [`Sim::set_scalar_reference`] so differential tests can prove it.
+//! Switching modes migrates the pending events between the wheel and the
+//! heap; their `(at, seq)` keys restore the exact order either way.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::fxhash::FxHashSet;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::Wheel;
 
 /// Identifier of a scheduled event, usable for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,9 +95,12 @@ impl<W> Ord for Scheduled<W> {
 pub struct Sim<W> {
     now: SimTime,
     next_seq: u64,
+    /// Scalar-reference queue: only populated in scalar mode.
     queue: BinaryHeap<Scheduled<W>>,
+    /// Batched-mode queue: a hierarchical time-wheel with pooled buckets.
+    wheel: Wheel<Handler<W>>,
     /// Same-time FIFO lane: events due exactly at `now`, in `seq` order.
-    /// Invariant: whenever the lane is non-empty, every heap entry is
+    /// Invariant: whenever the lane is non-empty, every queued entry is
     /// strictly later than `now`, so draining the lane first preserves
     /// global `(at, seq)` order.
     lane: VecDeque<Scheduled<W>>,
@@ -112,6 +124,7 @@ impl<W> Sim<W> {
             now: SimTime::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
+            wheel: Wheel::new(),
             lane: VecDeque::new(),
             cancelled: FxHashSet::default(),
             executed: 0,
@@ -124,14 +137,26 @@ impl<W> Sim<W> {
     /// orders; the scalar path exists so determinism tests can diff the
     /// batched engine against it.
     ///
-    /// Events already staged in the same-time lane (e.g. scheduled at
-    /// `now` during construction) are returned to the heap when entering
-    /// scalar mode — their `(at, seq)` keys restore their exact place, so
-    /// flipping the mode never reorders anything.
+    /// Pending events migrate between the batched time-wheel (plus the
+    /// same-time lane) and the scalar heap in both directions — their
+    /// `(at, seq)` keys restore their exact place, so flipping the mode
+    /// never reorders anything.
     pub fn set_scalar_reference(&mut self, scalar: bool) {
-        if scalar {
+        if scalar && !self.scalar_reference {
             while let Some(ev) = self.lane.pop_front() {
                 self.queue.push(ev);
+            }
+            let queue = &mut self.queue;
+            self.wheel.drain_all(&mut |at, seq, handler| {
+                queue.push(Scheduled {
+                    at: SimTime::from_nanos(at),
+                    seq,
+                    handler,
+                });
+            });
+        } else if !scalar && self.scalar_reference {
+            for ev in std::mem::take(&mut self.queue) {
+                self.wheel.insert(ev.at.as_nanos(), ev.seq, ev.handler);
             }
         }
         self.scalar_reference = scalar;
@@ -149,7 +174,7 @@ impl<W> Sim<W> {
 
     /// Number of events still pending (including cancelled tombstones).
     pub fn pending(&self) -> usize {
-        self.queue.len() + self.lane.len()
+        self.queue.len() + self.wheel.len() + self.lane.len()
     }
 
     /// Schedules `handler` to run at absolute time `at`.
@@ -164,18 +189,23 @@ impl<W> Sim<W> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let ev = Scheduled {
-            at,
-            seq,
-            handler: Box::new(handler),
-        };
-        // Same-time fast path: an event due right now joins the FIFO lane
-        // (its seq is larger than everything staged there) and skips the
-        // heap entirely.
-        if at == self.now && !self.scalar_reference {
-            self.lane.push_back(ev);
+        if self.scalar_reference {
+            self.queue.push(Scheduled {
+                at,
+                seq,
+                handler: Box::new(handler),
+            });
+        } else if at == self.now {
+            // Same-time fast path: an event due right now joins the FIFO
+            // lane (its seq is larger than everything staged there) and
+            // skips the queue entirely.
+            self.lane.push_back(Scheduled {
+                at,
+                seq,
+                handler: Box::new(handler),
+            });
         } else {
-            self.queue.push(ev);
+            self.wheel.insert(at.as_nanos(), seq, Box::new(handler));
         }
         EventId(seq)
     }
@@ -230,27 +260,35 @@ impl<W> Sim<W> {
                 (ev.handler)(self, world);
             }
             // Advance to the next timestamp and stage its whole batch.
-            let Some(head) = self.queue.peek() else {
+            let Some(t_nanos) = self.wheel.next_at() else {
                 return self.now;
             };
-            if head.at > deadline {
-                self.now = deadline.min(head.at);
+            let t = SimTime::from_nanos(t_nanos);
+            if t > deadline {
+                self.now = deadline;
                 return self.now;
             }
-            let t = head.at;
             debug_assert!(t >= self.now, "event queue went backwards");
             self.now = t;
-            while let Some(head) = self.queue.peek() {
-                if head.at != t {
-                    break;
-                }
-                let ev = self.queue.pop().expect("peeked entry must pop");
-                if self.take_tombstone(ev.seq) {
-                    continue;
-                }
-                self.lane.push_back(ev);
-            }
+            self.stage_batch(t_nanos);
         }
+    }
+
+    /// Moves every wheel event due exactly at `t_nanos` onto the lane,
+    /// dropping cancellation tombstones on the way.
+    fn stage_batch(&mut self, t_nanos: u64) {
+        let t = SimTime::from_nanos(t_nanos);
+        let (wheel, lane, cancelled) = (&mut self.wheel, &mut self.lane, &mut self.cancelled);
+        wheel.drain_at(t_nanos, &mut |seq, handler| {
+            if !cancelled.is_empty() && cancelled.remove(&seq) {
+                return;
+            }
+            lane.push_back(Scheduled {
+                at: t,
+                seq,
+                handler,
+            });
+        });
     }
 
     /// The pre-batching scalar loop: pops one event per heap operation.
@@ -287,29 +325,26 @@ impl<W> Sim<W> {
                 (ev.handler)(self, world);
                 continue;
             }
-            // Lane empty: advance to the next timestamp. Batched mode
-            // stages the whole batch so later same-time schedules keep
-            // FIFO order with the not-yet-run remainder.
-            let Some(ev) = self.queue.pop() else { break };
-            self.now = ev.at;
-            if self.take_tombstone(ev.seq) {
+            if self.scalar_reference {
+                let Some(ev) = self.queue.pop() else { break };
+                self.now = ev.at;
+                if self.take_tombstone(ev.seq) {
+                    continue;
+                }
+                self.executed += 1;
+                ran += 1;
+                (ev.handler)(self, world);
                 continue;
             }
-            if !self.scalar_reference {
-                while let Some(head) = self.queue.peek() {
-                    if head.at != ev.at {
-                        break;
-                    }
-                    let next = self.queue.pop().expect("peeked entry must pop");
-                    if self.take_tombstone(next.seq) {
-                        continue;
-                    }
-                    self.lane.push_back(next);
-                }
-            }
-            self.executed += 1;
-            ran += 1;
-            (ev.handler)(self, world);
+            // Lane empty: advance to the next timestamp and stage its
+            // whole batch, so later same-time schedules keep FIFO order
+            // with the not-yet-run remainder. Time advances even when the
+            // batch was all tombstones, matching the scalar loop.
+            let Some(t_nanos) = self.wheel.next_at() else {
+                break;
+            };
+            self.now = SimTime::from_nanos(t_nanos);
+            self.stage_batch(t_nanos);
         }
         ran
     }

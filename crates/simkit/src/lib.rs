@@ -39,6 +39,7 @@ pub mod fxhash;
 pub mod metrics;
 pub mod rng;
 pub mod time;
+mod wheel;
 
 /// One-line import for the common types.
 pub mod prelude {

@@ -409,10 +409,7 @@ impl Cloud {
                 let arrive = raw_arrive.max(last + SimDuration::from_nanos(1));
                 self.tunnel_last.insert(h, arrive);
                 sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                    let decision =
-                        cloud
-                            .egress
-                            .on_copy(guest_ep, out_seq, host_node, packet.clone());
+                    let decision = cloud.egress.on_copy(guest_ep, out_seq, host_node, packet);
                     match decision {
                         EgressDecision::Forward(pkt) => {
                             cloud.stats.incr("egress_forwarded");
@@ -459,7 +456,7 @@ impl Cloud {
                     .transmit(sim.now(), from_node, self.ingress_node, packet.wire_bytes())
             {
                 sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                    cloud.ingress_replicate(sim, packet.clone());
+                    cloud.ingress_replicate(sim, packet);
                 });
             }
         }
@@ -477,7 +474,7 @@ impl Cloud {
                         .transmit(sim.now(), node, self.ingress_node, pkt.wire_bytes())
                 {
                     sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                        cloud.ingress_replicate(sim, pkt.clone());
+                        cloud.ingress_replicate(sim, pkt);
                     });
                 }
             } else if let Some(&target) = self.client_by_endpoint.get(&pkt.dst) {
@@ -512,16 +509,19 @@ impl Cloud {
         for vm_idx in targets {
             let seq = self.ingress_seq;
             self.ingress_seq += 1;
-            let replicas = self.vms[vm_idx].replicas.clone();
-            for &(h, s) in &replicas {
+            // Indexed iteration keeps `self` borrowable for the fabric
+            // transmits without cloning the replica list per packet; the
+            // packet itself is cloned once per scheduled copy only.
+            for ri in 0..self.vms[vm_idx].replicas.len() {
+                let (h, s) = self.vms[vm_idx].replicas[ri];
                 let node = self.hosts[h].id();
-                let pkt = packet.clone();
                 if let Some(arrive) =
                     self.fabric
-                        .transmit(sim.now(), self.ingress_node, node, pkt.wire_bytes())
+                        .transmit(sim.now(), self.ingress_node, node, packet.wire_bytes())
                 {
+                    let pkt = packet.clone();
                     sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                        cloud.host_packet_arrival(sim, h, s, seq, pkt.clone());
+                        cloud.host_packet_arrival(sim, h, s, seq, pkt);
                     });
                 }
             }
@@ -574,13 +574,13 @@ impl Cloud {
                 continue;
             }
             let to_node = self.hosts[self.vms[vm_idx].replicas[peer_idx].0].id();
-            let pkt = pgm_pkt.clone();
             if let Some(arrive) =
                 self.fabric
                     .transmit(sim.now(), from_node, to_node, PROPOSAL_BYTES)
             {
+                let pkt = pgm_pkt.clone();
                 sim.schedule(arrive, move |sim, cloud: &mut Cloud| {
-                    cloud.pgm_receive(sim, vm_idx, peer_idx, sender_replica, pkt.clone());
+                    cloud.pgm_receive(sim, vm_idx, peer_idx, sender_replica, pkt);
                 });
             }
         }

@@ -40,6 +40,7 @@ pub mod defense;
 pub mod devices;
 pub mod guest;
 pub mod host;
+mod pending;
 pub mod sched;
 pub mod slot;
 pub mod speed;

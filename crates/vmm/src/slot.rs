@@ -40,10 +40,13 @@ use crate::clock::VirtualClock;
 pub use crate::defense::{DefenseMode, ReleaseRule};
 use crate::devices::PlatformClocks;
 use crate::guest::{GuestAction, GuestEnv, GuestProgram};
+use crate::pending::{ChannelPayload, PendingTable};
 use crate::speed::SpeedProfile;
 use netsim::packet::{EndpointId, Packet};
+use simkit::fxhash::FxHashMap;
 use simkit::metrics::Counters;
 use simkit::time::{SimTime, VirtNanos, VirtOffset};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use storage::block::{BlockRange, DiskImage};
 use storage::device::{DiskOp, DiskRequest};
@@ -197,79 +200,6 @@ pub enum ArrivalOutcome {
     Scheduled,
 }
 
-/// What a pending channel event delivers when it is injected. The
-/// agreement machinery is payload-agnostic; only injection dispatches on
-/// the concrete content.
-#[derive(Debug, Clone)]
-enum ChannelPayload {
-    /// A hidden inbound packet.
-    Net { packet: Packet },
-    /// A shared-LLC probe awaiting its agreed readout.
-    Cache {
-        set: u64,
-        tag: u64,
-        issue_virt: VirtNanos,
-    },
-    /// A disk operation; `data` fills when the host transfer finishes.
-    Disk {
-        op: DiskOp,
-        range: BlockRange,
-        issue_virt: VirtNanos,
-        data: Option<Vec<u64>>,
-    },
-    /// A guest-programmed virtual timer awaiting its agreed fire time.
-    Timer {
-        timer_id: u64,
-        deadline: VirtNanos,
-        period: Option<VirtOffset>,
-    },
-}
-
-impl ChannelPayload {
-    /// `true` when the payload's data is in the hidden buffer and the
-    /// interrupt may be injected (always, except disk ops still in
-    /// flight).
-    fn ready(&self) -> bool {
-        match self {
-            ChannelPayload::Disk { data, .. } => data.is_some(),
-            _ => true,
-        }
-    }
-}
-
-/// One in-flight channel event: its payload, the replica proposals
-/// gathered so far, and the agreed delivery time once fixed. The same
-/// shape serves every [`ChannelKind`].
-#[derive(Debug, Clone)]
-struct ChannelPending {
-    payload: ChannelPayload,
-    proposals: Vec<VirtNanos>,
-    needed: usize,
-    deliver: Option<VirtNanos>,
-}
-
-impl ChannelPending {
-    /// An entry awaiting `needed` replica proposals.
-    fn agreeing(payload: ChannelPayload, needed: usize) -> Self {
-        ChannelPending {
-            payload,
-            proposals: Vec::with_capacity(needed),
-            needed,
-            deliver: None,
-        }
-    }
-
-    /// A baseline entry delivered at a locally decided time.
-    fn local(payload: ChannelPayload, deliver: VirtNanos) -> Self {
-        ChannelPending {
-            payload,
-            proposals: vec![deliver],
-            needed: 1,
-            deliver: Some(deliver),
-        }
-    }
-}
-
 /// The median of `needed` proposals when the `received` subset alone
 /// determines it. With `m = needed / 2` (odd `needed`) and `missing`
 /// proposals outstanding, the full-set median is bracketed by the order
@@ -287,6 +217,10 @@ fn median_if_determined(received: &[VirtNanos], needed: usize) -> Option<VirtNan
     (sorted[m - missing] == sorted[m]).then(|| sorted[m])
 }
 
+/// Memo key for [`GuestSlot::next_wake`]: `(target branch, synced
+/// branches, synced_at nanos, resume_at nanos, profile generation)`.
+type WakeKey = (u64, u64, u64, u64, u64);
+
 /// All per-guest state of the VMM on one host.
 pub struct GuestSlot {
     program: Box<dyn GuestProgram>,
@@ -303,12 +237,33 @@ pub struct GuestSlot {
     actions: VecDeque<GuestAction>,
     booted: bool,
     // The unified timing-channel core: one pending table and one
-    // early-proposal buffer for every channel kind.
-    pending: BTreeMap<(ChannelKind, u64), ChannelPending>,
+    // early-proposal buffer for every channel kind. The table is
+    // struct-of-arrays (see [`crate::pending`]): the injection scans walk
+    // dense columns of cached branch positions instead of a tree of
+    // payload-sized nodes.
+    pending: PendingTable,
     /// Peer proposals that arrived before this replica opened the matching
     /// pending entry (replicas run at different physical speeds); drained
     /// when the entry opens. Dropping them would deadlock the agreement.
-    early: BTreeMap<(ChannelKind, u64), Vec<VirtNanos>>,
+    /// Keyed by `(kind id, seq)`; every access is a point query, so the
+    /// map is hashed, not ordered.
+    early: FxHashMap<(u8, u64), Vec<VirtNanos>>,
+    /// Whether the guest program takes PIT ticks — a constant of the
+    /// program, cached off the hot scheduling scans.
+    wants_timer: bool,
+    /// Memoized next PIT-tick injection point: `(tick number, tick virt
+    /// nanos, injection branch)`. The tick schedule and the clock are
+    /// fixed at construction, so an entry stays valid until
+    /// `ticks_delivered` moves past it.
+    pit_memo: Cell<(u64, u64, u64)>,
+    /// Memoized [`GuestSlot::next_wake`] projection: `(key, wake nanos)`
+    /// where the key captures every input the float inversion depends on
+    /// — target branch, synced branch count, sync/resume instants, and
+    /// the speed profile's generation. While none of those move (the
+    /// common case: a burst of proposal arrivals re-probing the wake
+    /// without a sync in between), the cached absolute wake time is
+    /// returned with zero float work.
+    wake_memo: Cell<Option<(WakeKey, u64)>>,
     next_op_id: u64,
     next_probe_id: u64,
     next_fire_seq: u64,
@@ -357,6 +312,7 @@ impl GuestSlot {
                 "StopWatch needs an odd replica count >= 3"
             );
         }
+        let wants_timer = program.wants_timer();
         GuestSlot {
             program,
             cfg,
@@ -369,8 +325,11 @@ impl GuestSlot {
             compute_end: None,
             actions: VecDeque::new(),
             booted: false,
-            pending: BTreeMap::new(),
-            early: BTreeMap::new(),
+            pending: PendingTable::default(),
+            early: FxHashMap::default(),
+            wants_timer,
+            pit_memo: Cell::new((0, 0, 0)),
+            wake_memo: Cell::new(None),
             next_op_id: 0,
             next_probe_id: 0,
             next_fire_seq: 0,
@@ -479,6 +438,23 @@ impl GuestSlot {
         self.exit_ceil(self.clock.instr_for(deliver))
     }
 
+    /// The next PIT tick's `(virtual time, injection branch)`, memoized.
+    /// The tick schedule and the clock never change after construction,
+    /// so the pair is a pure function of `ticks_delivered` — the two
+    /// scheduling scans share one float inversion per delivered tick
+    /// instead of redoing it per call.
+    fn pit_candidate(&self) -> (VirtNanos, u64) {
+        let n = self.ticks_delivered + 1;
+        let (memo_n, tick_ns, branch) = self.pit_memo.get();
+        if memo_n == n {
+            return (VirtNanos::from_nanos(tick_ns), branch);
+        }
+        let tick = self.cfg.clocks.pit_tick_time(n);
+        let branch = self.injection_branch(tick);
+        self.pit_memo.set((n, tick.as_nanos(), branch));
+        (tick, branch)
+    }
+
     /// The policy of one channel under the current defense mode (local
     /// arms never consult a channel policy — their entries are delivered
     /// at locally decided, release-rule-shaped times).
@@ -559,22 +535,13 @@ impl GuestSlot {
                 best = Some(cand);
             }
         };
-        if self.program.wants_timer() {
-            let tick = self.cfg.clocks.pit_tick_time(self.ticks_delivered + 1);
-            consider((self.injection_branch(tick), tick, 0, 0, None));
+        if self.wants_timer {
+            let (tick, branch) = self.pit_candidate();
+            consider((branch, tick, 0, 0, None));
         }
-        for (&(kind, id), p) in &self.pending {
-            let (Some(deliver), true) = (p.deliver, p.payload.ready()) else {
-                continue;
-            };
-            consider((
-                self.injection_branch(deliver),
-                deliver,
-                kind.injection_rank(),
-                id,
-                Some(kind),
-            ));
-        }
+        self.pending.for_each_due(|branch, deliver, kind, id| {
+            consider((branch, deliver, kind.injection_rank(), id, Some(kind)));
+        });
         best
     }
 
@@ -721,9 +688,13 @@ impl GuestSlot {
                         // Local arm: the release-rule-shaped local
                         // latency is the readout (identity = baseline).
                         let deliver = self.local_release(local, Some(issue_virt));
-                        self.pending.insert(
-                            (ChannelKind::Cache, probe_id),
-                            ChannelPending::local(payload, deliver),
+                        let branch = self.injection_branch(deliver);
+                        self.pending.insert_local(
+                            ChannelKind::Cache,
+                            probe_id,
+                            payload,
+                            deliver,
+                            branch,
                         );
                     }
                 }
@@ -791,10 +762,8 @@ impl GuestSlot {
                 // Delivered at the locally observed fire; `timer_elapsed`
                 // fixes the time (deadline + vCPU dispatch delay, shaped
                 // by the arm's release rule).
-                self.pending.insert(
-                    (ChannelKind::Timer, fire_seq),
-                    ChannelPending::agreeing(payload, 1),
-                );
+                self.pending
+                    .insert_agreeing(ChannelKind::Timer, fire_seq, payload, 1);
             }
         }
         out.push(SlotOutput::TimerArm { fire_seq, deadline });
@@ -804,8 +773,8 @@ impl GuestSlot {
     /// proposals, and marks it so the already-scheduled hardware event is
     /// consumed silently.
     fn cancel_fire(&mut self, fire_seq: u64) {
-        self.pending.remove(&(ChannelKind::Timer, fire_seq));
-        self.early.remove(&(ChannelKind::Timer, fire_seq));
+        self.pending.remove(ChannelKind::Timer, fire_seq);
+        self.early.remove(&(ChannelKind::Timer.id(), fire_seq));
         self.cancelled_fires.insert(fire_seq);
     }
 
@@ -819,9 +788,8 @@ impl GuestSlot {
         let DefenseMode::StopWatch { replicas, .. } = self.cfg.mode else {
             unreachable!("agreement entries are a StopWatch flow");
         };
-        self.pending
-            .insert((kind, seq), ChannelPending::agreeing(payload, replicas));
-        if let Some(early) = self.early.remove(&(kind, seq)) {
+        self.pending.insert_agreeing(kind, seq, payload, replicas);
+        if let Some(early) = self.early.remove(&(kind.id(), seq)) {
             for p in early {
                 self.record_proposal(kind, seq, p, VirtNanos::ZERO);
             }
@@ -842,14 +810,12 @@ impl GuestSlot {
             self.run_handler(at_pc, Some(tick), |prog, env| prog.on_timer(env));
             return Ok(());
         };
-        let pending = self
+        let (payload, deliver) = self
             .pending
-            .remove(&(kind, id))
+            .remove(kind, id)
             .ok_or(SlotError::MissingDelivery { kind, id })?;
-        let deliver = pending
-            .deliver
-            .ok_or(SlotError::MissingDelivery { kind, id })?;
-        match pending.payload {
+        let deliver = deliver.ok_or(SlotError::MissingDelivery { kind, id })?;
+        match payload {
             ChannelPayload::Net { packet } => {
                 self.counters.incr("net_irq");
                 self.delivered_log.push((id, deliver));
@@ -939,10 +905,8 @@ impl GuestSlot {
             DefenseMode::Local { .. } => {
                 // Delivered when the data is ready; `disk_ready` fixes the
                 // time (shaped by the arm's release rule).
-                self.pending.insert(
-                    (ChannelKind::Disk, op_id),
-                    ChannelPending::agreeing(payload, 1),
-                );
+                self.pending
+                    .insert_agreeing(ChannelKind::Disk, op_id, payload, 1);
             }
         }
         SlotOutput::DiskSubmit {
@@ -973,10 +937,9 @@ impl GuestSlot {
                 // No replica-identical anchor for an external arrival:
                 // local arms shape the absolute arrival time.
                 let deliver = self.local_release(self.virt_at(profile, now), None);
-                self.pending.insert(
-                    (ChannelKind::Net, ingress_seq),
-                    ChannelPending::local(payload, deliver),
-                );
+                let branch = self.injection_branch(deliver);
+                self.pending
+                    .insert_local(ChannelKind::Net, ingress_seq, payload, deliver, branch);
                 ArrivalOutcome::Scheduled
             }
         }
@@ -1008,22 +971,26 @@ impl GuestSlot {
             DefenseMode::Local { release } => release,
             DefenseMode::StopWatch { .. } => ReleaseRule::Identity,
         };
-        let Some(pending) = self.pending.get_mut(&(ChannelKind::Disk, op_id)) else {
+        let Some(row) = self.pending.row(ChannelKind::Disk, op_id) else {
             return Err(SlotError::UnknownDiskOp { op_id });
         };
-        let ChannelPayload::Disk {
-            op,
-            range,
-            issue_virt,
-            ref mut data,
-        } = pending.payload
-        else {
-            return Err(SlotError::UnknownDiskOp { op_id });
+        let issue_virt = {
+            let ChannelPayload::Disk {
+                op,
+                range,
+                issue_virt,
+                data,
+            } = self.pending.payload_mut(row)
+            else {
+                return Err(SlotError::UnknownDiskOp { op_id });
+            };
+            *data = Some(match *op {
+                DiskOp::Read => image.read(*range),
+                DiskOp::Write => Vec::new(),
+            });
+            *issue_virt
         };
-        *data = Some(match op {
-            DiskOp::Read => image.read(range),
-            DiskOp::Write => Vec::new(),
-        });
+        self.pending.set_ready(row);
         match policy {
             Some(policy) => {
                 // The recorded issue instant is replica-identical;
@@ -1044,7 +1011,9 @@ impl GuestSlot {
                 // Local arm: deliver at the next exit after the data is
                 // in, the completion instant shaped by the release rule
                 // anchored at the replica-identical issue time.
-                pending.deliver = Some(release.apply(cur_virt, Some(issue_virt)));
+                let deliver = release.apply(cur_virt, Some(issue_virt));
+                let branch = self.injection_branch(deliver);
+                self.pending.set_deliver(row, deliver, branch);
                 Ok(ArrivalOutcome::Scheduled)
             }
         }
@@ -1086,10 +1055,10 @@ impl GuestSlot {
             DefenseMode::Local { release } => release,
             DefenseMode::StopWatch { .. } => ReleaseRule::Identity,
         };
-        let Some(pending) = self.pending.get_mut(&(ChannelKind::Timer, fire_seq)) else {
+        let Some(row) = self.pending.row(ChannelKind::Timer, fire_seq) else {
             return Err(SlotError::UnknownTimerFire { fire_seq });
         };
-        let ChannelPayload::Timer { deadline, .. } = pending.payload else {
+        let ChannelPayload::Timer { deadline, .. } = *self.pending.payload_of(row) else {
             return Err(SlotError::UnknownTimerFire { fire_seq });
         };
         if sched_delay.as_nanos() > 0 {
@@ -1119,7 +1088,9 @@ impl GuestSlot {
                 // dispatch time, anchored at the programmed deadline —
                 // identity leaks the scheduler jitter (baseline), an
                 // epoch boundary or bucket grid hides it.
-                pending.deliver = Some(release.apply(local_fire, Some(deadline)));
+                let deliver = release.apply(local_fire, Some(deadline));
+                let branch = self.injection_branch(deliver);
+                self.pending.set_deliver(row, deliver, branch);
                 Ok(Some(ArrivalOutcome::Scheduled))
             }
         }
@@ -1220,7 +1191,7 @@ impl GuestSlot {
         cur_virt: VirtNanos,
     ) -> bool {
         let policy = self.policy(kind).copied();
-        let Some(pending) = self.pending.get_mut(&(kind, seq)) else {
+        let Some(row) = self.pending.row(kind, seq) else {
             // A peer outran this replica: it proposed an event ours has
             // not opened yet. Guest-initiated channels buffer it for the
             // guaranteed local open; net entries are created by an
@@ -1230,15 +1201,18 @@ impl GuestSlot {
             // opened here (opens are in id order) and has since been
             // delivered or cancelled — also a stray, never re-buffered.
             if policy.is_some_and(|p| p.buffer_early) && !self.already_opened(kind, seq) {
-                self.early.entry((kind, seq)).or_default().push(proposal);
+                self.early
+                    .entry((kind.id(), seq))
+                    .or_default()
+                    .push(proposal);
             }
             return false;
         };
-        if pending.deliver.is_some() {
+        if self.pending.deliver_of(row).is_some() {
             return true;
         }
-        pending.proposals.push(proposal);
-        let median = if pending.proposals.len() < pending.needed {
+        let (received_len, needed, determined) = {
+            let (received, needed) = self.pending.push_proposal(row, proposal);
             // A virtual-time-gated channel (timer) fixes delivery the
             // moment the received proposals *determine* the median: the
             // still-missing proposals come from replicas whose virtual
@@ -1246,29 +1220,39 @@ impl GuestSlot {
             // would push the fast replicas' next fires — and thus the next
             // median — ever later. Late stragglers hit the delivered
             // fast-path above or the `already_opened` stray filter.
-            let early = policy
-                .filter(|p| p.fix_on_majority)
-                .and_then(|_| median_if_determined(&pending.proposals, pending.needed));
-            match early {
+            let determined = if received.len() < needed && policy.is_some_and(|p| p.fix_on_majority)
+            {
+                median_if_determined(received, needed)
+            } else {
+                None
+            };
+            (received.len(), needed, determined)
+        };
+        let median = if received_len < needed {
+            match determined {
                 Some(m) => m,
                 None => return false,
             }
         } else {
             // All proposals are in: adopt the median by selecting the
             // middle element in place (the buffer is dead after this).
-            timestats::order_stats::median_odd_in_place(&mut pending.proposals)
+            self.pending.median_full(row)
         };
         let clamp_counter = policy.and_then(|p| p.clamp_counter);
-        match clamp_counter.filter(|_| median < cur_virt) {
+        let fixed = match clamp_counter.filter(|_| median < cur_virt) {
             Some(counter) => {
                 // The agreed time already passed in this replica's virtual
                 // time: the synchrony assumption was violated (paper
                 // footnote 4); deliver now and count it.
-                pending.deliver = Some(cur_virt);
                 self.counters.incr(counter);
+                cur_virt
             }
-            None => pending.deliver = Some(median),
-        }
+            None => median,
+        };
+        // The injection branch is fixed here, once, alongside the
+        // delivery time; the scheduling scans reuse the cached value.
+        let branch = self.injection_branch(fixed);
+        self.pending.set_deliver(row, fixed, branch);
         true
     }
 
@@ -1294,17 +1278,33 @@ impl GuestSlot {
             Some(_) => consider(self.pc), // zero-branch: due immediately
             None => {}
         }
-        if self.program.wants_timer() {
-            let tick = self.cfg.clocks.pit_tick_time(self.ticks_delivered + 1);
-            consider(self.injection_branch(tick));
+        if self.wants_timer {
+            let (_, branch) = self.pit_candidate();
+            consider(branch);
         }
-        for p in self.pending.values() {
-            if let (Some(deliver), true) = (p.deliver, p.payload.ready()) {
-                consider(self.injection_branch(deliver));
-            }
-        }
+        self.pending
+            .for_each_due(|branch, _, _, _| consider(branch));
         let target = target?;
         let start = now.max(self.resume_at);
+        // The wake instant is the earliest time the slot's branch
+        // trajectory reaches `target` — a function of the slot's synced
+        // state and the profile, not of the probing `now` (as long as
+        // `now` has not yet passed the wake). Memoize it on exactly those
+        // inputs so proposal bursts that re-probe the wake between syncs
+        // skip the float inversion entirely.
+        let key: WakeKey = (
+            target,
+            self.branches,
+            self.synced_at.as_nanos(),
+            self.resume_at.as_nanos(),
+            profile.generation(),
+        );
+        if let Some((k, wake_ns)) = self.wake_memo.get() {
+            let t = SimTime::from_nanos(wake_ns);
+            if k == key && now <= t {
+                return Some(t.max(start));
+            }
+        }
         let phys = self.branches_at(profile, now);
         if target <= phys {
             return Some(start);
@@ -1315,10 +1315,12 @@ impl GuestSlot {
         let mut t = profile.time_for_branches(start, target - phys);
         for _ in 0..16 {
             if self.branches_at(profile, t) >= target {
+                self.wake_memo.set(Some((key, t.as_nanos())));
                 return Some(t);
             }
             t += simkit::time::SimDuration::from_nanos(2);
         }
+        self.wake_memo.set(Some((key, t.as_nanos())));
         Some(t)
     }
 }

@@ -24,6 +24,11 @@ pub struct SpeedProfile {
     /// Multiplicative slowdown from coresident load, `0 <= c < 1`;
     /// effective speed is `base * (1 - c) * (1 ± jitter)`.
     contention: f64,
+    /// Bumped on every mutation that changes the branch↔time mapping
+    /// (today: contention updates). Callers that memoize conversion
+    /// results key them on this counter so a profile change invalidates
+    /// every cached projection at once.
+    generation: u64,
     /// Memoized jitter multipliers, indexed by epoch. Each multiplier is a
     /// pure function of (seed, epoch), so caching cannot change any value —
     /// it only skips the per-query stream derivation on the branch↔time
@@ -51,6 +56,7 @@ impl SpeedProfile {
             epoch,
             seed_stream: rng,
             contention: 0.0,
+            generation: 0,
             jitter_memo: RefCell::new(Vec::new()),
         }
     }
@@ -68,11 +74,17 @@ impl SpeedProfile {
     pub fn set_contention(&mut self, c: f64) {
         assert!((0.0..1.0).contains(&c), "contention must be in [0,1)");
         self.contention = c;
+        self.generation += 1;
     }
 
     /// Current contention factor.
     pub fn contention(&self) -> f64 {
         self.contention
+    }
+
+    /// Mutation counter for memo invalidation (see the field doc).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Jitter multiplier for epoch `idx` — a pure function of (seed, idx),
