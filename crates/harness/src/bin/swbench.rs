@@ -42,6 +42,12 @@
 //!     BENCH_<bench>-baseline.json and a missing baseline is an error, so
 //!     a newly added bench cannot silently skip the gate.
 //!
+//! swbench profile [<bench>] [--quick] [--scalar] [--threads N] [--out FILE]
+//!     Run a named perf bench once with the phase timers on and write the
+//!     schema-versioned PROFILE_*.json breakdown (setup/run/aggregate wall
+//!     per pass). Without a bench name, profiles every registered bench
+//!     into one consolidated document (default: PROFILE_benches.json).
+//!
 //! swbench workloads
 //!     Print the workload registry keys.
 //!
@@ -50,6 +56,10 @@
 //!     knob (key, type, default, doc), every registered defense arm with
 //!     the knobs it reads, and every registered workload with its typed
 //!     parameters — or just one workload's schema.
+//!
+//! swbench help | --help | -h
+//!     Print the command summary, including the flag fine print (e.g.
+//!     `--threads 0` is rejected — omit the flag to use all cores).
 //! ```
 
 use harness::prelude::*;
@@ -90,15 +100,55 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => fail(&e),
         },
+        Some("profile") => match parse_profile(&args[1..]).and_then(run_profile_cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{}", help_text());
+            ExitCode::SUCCESS
+        }
         _ => {
             eprintln!(
                 "usage: swbench list | workloads | describe [workload] | \
                  run <preset> [opts] | sweep --workload NAME [opts] | \
-                 perf [bench] [opts]"
+                 perf [bench] [opts] | profile [bench] [opts] | help"
             );
             ExitCode::FAILURE
         }
     }
+}
+
+/// The `swbench help` text: one block per command plus the flag fine
+/// print that doesn't fit a usage one-liner.
+fn help_text() -> String {
+    "\
+swbench — sweep driver of the StopWatch reproduction
+
+  swbench list                     named sweep presets
+  swbench workloads                workload registry keys
+  swbench describe [workload]      typed knob/parameter catalogue
+  swbench run <preset> [opts]      run a named sweep, write its JSON aggregate
+  swbench sweep --workload NAME [--axis K=V1,V2]... [opts]
+                                   free-form cartesian sweep
+  swbench perf [bench|--all] [--quick] [--scalar] [--repeats N] [--warmup N]
+               [--profile] [--baseline FILE | --baseline-dir DIR]
+               [--max-regress FRAC] [opts]
+                                   named throughput benchmarks + CI gate;
+                                   --profile also writes the PROFILE_*.json
+                                   phase breakdown of the timed passes
+  swbench profile [bench] [--quick] [--scalar] [opts]
+                                   phase-timer breakdown (setup/run/aggregate)
+                                   of one bench, or of every registered bench
+
+common options
+  --threads N     worker threads. N must be >= 1: an explicit --threads 0
+                  is rejected with an error (it is not \"all cores\" — omit
+                  the flag entirely to use one worker per available core).
+  --quick         smoke-test scenario shapes instead of the full grids
+  --out FILE      output path for the JSON artifact
+"
+    .to_string()
 }
 
 /// Prints the typed knob/parameter catalogue (everything, or one
@@ -361,6 +411,7 @@ struct PerfInvocation {
     baseline: Option<PathBuf>,
     baseline_dir: Option<PathBuf>,
     max_regress: f64,
+    profile: bool,
 }
 
 fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
@@ -376,6 +427,7 @@ fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
         baseline: None,
         baseline_dir: None,
         max_regress: 0.30,
+        profile: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -383,6 +435,7 @@ fn parse_perf(args: &[String]) -> Result<PerfInvocation, String> {
             "--all" => inv.all = true,
             "--quick" => inv.quick = true,
             "--scalar" => inv.scalar = true,
+            "--profile" => inv.profile = true,
             "--warmup" => {
                 let v = take_value(args, &mut i, "--warmup")?;
                 inv.warmup = Some(v.parse().map_err(|_| format!("bad --warmup value {v:?}"))?);
@@ -468,6 +521,13 @@ fn run_perf_bench(inv: PerfInvocation) -> Result<(), String> {
     }
     std::fs::write(&out, report.to_json()).map_err(|e| format!("writing {out:?}: {e}"))?;
     println!("perf report: {}", out.display());
+    if inv.profile {
+        let path = out.with_file_name(format!("PROFILE_{bench}.json"));
+        let profile = ProfileReport::from_perf(&report);
+        println!("{}", profile.summary());
+        std::fs::write(&path, profile.to_json()).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("phase profile: {}", path.display());
+    }
     if let Some(baseline_path) = inv.baseline {
         let baseline = std::fs::read_to_string(&baseline_path)
             .map_err(|e| format!("reading baseline {baseline_path:?}: {e}"))?;
@@ -514,6 +574,7 @@ fn run_perf_all(inv: PerfInvocation) -> Result<(), String> {
         }
     }
     let mut trajectory = Trajectory::default();
+    let mut profiles = ProfileSet::default();
     for (b, baseline) in PERF_BENCHES.iter().zip(baselines) {
         eprintln!(
             "perf {:?}: {} mode, {} warmup + {} timed passes",
@@ -534,7 +595,15 @@ fn run_perf_all(inv: PerfInvocation) -> Result<(), String> {
             Some(Err(line)) => println!("FAIL {line}"),
             None => {}
         }
+        if inv.profile {
+            profiles.entries.push(ProfileReport::from_perf(&report));
+        }
         trajectory.entries.push(TrajectoryEntry { report, verdict });
+    }
+    if inv.profile {
+        let path = PathBuf::from("PROFILE_benches.json");
+        std::fs::write(&path, profiles.to_json()).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("phase profiles: {}", path.display());
     }
     let out = inv
         .out
@@ -554,6 +623,74 @@ fn run_perf_all(inv: PerfInvocation) -> Result<(), String> {
             failures.join(", ")
         ))
     }
+}
+
+/// Everything a `swbench profile` invocation needs.
+#[derive(Debug)]
+struct ProfileInvocation {
+    bench: Option<String>,
+    quick: bool,
+    scalar: bool,
+    threads: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_profile(args: &[String]) -> Result<ProfileInvocation, String> {
+    let mut inv = ProfileInvocation {
+        bench: None,
+        quick: false,
+        scalar: false,
+        threads: 0,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => inv.quick = true,
+            "--scalar" => inv.scalar = true,
+            "--threads" => inv.threads = parse_threads(&take_value(args, &mut i, "--threads")?)?,
+            "--out" => inv.out = Some(PathBuf::from(take_value(args, &mut i, "--out")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            name if inv.bench.is_none() => inv.bench = Some(name.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+        i += 1;
+    }
+    Ok(inv)
+}
+
+/// `swbench profile`: one phase-attributed pass per bench. With a bench
+/// name, writes that bench's `PROFILE_<bench>.json`; without one, covers
+/// every registered bench in one consolidated document.
+fn run_profile_cmd(inv: ProfileInvocation) -> Result<(), String> {
+    let opts = ProfileOptions {
+        quick: inv.quick,
+        threads: inv.threads,
+        scalar: inv.scalar,
+    };
+    let (doc, default_out) = match &inv.bench {
+        Some(bench) => {
+            let report = run_profile(bench, &opts)?;
+            println!("{}", report.summary());
+            (report.to_json(), format!("PROFILE_{bench}.json"))
+        }
+        None => {
+            let mut set = ProfileSet::default();
+            for b in PERF_BENCHES {
+                let report = run_profile(b.name, &opts)?;
+                println!("{}", report.summary());
+                set.entries.push(report);
+            }
+            (set.to_json(), "PROFILE_benches.json".to_string())
+        }
+    };
+    let out = inv.out.unwrap_or_else(|| PathBuf::from(default_out));
+    if let Some(parent) = out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent).map_err(|e| format!("creating {parent:?}: {e}"))?;
+    }
+    std::fs::write(&out, doc).map_err(|e| format!("writing {out:?}: {e}"))?;
+    println!("phase profile: {}", out.display());
+    Ok(())
 }
 
 fn run_spec(inv: Invocation) -> Result<(), String> {

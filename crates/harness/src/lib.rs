@@ -50,6 +50,7 @@ pub mod aggregate;
 pub mod json;
 pub mod perf;
 pub mod presets;
+pub mod profile;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
@@ -63,7 +64,10 @@ pub mod prelude {
         Trajectory, TrajectoryEntry, BENCH_SCHEMA_VERSION, PERF_BENCHES, TRAJECTORY_SCHEMA_VERSION,
     };
     pub use crate::presets::{preset, PRESETS};
-    pub use crate::runner::{run_scenarios, RunOutcome, RunnerOptions};
-    pub use crate::scenario::{Scenario, ScenarioResult};
+    pub use crate::profile::{
+        run_profile, Phases, ProfileOptions, ProfileReport, ProfileSet, PROFILE_SCHEMA_VERSION,
+    };
+    pub use crate::runner::{run_scenarios, run_scenarios_profiled, RunOutcome, RunnerOptions};
+    pub use crate::scenario::{Scenario, ScenarioArena, ScenarioResult};
     pub use crate::sweep::{Axis, SweepSpec};
 }

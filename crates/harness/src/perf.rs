@@ -17,14 +17,15 @@
 
 use crate::json::Json;
 use crate::presets;
-use crate::runner::{run_scenarios, RunOutcome, RunnerOptions};
+use crate::runner::{run_scenarios, run_scenarios_profiled, RunOutcome, RunnerOptions};
 use crate::scenario::Scenario;
 use simkit::time::SimDuration;
 use std::time::Instant;
 
 /// Version of the `BENCH_*.json` layout. Bumped whenever the report shape
 /// changes; `check_against_baseline` refuses to compare across versions.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// v2 added the `setup_ms` / `run_ms` phase split (see [`crate::profile`]).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// A named perf benchmark: a fixed scenario list whose end-to-end
 /// execution is timed.
@@ -256,6 +257,14 @@ pub struct PerfReport {
     pub wall_ms: Vec<f64>,
     /// Median of `wall_ms` (the headline denominator).
     pub wall_ms_median: f64,
+    /// Median per-pass setup wall (config/param resolve + cloud build),
+    /// ms — the part of `wall_ms_median` spent before any event executes.
+    pub setup_ms: f64,
+    /// Median per-pass run wall (event loop + result aggregation), ms.
+    pub run_ms: f64,
+    /// Summed phase-timer totals over the timed passes (what
+    /// `swbench perf --profile` renders; not serialized per-field here).
+    pub phases: crate::profile::Phases,
     /// Fastest pass. Every pass executes the identical deterministic
     /// trace, so the minimum is the least-disturbed measurement — the CI
     /// gate compares this, making it robust to background-load spikes
@@ -303,6 +312,8 @@ impl PerfReport {
             )
             .with("wall_ms_median", Json::F64(self.wall_ms_median))
             .with("wall_ms_min", Json::F64(self.wall_ms_min))
+            .with("setup_ms", Json::F64(self.setup_ms))
+            .with("run_ms", Json::F64(self.run_ms))
             .with("events", Json::U64(self.events))
             .with("packets", Json::U64(self.packets))
             .with("events_per_sec", Json::F64(self.events_per_sec))
@@ -313,13 +324,16 @@ impl PerfReport {
     /// One human line for the terminal.
     pub fn summary(&self) -> String {
         format!(
-            "{} [{}] {} scenarios x {} repeats on {} threads: median {:.1} ms, {:.0} events/s, {:.0} packets/s",
+            "{} [{}] {} scenarios x {} repeats on {} threads: median {:.1} ms \
+             (setup {:.1} + run {:.1}), {:.0} events/s, {:.0} packets/s",
             self.bench,
             if self.scalar { "scalar" } else { "batched" },
             self.scenarios,
             self.repeats,
             self.threads,
             self.wall_ms_median,
+            self.setup_ms,
+            self.run_ms,
             self.events_per_sec,
             self.packets_per_sec,
         )
@@ -462,11 +476,17 @@ pub fn run_perf(name: &str, opts: &PerfOptions) -> Result<PerfReport, String> {
     }
 
     let mut wall_ms = Vec::with_capacity(repeats);
+    let mut setup_ms = Vec::with_capacity(repeats);
+    let mut run_ms = Vec::with_capacity(repeats);
+    let mut phases = crate::profile::Phases::default();
     let mut totals: Option<(u64, u64)> = None; // (events, packets)
     for repeat in 0..repeats {
         let started = Instant::now();
-        let outcomes = run_scenarios(&scenarios, &runner);
+        let (outcomes, pass_phases) = run_scenarios_profiled(&scenarios, &runner);
         wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        setup_ms.push(pass_phases.setup_ns() as f64 / 1e6);
+        run_ms.push((pass_phases.run_ns + pass_phases.aggregate_ns) as f64 / 1e6);
+        phases.add(&pass_phases);
         if let Some((label, err)) = outcomes.iter().find_map(|o| {
             o.result
                 .as_ref()
@@ -503,6 +523,9 @@ pub fn run_perf(name: &str, opts: &PerfOptions) -> Result<PerfReport, String> {
         wall_ms,
         wall_ms_median,
         wall_ms_min,
+        setup_ms: median_wall_ms(&setup_ms),
+        run_ms: median_wall_ms(&run_ms),
+        phases,
         events,
         packets,
         events_per_sec: events as f64 / secs,
@@ -632,6 +655,9 @@ mod tests {
             wall_ms: vec![10.0, 12.0, 11.0],
             wall_ms_median: 11.0,
             wall_ms_min: 10.0,
+            setup_ms: 4.0,
+            run_ms: 7.0,
+            phases: crate::profile::Phases::default(),
             events: 1000,
             packets: 500,
             events_per_sec,
@@ -662,10 +688,15 @@ mod tests {
         assert!(json.contains("\"scenarios\": 16"));
         assert!(json.contains("\"wall_ms_median\": 11.0"));
         assert!(json.contains("\"wall_ms_min\": 10.0"));
+        assert!(json.contains("\"setup_ms\": 4.0"), "v2 phase split");
+        assert!(json.contains("\"run_ms\": 7.0"), "v2 phase split");
         assert!(json.contains("\"events_per_sec_best\""));
         assert!(json.contains("\"events_per_sec\": 90909.0"));
         // Round-trips through the gate's mini-parser.
-        assert_eq!(json_number(&json, "schema_version"), Some(1.0));
+        assert_eq!(
+            json_number(&json, "schema_version"),
+            Some(BENCH_SCHEMA_VERSION as f64)
+        );
         assert_eq!(json_number(&json, "events_per_sec"), Some(90_909.0));
         assert_eq!(json_string(&json, "bench").as_deref(), Some("delta-n"));
         assert_eq!(json_string(&json, "mode").as_deref(), Some("quick"));
@@ -850,6 +881,12 @@ mod tests {
         assert!(report.events > 0, "simulated something");
         assert!(report.packets > 0, "packet-dense by construction");
         assert!(report.events_per_sec > 0.0);
+        assert!(report.setup_ms > 0.0, "setup phase attributed");
+        assert!(report.run_ms > 0.0, "run phase attributed");
+        assert!(
+            report.phases.total_ns() > 0,
+            "phase totals accumulated for --profile"
+        );
         let json = report.to_json();
         assert!(json.contains("\"bench\": \"packet-storm\""));
         // A scalar-reference pass replays the identical trace.

@@ -8,14 +8,18 @@
 //! **independent of thread count and scheduling**: each scenario is an
 //! isolated deterministic simulation keyed only by its own spec and seed.
 
-use crate::scenario::{Scenario, ScenarioResult};
+use crate::profile::Phases;
+use crate::scenario::{Scenario, ScenarioArena, ScenarioResult};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Runner knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunnerOptions {
-    /// Worker threads; 0 means one per available core.
+    /// Worker threads; 0 means one per available core. Note the `swbench`
+    /// CLI rejects an explicit `--threads 0` (omitting the flag is how
+    /// "all cores" is spelled there); this API-level 0 exists so callers
+    /// can default without probing the machine themselves.
     pub threads: usize,
     /// Print per-scenario progress lines to stderr.
     pub progress: bool,
@@ -48,48 +52,107 @@ pub struct RunOutcome {
 /// Runs every scenario across a work-stealing thread pool and returns the
 /// outcomes **in input order**.
 pub fn run_scenarios(scenarios: &[Scenario], opts: &RunnerOptions) -> Vec<RunOutcome> {
-    let threads = opts.effective_threads().min(scenarios.len()).max(1);
-    let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunOutcome>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
-    let done = AtomicUsize::new(0);
-    let total = scenarios.len();
+    run_scenarios_profiled(scenarios, opts).0
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= total {
-                    break;
-                }
-                let scenario = &scenarios[idx];
-                let result = std::panic::catch_unwind(|| scenario.run())
-                    .unwrap_or_else(|panic| Err(panic_message(panic)));
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+/// [`run_scenarios`] plus the pass's phase-timer totals: each worker
+/// accumulates the per-scenario setup/run/aggregate wall split locally
+/// and the sums are folded once at scope exit, so the profile costs two
+/// monotonic clock reads per phase and no shared-state traffic on the
+/// hot path. The outcomes are byte-for-byte those of [`run_scenarios`] —
+/// timings live outside [`RunOutcome`], so determinism comparisons never
+/// see them.
+pub fn run_scenarios_profiled(
+    scenarios: &[Scenario],
+    opts: &RunnerOptions,
+) -> (Vec<RunOutcome>, Phases) {
+    let threads = opts.effective_threads().min(scenarios.len()).max(1);
+    if threads == 1 {
+        // One worker claims every index in order anyway, so skip the
+        // scope/Mutex machinery: no thread spawn, no per-slot locks. The
+        // outcomes are identical by construction — output order is input
+        // order in both paths.
+        let mut phases = Phases::default();
+        let mut arena = ScenarioArena::new();
+        let total = scenarios.len();
+        let outcomes = scenarios
+            .iter()
+            .enumerate()
+            .map(|(idx, scenario)| {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    scenario.run_phased_in(&mut arena, &mut phases)
+                }))
+                .unwrap_or_else(|panic| Err(panic_message(panic)));
                 if opts.progress {
                     let status = match &result {
                         Ok(r) if r.clients_done => "ok",
                         Ok(_) => "timeout",
                         Err(_) => "ERROR",
                     };
-                    eprintln!("[{finished}/{total}] {} {status}", scenario.label);
+                    eprintln!("[{}/{total}] {} {status}", idx + 1, scenario.label);
                 }
-                *slots[idx].lock().expect("result slot") = Some(RunOutcome {
+                RunOutcome {
                     label: scenario.label.clone(),
                     result,
-                });
+                }
+            })
+            .collect();
+        return (outcomes, phases);
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunOutcome>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let done = AtomicUsize::new(0);
+    let total = scenarios.len();
+    let totals = Mutex::new(Phases::default());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Phases::default();
+                let mut arena = ScenarioArena::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let scenario = &scenarios[idx];
+                    // `local` is plain counters and the arena only ever
+                    // gains complete entries: a panicking scenario at
+                    // worst leaves its own partial timings behind, which
+                    // is the honest attribution anyway.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        scenario.run_phased_in(&mut arena, &mut local)
+                    }))
+                    .unwrap_or_else(|panic| Err(panic_message(panic)));
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if opts.progress {
+                        let status = match &result {
+                            Ok(r) if r.clients_done => "ok",
+                            Ok(_) => "timeout",
+                            Err(_) => "ERROR",
+                        };
+                        eprintln!("[{finished}/{total}] {} {status}", scenario.label);
+                    }
+                    *slots[idx].lock().expect("result slot") = Some(RunOutcome {
+                        label: scenario.label.clone(),
+                        result,
+                    });
+                }
+                totals.lock().expect("phase totals").add(&local);
             });
         }
     });
 
-    slots
+    let outcomes = slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("result slot")
                 .expect("every index claimed exactly once")
         })
-        .collect()
+        .collect();
+    (outcomes, totals.into_inner().expect("phase totals"))
 }
 
 fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {

@@ -8,10 +8,13 @@
 //! identical results on any machine; that is the property every layer
 //! above this one leans on.
 
+use crate::profile::Phases;
 use simkit::time::{SimDuration, SimTime};
+use std::sync::Arc;
+use std::time::Instant;
 use stopwatch_core::cloud::{CloudBuilder, CloudSim};
 use stopwatch_core::config::CloudConfig;
-use workloads::registry::{self, InstalledWorkload, WorkloadParams};
+use workloads::registry::{self, InstalledWorkload, Workload, WorkloadParams};
 
 /// Slot counters folded into every result (summed over all replicas).
 const SLOT_COUNTERS: [&str; 13] = [
@@ -172,15 +175,73 @@ impl Scenario {
     /// Reports build failures; a run that merely times out is **not** an
     /// error (it returns with `clients_done == false`).
     pub fn run(&self) -> Result<ScenarioResult, String> {
-        let resolved_config = self.resolved_config()?;
-        let resolved_params = self.resolved_params()?;
-        let (mut sim, wl) = self.build()?;
+        self.run_phased(&mut Phases::default())
+    }
+
+    /// [`Scenario::run`] with the wall time of each phase — resolve,
+    /// build, run, aggregate — added into `phases`. The timers read the
+    /// monotonic host clock around simulated work; nothing inside the
+    /// simulation observes them, so results stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run`].
+    pub fn run_phased(&self, phases: &mut Phases) -> Result<ScenarioResult, String> {
+        self.run_phased_in(&mut ScenarioArena::new(), phases)
+    }
+
+    /// [`Scenario::run_phased`] against a worker-owned [`ScenarioArena`]:
+    /// the scenario's config shape is resolved through the arena, so the
+    /// second and later scenarios sharing a shape (every shard of a sweep
+    /// cell, every pass of a perf bench) reuse the parsed config, the
+    /// workload lookup, and the validated parameter set instead of
+    /// re-deriving them. Results are bit-identical to [`Scenario::run`] —
+    /// the arena caches only resolution, never simulation state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run`].
+    pub fn run_phased_in(
+        &self,
+        arena: &mut ScenarioArena,
+        phases: &mut Phases,
+    ) -> Result<ScenarioResult, String> {
+        let mut mark = Instant::now();
+        let mut lap = |slot: &mut u64| {
+            let now = Instant::now();
+            *slot += now.duration_since(mark).as_nanos() as u64;
+            mark = now;
+        };
+        let entry = arena.prepare(self)?;
+        let mut cfg = entry.cfg.clone();
+        if !entry.seed_overridden {
+            // Same semantics as a fresh resolve: the shard seed applies
+            // first, so an explicit `seed` override (baked into the
+            // cached config) wins over it.
+            cfg.seed = self.seed;
+        }
+        let resolved_config = entry.resolved_config.clone();
+        let resolved_params = entry.resolved_params.clone();
+        let replica_hosts = entry.replica_hosts.clone();
+        let hosts = entry.hosts;
+        let params = entry.params.clone();
+        let workload = Arc::clone(&entry.workload);
+        lap(&mut phases.resolve_ns);
+        let seed = cfg.seed; // post-override: workload streams follow the cloud
+        let mut b = CloudBuilder::new(cfg, hosts);
+        let wl = registry::install_prepared(&workload, &mut b, &replica_hosts, &params, seed)?;
+        let mut sim = b.build();
+        if self.scalar_reference {
+            sim.set_scalar_reference(true);
+        }
+        lap(&mut phases.build_ns);
         let deadline = SimTime::ZERO + self.duration;
         let finished_at = sim.run_until_clients_done(deadline);
         let clients_done = sim.cloud.clients_done();
         if self.drain > SimDuration::ZERO {
             sim.run_until(finished_at + self.drain);
         }
+        lap(&mut phases.run_ns);
         if let Some(err) = sim.error() {
             // A structured slot failure (malformed scenario, driver bug)
             // fails this cell; the rest of the sweep keeps running.
@@ -202,7 +263,7 @@ impl Scenario {
             .find(|(k, _)| k == "defense")
             .map(|(_, v)| v.clone())
             .expect("defense is a schema knob");
-        Ok(ScenarioResult {
+        let result = ScenarioResult {
             label: self.label.clone(),
             cell: self.cell.clone(),
             cell_params: self.cell_params.clone(),
@@ -219,7 +280,118 @@ impl Scenario {
             events_executed: sim.sim.events_executed(),
             replicas,
             counters,
-        })
+        };
+        lap(&mut phases.aggregate_ns);
+        Ok(result)
+    }
+}
+
+/// A worker-owned cache of resolved scenario shapes.
+///
+/// A sweep shards each grid cell across seeds and a perf bench replays
+/// the same scenario list pass after pass, so most scenarios a worker
+/// sees differ from the previous one only in `seed` and `label`. The
+/// arena keys on everything else — workload, parameters, overrides,
+/// placement — and caches the expensive-to-derive parts of setup: the
+/// parsed [`CloudConfig`], the workload registry lookup (an `RwLock`
+/// acquisition), the validated parameter set, and both resolved
+/// key/value listings. A hit replaces all of that with a config clone
+/// and a seed patch.
+///
+/// The arena never caches simulation state; only resolution. One arena
+/// per worker thread — it is deliberately not shared.
+#[derive(Default)]
+pub struct ScenarioArena {
+    entries: Vec<(ArenaKey, ArenaEntry)>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct ArenaKey {
+    workload: String,
+    workload_params: Vec<(String, String)>,
+    overrides: Vec<(String, String)>,
+    replica_hosts: Vec<usize>,
+    hosts: usize,
+}
+
+struct ArenaEntry {
+    /// Post-override config; `seed` holds whatever scenario populated the
+    /// entry and is re-patched per run unless `seed_overridden`.
+    cfg: CloudConfig,
+    /// Whether the overrides pin `seed` explicitly (then it must *not* be
+    /// re-patched — an explicit override wins over sharding).
+    seed_overridden: bool,
+    replica_hosts: Vec<usize>,
+    hosts: usize,
+    resolved_config: Vec<(String, String)>,
+    resolved_params: Vec<(String, String)>,
+    params: WorkloadParams,
+    workload: Arc<dyn Workload>,
+}
+
+impl ScenarioArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scenarios served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Scenarios resolved from scratch (distinct shapes seen).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resolves `s` through the cache.
+    fn prepare(&mut self, s: &Scenario) -> Result<&ArenaEntry, String> {
+        let hit = self.entries.iter().position(|(k, _)| {
+            // Linear scan: a worker sees a handful of shapes, and the
+            // common case (perf passes) has exactly one.
+            k.hosts == s.hosts
+                && k.workload == s.workload
+                && k.workload_params == s.workload_params
+                && k.overrides == s.overrides
+                && k.replica_hosts == s.replica_hosts
+        });
+        if let Some(i) = hit {
+            self.hits += 1;
+            return Ok(&self.entries[i].1);
+        }
+        let (cfg, replica_hosts, hosts) = s.resolve()?;
+        let workload = registry::require(&s.workload)?;
+        let params = s.params();
+        params.validate(&s.workload, workload.params())?;
+        let resolved_params = params.resolved(workload.params());
+        let resolved_config = cfg
+            .resolved()
+            .into_iter()
+            .filter(|(key, _)| key != "seed")
+            .collect();
+        let key = ArenaKey {
+            workload: s.workload.clone(),
+            workload_params: s.workload_params.clone(),
+            overrides: s.overrides.clone(),
+            replica_hosts: s.replica_hosts.clone(),
+            hosts: s.hosts,
+        };
+        let entry = ArenaEntry {
+            cfg,
+            seed_overridden: s.overrides.iter().any(|(k, _)| k == "seed"),
+            replica_hosts,
+            hosts,
+            resolved_config,
+            resolved_params,
+            params,
+            workload,
+        };
+        self.misses += 1;
+        self.entries.push((key, entry));
+        Ok(&self.entries.last().expect("just pushed").1)
     }
 }
 
@@ -373,6 +545,56 @@ mod tests {
             ra.samples_ms, rb.samples_ms,
             "seed override must win over sharding"
         );
+    }
+
+    #[test]
+    fn arena_runs_are_bit_identical_to_fresh_runs() {
+        let mut arena = ScenarioArena::new();
+        let mut phases = Phases::default();
+        let a3 = quick_scenario(3)
+            .run_phased_in(&mut arena, &mut phases)
+            .unwrap();
+        let a4 = quick_scenario(4)
+            .run_phased_in(&mut arena, &mut phases)
+            .unwrap();
+        assert_eq!(arena.misses(), 1, "one shape resolved once");
+        assert_eq!(arena.hits(), 1, "second seed shard served from cache");
+        assert_eq!(a3, quick_scenario(3).run().unwrap());
+        assert_eq!(a4, quick_scenario(4).run().unwrap());
+    }
+
+    #[test]
+    fn arena_respects_an_explicit_seed_override() {
+        let mut arena = ScenarioArena::new();
+        let mut phases = Phases::default();
+        let mut a = quick_scenario(3);
+        a.overrides.push(("seed".into(), "99".into()));
+        let mut b = quick_scenario(4); // different shard seed...
+        b.overrides.push(("seed".into(), "99".into())); // ...same override
+        let ra = a.run_phased_in(&mut arena, &mut phases).unwrap();
+        let rb = b.run_phased_in(&mut arena, &mut phases).unwrap();
+        assert_eq!(arena.hits(), 1, "shapes match despite differing shards");
+        assert_eq!(
+            ra.samples_ms, rb.samples_ms,
+            "cached seed override must still win over sharding"
+        );
+    }
+
+    #[test]
+    fn arena_keeps_distinct_shapes_apart() {
+        let mut arena = ScenarioArena::new();
+        let mut phases = Phases::default();
+        let plain = quick_scenario(3);
+        let mut rotated = quick_scenario(3);
+        rotated.overrides.retain(|(k, _)| k != "disk");
+        let r_plain = plain.run_phased_in(&mut arena, &mut phases).unwrap();
+        let r_rot = rotated.run_phased_in(&mut arena, &mut phases).unwrap();
+        assert_eq!(arena.misses(), 2, "different overrides, different entries");
+        assert_ne!(r_plain.resolved_config, r_rot.resolved_config);
+        // A bad shape still fails cleanly through the arena.
+        let mut bad = quick_scenario(3);
+        bad.overrides.push(("no_such_key".into(), "1".into()));
+        assert!(bad.run_phased_in(&mut arena, &mut phases).is_err());
     }
 
     #[test]

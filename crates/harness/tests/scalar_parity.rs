@@ -7,9 +7,7 @@
 
 use harness::prelude::*;
 
-fn sweep_json(name: &str, scalar: bool) -> String {
-    let spec = preset(name).expect("preset exists").spec(true);
-    let mut scenarios = spec.scenarios().expect("scenario list builds");
+fn report_json(name: &str, mut scenarios: Vec<Scenario>, scalar: bool) -> String {
     for s in &mut scenarios {
         s.scalar_reference = scalar;
     }
@@ -29,6 +27,20 @@ fn sweep_json(name: &str, scalar: bool) -> String {
     SweepReport::from_outcomes(name, &outcomes, None).to_json()
 }
 
+fn sweep_json(name: &str, scalar: bool) -> String {
+    let spec = preset(name).expect("preset exists").spec(true);
+    let scenarios = spec.scenarios().expect("scenario list builds");
+    report_json(name, scenarios, scalar)
+}
+
+fn perf_json(name: &str, scalar: bool) -> String {
+    let scenarios = perf_bench(name)
+        .expect("perf bench exists")
+        .scenarios(true)
+        .expect("scenario list builds");
+    report_json(name, scenarios, scalar)
+}
+
 #[test]
 fn delta_n_quick_sweep_is_byte_identical_batched_vs_scalar() {
     let batched = sweep_json("delta-n", false);
@@ -36,6 +48,35 @@ fn delta_n_quick_sweep_is_byte_identical_batched_vs_scalar() {
     assert!(
         batched == scalar,
         "batched and scalar sweep JSON diverge (lengths {} vs {})",
+        batched.len(),
+        scalar.len()
+    );
+}
+
+#[test]
+fn packet_storm_quick_bench_is_byte_identical_batched_vs_scalar() {
+    // The packet-dense hot path: cached packet identity, coalesced guest
+    // computes, and the batched egress vote all run here. Any elided or
+    // reordered event would shift `events_executed` and break the diff.
+    let batched = perf_json("packet-storm", false);
+    let scalar = perf_json("packet-storm", true);
+    assert!(
+        batched == scalar,
+        "batched and scalar perf-scenario JSON diverge (lengths {} vs {})",
+        batched.len(),
+        scalar.len()
+    );
+}
+
+#[test]
+fn cache_storm_quick_bench_is_byte_identical_batched_vs_scalar() {
+    // PRIME+PROBE rounds queue long compute runs between cache probes —
+    // the densest Compute-coalescing traffic of any preset.
+    let batched = perf_json("cache-storm", false);
+    let scalar = perf_json("cache-storm", true);
+    assert!(
+        batched == scalar,
+        "batched and scalar perf-scenario JSON diverge (lengths {} vs {})",
         batched.len(),
         scalar.len()
     );

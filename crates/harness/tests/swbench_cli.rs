@@ -260,6 +260,22 @@ fn threads_zero_fails_with_the_fix_spelled_out_everywhere() {
 }
 
 #[test]
+fn help_documents_the_threads_zero_rejection() {
+    // The docs/behavior contract for RunnerOptions::effective_threads:
+    // the API-level 0 means "all cores", but the CLI rejects an explicit
+    // `--threads 0` — and `swbench help` must say so, spelling out both
+    // the rejection and the fix.
+    let out = swbench(&["help"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The fine print is line-wrapped; compare against the unwrapped text.
+    let flat = stdout.split_whitespace().collect::<Vec<_>>().join(" ");
+    assert!(flat.contains("--threads 0"), "{stdout}");
+    assert!(flat.contains("rejected"), "{stdout}");
+    assert!(flat.contains("omit the flag"), "{stdout}");
+}
+
+#[test]
 fn perf_with_no_bench_lists_the_registry() {
     let out = swbench(&["perf"]);
     assert!(out.status.success(), "{}", stderr(&out));
@@ -290,9 +306,17 @@ fn perf_writes_bench_json_and_gates_against_it() {
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let json = std::fs::read_to_string(&report).expect("report written");
-    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    assert!(
+        json.contains(&format!(
+            "\"schema_version\": {}",
+            harness::perf::BENCH_SCHEMA_VERSION
+        )),
+        "{json}"
+    );
     assert!(json.contains("\"bench\": \"packet-storm\""), "{json}");
     assert!(json.contains("\"events_per_sec\""), "{json}");
+    assert!(json.contains("\"setup_ms\""), "v2 phase split: {json}");
+    assert!(json.contains("\"run_ms\""), "v2 phase split: {json}");
 
     // Gating against itself passes (a run never regresses vs itself)...
     let out = swbench(&[

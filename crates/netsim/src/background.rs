@@ -56,11 +56,8 @@ impl BroadcastSource {
         self.next_seq += 1;
         (
             gap,
-            Packet {
-                src: self.src,
-                dst: EndpointId(u64::MAX), // broadcast pseudo-destination
-                body: Body::Broadcast { seq },
-            },
+            // EndpointId(u64::MAX) is the broadcast pseudo-destination.
+            Packet::new(self.src, EndpointId(u64::MAX), Body::Broadcast { seq }),
         )
     }
 
@@ -105,8 +102,8 @@ mod tests {
         let mut s = BroadcastSource::new(EndpointId(0), 60.0, 90.0, SimRng::new(2));
         let pkts = s.schedule(SimTime::from_secs(2));
         for (i, (_, p)) in pkts.iter().enumerate() {
-            match p.body {
-                Body::Broadcast { seq } => assert_eq!(seq, i as u64),
+            match p.body() {
+                Body::Broadcast { seq } => assert_eq!(*seq, i as u64),
                 ref other => panic!("{other:?}"),
             }
         }

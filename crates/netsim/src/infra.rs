@@ -147,11 +147,7 @@ mod tests {
     use crate::packet::Body;
 
     fn pkt(tag: u64) -> Packet {
-        Packet {
-            src: EndpointId(1),
-            dst: EndpointId(99),
-            body: Body::Raw { tag, len: 100 },
-        }
+        Packet::new(EndpointId(1), EndpointId(99), Body::Raw { tag, len: 100 })
     }
 
     #[test]

@@ -116,21 +116,92 @@ pub enum Body {
 }
 
 /// A network packet.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Fields are private so the cached [`content_hash`](Packet::content_hash)
+/// can never go stale: construction and every mutator recompute it, and
+/// all reads go through accessors.
+#[derive(Debug, Clone, Eq)]
 pub struct Packet {
     /// Sending endpoint.
-    pub src: EndpointId,
+    src: EndpointId,
     /// Destination endpoint.
-    pub dst: EndpointId,
+    dst: EndpointId,
     /// Payload.
-    pub body: Body,
+    body: Body,
+    /// Cached content hash over (src, dst, body), maintained by
+    /// construction and the mutators. Excluded from `PartialEq`/`Hash`
+    /// (it is a pure function of the other fields).
+    hash: u64,
 }
 
 /// Fixed per-packet header overhead used for wire-time modeling (Ethernet +
 /// IP + transport, rounded).
 pub const HEADER_BYTES: u32 = 66;
 
+/// The seedless Fx word hash over the structural field encoding, in
+/// declaration order — exactly what `#[derive(Hash)]` fed to `hash_one`
+/// before the cache existed, so hash values are stable across the change.
+fn content_hash_of(src: EndpointId, dst: EndpointId, body: &Body) -> u64 {
+    use std::hash::{BuildHasher as _, Hash as _, Hasher as _};
+    let mut state =
+        std::hash::BuildHasherDefault::<simkit::fxhash::FxHasher>::default().build_hasher();
+    src.hash(&mut state);
+    dst.hash(&mut state);
+    body.hash(&mut state);
+    state.finish()
+}
+
 impl Packet {
+    /// Builds a packet and computes its content hash once.
+    pub fn new(src: EndpointId, dst: EndpointId, body: Body) -> Self {
+        let hash = content_hash_of(src, dst, &body);
+        Packet {
+            src,
+            dst,
+            body,
+            hash,
+        }
+    }
+
+    /// Sending endpoint.
+    pub fn src(&self) -> EndpointId {
+        self.src
+    }
+
+    /// Destination endpoint.
+    pub fn dst(&self) -> EndpointId {
+        self.dst
+    }
+
+    /// Payload.
+    pub fn body(&self) -> &Body {
+        &self.body
+    }
+
+    /// Consumes the packet, yielding its payload (for re-sending a body
+    /// under a new address pair without cloning it).
+    pub fn into_body(self) -> Body {
+        self.body
+    }
+
+    /// Rewrites the source endpoint, invalidating the cached hash.
+    pub fn set_src(&mut self, src: EndpointId) {
+        self.src = src;
+        self.hash = content_hash_of(self.src, self.dst, &self.body);
+    }
+
+    /// Rewrites the destination endpoint, invalidating the cached hash.
+    pub fn set_dst(&mut self, dst: EndpointId) {
+        self.dst = dst;
+        self.hash = content_hash_of(self.src, self.dst, &self.body);
+    }
+
+    /// Replaces the payload, invalidating the cached hash.
+    pub fn set_body(&mut self, body: Body) {
+        self.body = body;
+        self.hash = content_hash_of(self.src, self.dst, &self.body);
+    }
+
     /// Total bytes on the wire (header + payload).
     pub fn wire_bytes(&self) -> u32 {
         let payload = match &self.body {
@@ -144,12 +215,33 @@ impl Packet {
 
     /// A deterministic content hash over all fields. Two replicas of a
     /// deterministic guest emit packets with equal hashes; the egress node
-    /// votes on these (Sec. VI). Computed by the seedless Fx word hash
-    /// over the structural encoding — this runs once per replica copy of
-    /// every guest output packet, so no formatting or allocation here.
+    /// votes on these (Sec. VI). The hash is computed once at
+    /// construction and cached — every replica tunnel copy and egress
+    /// vote used to recompute it, which dominated the per-output-packet
+    /// cost (~6 hashes per logical output packet before the cache).
     pub fn content_hash(&self) -> u64 {
-        use std::hash::BuildHasher as _;
-        std::hash::BuildHasherDefault::<simkit::fxhash::FxHasher>::default().hash_one(self)
+        self.hash
+    }
+}
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached hash is a cheap discriminator; equal packets still
+        // compare all fields (hash collisions must not alias packets).
+        self.hash == other.hash
+            && self.src == other.src
+            && self.dst == other.dst
+            && self.body == other.body
+    }
+}
+
+impl std::hash::Hash for Packet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Field order matches the pre-cache `#[derive(Hash)]` so maps
+        // keyed on packets observe identical hashes.
+        self.src.hash(state);
+        self.dst.hash(state);
+        self.body.hash(state);
     }
 }
 
@@ -158,10 +250,10 @@ mod tests {
     use super::*;
 
     fn tcp_pkt(seq: u64, len: u32) -> Packet {
-        Packet {
-            src: EndpointId(1),
-            dst: EndpointId(2),
-            body: Body::Tcp(TcpSegment {
+        Packet::new(
+            EndpointId(1),
+            EndpointId(2),
+            Body::Tcp(TcpSegment {
                 conn: 9,
                 flags: TcpFlags::default(),
                 seq,
@@ -169,17 +261,13 @@ mod tests {
                 len,
                 app: None,
             }),
-        }
+        )
     }
 
     #[test]
     fn wire_bytes_include_header() {
         assert_eq!(tcp_pkt(0, 1000).wire_bytes(), 1066);
-        let b = Packet {
-            src: EndpointId(0),
-            dst: EndpointId(1),
-            body: Body::Broadcast { seq: 3 },
-        };
+        let b = Packet::new(EndpointId(0), EndpointId(1), Body::Broadcast { seq: 3 });
         assert_eq!(b.wire_bytes(), HEADER_BYTES + 28);
     }
 
@@ -197,8 +285,48 @@ mod tests {
         assert_ne!(base.content_hash(), tcp_pkt(6, 100).content_hash());
         assert_ne!(base.content_hash(), tcp_pkt(5, 101).content_hash());
         let mut other = base.clone();
-        other.dst = EndpointId(3);
+        other.set_dst(EndpointId(3));
         assert_ne!(base.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn every_mutator_invalidates_the_cached_hash() {
+        let base = tcp_pkt(5, 100);
+        let mut p = base.clone();
+        p.set_src(EndpointId(9));
+        assert_ne!(p.content_hash(), base.content_hash());
+        let mut p = base.clone();
+        p.set_dst(EndpointId(9));
+        assert_ne!(p.content_hash(), base.content_hash());
+        let mut p = base.clone();
+        p.set_body(Body::Raw { tag: 7, len: 1 });
+        assert_ne!(p.content_hash(), base.content_hash());
+        // And a mutation that restores the original field restores the
+        // original hash: the cache is a pure function of the fields.
+        let mut p = base.clone();
+        p.set_src(EndpointId(9));
+        p.set_src(base.src());
+        assert_eq!(p.content_hash(), base.content_hash());
+        assert_eq!(p, base);
+    }
+
+    #[test]
+    fn clone_preserves_the_cached_hash() {
+        let base = tcp_pkt(5, 100);
+        let copy = base.clone();
+        assert_eq!(copy.content_hash(), base.content_hash());
+        assert_eq!(copy, base);
+    }
+
+    #[test]
+    fn cached_hash_matches_a_fresh_structural_hash() {
+        // The cache must agree with hashing the packet's `Hash` impl
+        // directly (what the pre-cache code computed on every call).
+        use std::hash::BuildHasher as _;
+        let p = tcp_pkt(11, 640);
+        let fresh =
+            std::hash::BuildHasherDefault::<simkit::fxhash::FxHasher>::default().hash_one(&p);
+        assert_eq!(p.content_hash(), fresh);
     }
 
     #[test]

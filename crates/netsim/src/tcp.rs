@@ -504,10 +504,10 @@ impl TcpEndpoint {
     }
 
     fn make_segment(&self, flags: TcpFlags, len: u32, ack: u64, app: Option<AppData>) -> Packet {
-        Packet {
-            src: self.local,
-            dst: self.remote,
-            body: Body::Tcp(TcpSegment {
+        Packet::new(
+            self.local,
+            self.remote,
+            Body::Tcp(TcpSegment {
                 conn: self.conn,
                 flags,
                 seq: if flags.syn { 0 } else { self.snd_next },
@@ -515,7 +515,7 @@ impl TcpEndpoint {
                 len,
                 app,
             }),
-        }
+        )
     }
 }
 
@@ -524,7 +524,7 @@ mod tests {
     use super::*;
 
     fn seg(p: &Packet) -> &TcpSegment {
-        match &p.body {
+        match p.body() {
             Body::Tcp(s) => s,
             other => panic!("not tcp: {other:?}"),
         }

@@ -52,10 +52,10 @@ impl UdpFileServer {
                     };
                     out.push(self.data(from, seg.stream, i, len.max(1)));
                 }
-                out.push(Packet {
-                    src: self.local,
-                    dst: from,
-                    body: Body::Udp(UdpSegment {
+                out.push(Packet::new(
+                    self.local,
+                    from,
+                    Body::Udp(UdpSegment {
                         stream: seg.stream,
                         seq: chunks,
                         len: 8,
@@ -63,7 +63,7 @@ impl UdpFileServer {
                             total_chunks: chunks,
                         },
                     }),
-                });
+                ));
                 self.sent_chunks += chunks;
                 out
             }
@@ -79,16 +79,16 @@ impl UdpFileServer {
     }
 
     fn data(&mut self, to: EndpointId, stream: u64, seq: u64, len: u32) -> Packet {
-        Packet {
-            src: self.local,
-            dst: to,
-            body: Body::Udp(UdpSegment {
+        Packet::new(
+            self.local,
+            to,
+            Body::Udp(UdpSegment {
                 stream,
                 seq,
                 len,
                 kind: UdpKind::Data,
             }),
-        }
+        )
     }
 
     /// Data chunks sent (excluding retransmissions).
@@ -155,16 +155,16 @@ impl UdpFileClient {
     }
 
     fn request_packet(&self) -> Packet {
-        Packet {
-            src: self.local,
-            dst: self.server,
-            body: Body::Udp(UdpSegment {
+        Packet::new(
+            self.local,
+            self.server,
+            Body::Udp(UdpSegment {
                 stream: self.stream,
                 seq: 0,
                 len: 100,
                 kind: UdpKind::Request(self.request),
             }),
-        }
+        )
     }
 
     /// Consumes one datagram; returns packets to send and events.
@@ -225,16 +225,16 @@ impl UdpFileClient {
             return Vec::new();
         }
         self.naks_sent += 1;
-        vec![Packet {
-            src: self.local,
-            dst: self.server,
-            body: Body::Udp(UdpSegment {
+        vec![Packet::new(
+            self.local,
+            self.server,
+            Body::Udp(UdpSegment {
                 stream: self.stream,
                 seq: 0,
                 len: 8 * missing.len() as u32 + 16,
                 kind: UdpKind::Nak(missing),
             }),
-        }]
+        )]
     }
 
     /// `true` once every chunk has arrived.
@@ -253,7 +253,7 @@ mod tests {
     use super::*;
 
     fn useg(p: &Packet) -> &UdpSegment {
-        match &p.body {
+        match p.body() {
             Body::Udp(s) => s,
             other => panic!("not udp: {other:?}"),
         }

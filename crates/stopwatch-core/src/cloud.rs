@@ -436,7 +436,7 @@ impl Cloud {
     /// Sends a packet from `from_node` toward its destination endpoint
     /// (client or guest).
     fn deliver_external(&mut self, sim: &mut Sim<Cloud>, from_node: NetNode, packet: Packet) {
-        if let Some(&ci) = self.client_by_endpoint.get(&packet.dst) {
+        if let Some(&ci) = self.client_by_endpoint.get(&packet.dst()) {
             let node = self.clients[ci].node;
             if let Some(arrive) =
                 self.fabric
@@ -449,7 +449,7 @@ impl Cloud {
                     cloud.client_send(sim, ci, out);
                 });
             }
-        } else if self.by_endpoint.contains_key(&packet.dst) {
+        } else if self.by_endpoint.contains_key(&packet.dst()) {
             // Guest-to-guest traffic flows back through the ingress.
             if let Some(arrive) =
                 self.fabric
@@ -467,7 +467,7 @@ impl Cloud {
     fn client_send(&mut self, sim: &mut Sim<Cloud>, ci: usize, pkts: Vec<Packet>) {
         for pkt in pkts {
             let node = self.clients[ci].node;
-            if self.by_endpoint.contains_key(&pkt.dst) {
+            if self.by_endpoint.contains_key(&pkt.dst()) {
                 // To a guest: via the ingress node.
                 if let Some(arrive) =
                     self.fabric
@@ -477,7 +477,7 @@ impl Cloud {
                         cloud.ingress_replicate(sim, pkt);
                     });
                 }
-            } else if let Some(&target) = self.client_by_endpoint.get(&pkt.dst) {
+            } else if let Some(&target) = self.client_by_endpoint.get(&pkt.dst()) {
                 let tnode = self.clients[target].node;
                 if let Some(arrive) = self
                     .fabric
@@ -497,11 +497,11 @@ impl Cloud {
     /// of the destination guest (or of *all* guests, for broadcasts).
     fn ingress_replicate(&mut self, sim: &mut Sim<Cloud>, packet: Packet) {
         self.stats.incr("ingress_packets");
-        let is_broadcast = matches!(packet.body, netsim::packet::Body::Broadcast { .. });
+        let is_broadcast = matches!(packet.body(), netsim::packet::Body::Broadcast { .. });
         let targets: Vec<usize> = if is_broadcast {
             (0..self.vms.len()).collect()
         } else {
-            match self.by_endpoint.get(&packet.dst) {
+            match self.by_endpoint.get(&packet.dst()) {
                 Some(&vm) => vec![vm],
                 None => return,
             }
@@ -1135,6 +1135,14 @@ impl CloudSim {
     pub fn set_scalar_reference(&mut self, scalar: bool) {
         self.sim.set_scalar_reference(scalar);
         self.cloud.scalar_reference = scalar;
+        // The reference arm also runs the guest action queues without
+        // consecutive-compute coalescing, so every pre-batching queue
+        // entry is executed one by one.
+        for host in &mut self.cloud.hosts {
+            for s in 0..host.slot_count() {
+                host.slot_mut(s).set_coalesce_compute(!scalar);
+            }
+        }
     }
 
     /// The first structured slot failure of this run, if any (a malformed
@@ -1177,8 +1185,8 @@ mod tests {
     impl GuestProgram for Echo {
         fn on_boot(&mut self, _env: &mut GuestEnv) {}
         fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-            if let Body::Raw { tag, len } = packet.body {
-                env.send(packet.src, Body::Raw { tag: tag + 1, len });
+            if let Body::Raw { tag, len } = *packet.body() {
+                env.send(packet.src(), Body::Raw { tag: tag + 1, len });
             }
         }
         fn on_disk_done(&mut self, _o: DiskOp, _r: BlockRange, _d: &[u64], _e: &mut GuestEnv) {}
@@ -1197,7 +1205,7 @@ mod tests {
             self.next_ping()
         }
         fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet> {
-            if let Body::Raw { tag, .. } = packet.body {
+            if let Body::Raw { tag, .. } = *packet.body() {
                 self.replies.push((now, tag));
             }
             Vec::new()
@@ -1219,11 +1227,11 @@ mod tests {
             }
             let tag = u64::from(self.sent) * 10;
             self.sent += 1;
-            vec![Packet {
-                src: self.me,
-                dst: self.server,
-                body: Body::Raw { tag, len: 100 },
-            }]
+            vec![Packet::new(
+                self.me,
+                self.server,
+                Body::Raw { tag, len: 100 },
+            )]
         }
     }
 

@@ -12,9 +12,9 @@
 //! queued actions and then its idle loop (which retires branches, so
 //! virtual time keeps advancing).
 
+use crate::actions::ActionQueue;
 use netsim::packet::{Body, EndpointId, Packet};
 use simkit::time::{VirtNanos, VirtOffset};
-use std::collections::VecDeque;
 use storage::block::BlockRange;
 use storage::device::DiskOp;
 
@@ -39,10 +39,15 @@ pub enum GuestAction {
         /// Content hash to store.
         value: u64,
     },
-    /// Emit a network packet (under StopWatch, tunneled to the egress node).
+    /// Emit a network packet (under StopWatch, tunneled to the egress
+    /// node). The device model builds the [`Packet`] at execution time
+    /// with the guest's endpoint as source, so the packet — and its
+    /// cached content hash — is constructed exactly once.
     Send {
-        /// The packet (src will be the guest's endpoint).
-        packet: Packet,
+        /// Destination endpoint.
+        dst: EndpointId,
+        /// Payload.
+        body: Body,
     },
     /// Invoke [`GuestProgram::on_call`] when execution reaches this point
     /// (a deterministic self-callback: "after the work queued so far, run
@@ -115,7 +120,7 @@ pub struct GuestEnv<'a> {
     pub rtc_secs: u64,
     /// The guest's virtualized branch counter.
     pub branches: u64,
-    actions: &'a mut VecDeque<GuestAction>,
+    actions: &'a mut ActionQueue,
 }
 
 impl<'a> GuestEnv<'a> {
@@ -129,7 +134,7 @@ impl<'a> GuestEnv<'a> {
         tsc: u64,
         rtc_secs: u64,
         branches: u64,
-        actions: &'a mut VecDeque<GuestAction>,
+        actions: &'a mut ActionQueue,
     ) -> Self {
         GuestEnv {
             now,
@@ -142,56 +147,50 @@ impl<'a> GuestEnv<'a> {
         }
     }
 
-    /// Queues `branches` of computation.
+    /// Queues `branches` of computation (consecutive runs coalesce into
+    /// one queue entry unless the slot runs in scalar-reference mode).
     pub fn compute(&mut self, branches: u64) {
-        self.actions.push_back(GuestAction::Compute { branches });
+        self.actions.push(GuestAction::Compute { branches });
     }
 
     /// Queues a disk read.
     pub fn disk_read(&mut self, range: BlockRange) {
-        self.actions.push_back(GuestAction::DiskRead { range });
+        self.actions.push(GuestAction::DiskRead { range });
     }
 
     /// Queues a disk write.
     pub fn disk_write(&mut self, range: BlockRange, value: u64) {
-        self.actions
-            .push_back(GuestAction::DiskWrite { range, value });
+        self.actions.push(GuestAction::DiskWrite { range, value });
     }
 
-    /// Queues a packet send from this guest (`src` is overwritten with the
-    /// guest's endpoint by the device model).
+    /// Queues a packet send from this guest (the device model stamps the
+    /// guest's endpoint as source when the packet is built).
     pub fn send(&mut self, dst: EndpointId, body: Body) {
-        self.actions.push_back(GuestAction::Send {
-            packet: Packet {
-                src: EndpointId(0), // patched by the device model
-                dst,
-                body,
-            },
-        });
+        self.actions.push(GuestAction::Send { dst, body });
     }
 
     /// Queues a continuation: [`GuestProgram::on_call`] fires with `token`
     /// after all previously queued actions have executed.
     pub fn call_after(&mut self, token: u64) {
-        self.actions.push_back(GuestAction::Call { token });
+        self.actions.push(GuestAction::Call { token });
     }
 
     /// Queues a silent touch of shared-LLC line `(set, tag)` (prime /
     /// victim access; no completion event).
     pub fn cache_touch(&mut self, set: u64, tag: u64) {
-        self.actions.push_back(GuestAction::CacheTouch { set, tag });
+        self.actions.push(GuestAction::CacheTouch { set, tag });
     }
 
     /// Queues a shared-LLC probe of line `(set, tag)`; the latency readout
     /// arrives via [`GuestProgram::on_cache_probe`].
     pub fn cache_probe(&mut self, set: u64, tag: u64) {
-        self.actions.push_back(GuestAction::CacheProbe { set, tag });
+        self.actions.push(GuestAction::CacheProbe { set, tag });
     }
 
     /// Arms one-shot virtual timer `timer_id` for the absolute virtual
     /// `deadline`; the fire arrives via [`GuestProgram::on_vtimer`].
     pub fn set_timer(&mut self, timer_id: u64, deadline: VirtNanos) {
-        self.actions.push_back(GuestAction::SetTimer {
+        self.actions.push(GuestAction::SetTimer {
             timer_id,
             deadline,
             period: None,
@@ -201,7 +200,7 @@ impl<'a> GuestEnv<'a> {
     /// Arms periodic virtual timer `timer_id`: first fire at `deadline`,
     /// then re-armed every `period` after each fire.
     pub fn set_periodic_timer(&mut self, timer_id: u64, deadline: VirtNanos, period: VirtOffset) {
-        self.actions.push_back(GuestAction::SetTimer {
+        self.actions.push(GuestAction::SetTimer {
             timer_id,
             deadline,
             period: Some(period),
@@ -210,8 +209,7 @@ impl<'a> GuestEnv<'a> {
 
     /// Disarms virtual timer `timer_id` (no-op for unknown ids).
     pub fn cancel_timer(&mut self, timer_id: u64) {
-        self.actions
-            .push_back(GuestAction::CancelTimer { timer_id });
+        self.actions.push(GuestAction::CancelTimer { timer_id });
     }
 
     /// Queued actions not yet executed.
@@ -295,7 +293,7 @@ mod tests {
 
     #[test]
     fn env_queues_actions_in_order() {
-        let mut q = VecDeque::new();
+        let mut q = ActionQueue::new();
         let mut env = GuestEnv::new(VirtNanos::ZERO, None, 0, 0, 0, 0, &mut q);
         env.compute(100);
         env.disk_read(BlockRange::new(0, 1));
@@ -304,32 +302,51 @@ mod tests {
         env.set_periodic_timer(5, VirtNanos::from_millis(9), VirtOffset::from_millis(2));
         env.cancel_timer(4);
         assert_eq!(env.queue_len(), 6);
-        assert!(matches!(q[0], GuestAction::Compute { branches: 100 }));
-        assert!(matches!(q[1], GuestAction::DiskRead { .. }));
-        assert!(matches!(q[2], GuestAction::Send { .. }));
         assert!(matches!(
-            q[3],
-            GuestAction::SetTimer {
+            q.get(0),
+            Some(GuestAction::Compute { branches: 100 })
+        ));
+        assert!(matches!(q.get(1), Some(GuestAction::DiskRead { .. })));
+        assert!(matches!(q.get(2), Some(GuestAction::Send { .. })));
+        assert!(matches!(
+            q.get(3),
+            Some(GuestAction::SetTimer {
                 timer_id: 4,
                 period: None,
                 ..
-            }
+            })
         ));
         assert!(matches!(
-            q[4],
-            GuestAction::SetTimer {
+            q.get(4),
+            Some(GuestAction::SetTimer {
                 timer_id: 5,
                 period: Some(_),
                 ..
-            }
+            })
         ));
-        assert!(matches!(q[5], GuestAction::CancelTimer { timer_id: 4 }));
+        assert!(matches!(
+            q.get(5),
+            Some(GuestAction::CancelTimer { timer_id: 4 })
+        ));
+    }
+
+    #[test]
+    fn consecutive_env_computes_coalesce_into_one_action() {
+        let mut q = ActionQueue::new();
+        let mut env = GuestEnv::new(VirtNanos::ZERO, None, 0, 0, 0, 0, &mut q);
+        env.compute(100);
+        env.compute(23);
+        assert_eq!(env.queue_len(), 1);
+        assert!(matches!(
+            q.front(),
+            Some(GuestAction::Compute { branches: 123 })
+        ));
     }
 
     #[test]
     fn idle_guest_stays_idle() {
         let mut g = IdleGuest;
-        let mut q = VecDeque::new();
+        let mut q = ActionQueue::new();
         let mut env = GuestEnv::new(VirtNanos::ZERO, None, 0, 0, 0, 0, &mut q);
         g.on_boot(&mut env);
         assert_eq!(env.queue_len(), 0);

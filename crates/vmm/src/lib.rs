@@ -33,6 +33,7 @@
 //! Cross-host coordination (proposal exchange, pacing, ingress/egress
 //! wiring) lives one level up, in `stopwatch-core`.
 
+pub mod actions;
 pub mod cache;
 pub mod channel;
 pub mod clock;
@@ -47,6 +48,7 @@ pub mod speed;
 
 /// One-line import for the common types.
 pub mod prelude {
+    pub use crate::actions::ActionQueue;
     pub use crate::cache::CacheModel;
     pub use crate::channel::{ChannelKind, ChannelPolicies, ChannelPolicy};
     pub use crate::clock::{EpochConfig, VirtualClock};

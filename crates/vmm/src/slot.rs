@@ -34,6 +34,7 @@
 //!   (absorbed by the offset/median machinery and the egress), never
 //!   logical behaviour.
 
+use crate::actions::ActionQueue;
 use crate::cache::CacheModel;
 use crate::channel::{ChannelKind, ChannelPolicy};
 use crate::clock::VirtualClock;
@@ -47,7 +48,7 @@ use simkit::fxhash::FxHashMap;
 use simkit::metrics::Counters;
 use simkit::time::{SimTime, VirtNanos, VirtOffset};
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use storage::block::{BlockRange, DiskImage};
 use storage::device::{DiskOp, DiskRequest};
 
@@ -234,7 +235,7 @@ pub struct GuestSlot {
     // Logical (deterministic) execution state.
     pc: u64,
     compute_end: Option<u64>,
-    actions: VecDeque<GuestAction>,
+    actions: ActionQueue,
     booted: bool,
     // The unified timing-channel core: one pending table and one
     // early-proposal buffer for every channel kind. The table is
@@ -323,7 +324,7 @@ impl GuestSlot {
             resume_at: SimTime::ZERO,
             pc: 0,
             compute_end: None,
-            actions: VecDeque::new(),
+            actions: ActionQueue::new(),
             booted: false,
             pending: PendingTable::default(),
             early: FxHashMap::default(),
@@ -382,6 +383,14 @@ impl GuestSlot {
     /// I/O rather than idling) — the signal that drives host contention.
     pub fn is_busy(&self) -> bool {
         !self.actions.is_empty()
+    }
+
+    /// Enables or disables consecutive-`Compute` coalescing in the action
+    /// queue (on by default; the cloud's scalar-reference mode turns it
+    /// off so the reference arm executes the pre-batching action stream
+    /// entry for entry).
+    pub fn set_coalesce_compute(&mut self, on: bool) {
+        self.actions.set_coalesce(on);
     }
 
     /// Physical branches retired as of the last sync.
@@ -564,9 +573,13 @@ impl GuestSlot {
         let mut out = Vec::new();
         loop {
             // Pin down the head compute's completion point in pc space.
+            // The queue is told: from here on, new computes must not
+            // coalesce into this (now executing) entry — its stored
+            // branch count is dead, the pinned end below is the truth.
             if self.compute_end.is_none() {
                 if let Some(GuestAction::Compute { branches }) = self.actions.front() {
                     self.compute_end = Some(self.pc + branches);
+                    self.actions.pin_front();
                 }
             }
             // Candidates, ordered by (branch position, rank): compute
@@ -634,8 +647,8 @@ impl GuestSlot {
             GuestAction::DiskWrite { range, value } => {
                 out.push(self.issue_disk(DiskOp::Write, range, value));
             }
-            GuestAction::Send { mut packet } => {
-                packet.src = self.cfg.endpoint;
+            GuestAction::Send { dst, body } => {
+                let packet = Packet::new(self.cfg.endpoint, dst, body);
                 let virt = self.clock.virt(self.pc);
                 let seq = self.out_seq;
                 self.out_seq += 1;
@@ -1373,7 +1386,7 @@ mod tests {
         fn on_boot(&mut self, _env: &mut GuestEnv) {}
         fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
             self.recv_virt.push(env.now);
-            env.send(packet.src, Body::Raw { tag: 1, len: 64 });
+            env.send(packet.src(), Body::Raw { tag: 1, len: 64 });
         }
         fn on_disk_done(
             &mut self,
@@ -1445,11 +1458,7 @@ mod tests {
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
-        let pkt = Packet {
-            src: EndpointId(1),
-            dst: EndpointId(7),
-            body: Body::Raw { tag: 0, len: 100 },
-        };
+        let pkt = Packet::new(EndpointId(1), EndpointId(7), Body::Raw { tag: 0, len: 100 });
         let t_arr = SimTime::from_millis(1);
         let outcome = slot.on_packet_arrival(&p, t_arr, 0, pkt);
         let ArrivalOutcome::Proposal(own) = outcome else {
@@ -1490,7 +1499,7 @@ mod tests {
                 virt,
             } => {
                 assert_eq!(*out_seq, 0);
-                assert_eq!(packet.src, EndpointId(7));
+                assert_eq!(packet.src(), EndpointId(7));
                 assert_eq!(virt.as_nanos(), 11_500_000);
             }
             other => panic!("{other:?}"),
@@ -1506,11 +1515,7 @@ mod tests {
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
-        let pkt = Packet {
-            src: EndpointId(1),
-            dst: EndpointId(7),
-            body: Body::Raw { tag: 0, len: 100 },
-        };
+        let pkt = Packet::new(EndpointId(1), EndpointId(7), Body::Raw { tag: 0, len: 100 });
         slot.on_packet_arrival(&p, SimTime::from_micros(130), 0, pkt);
         let wake = slot.next_wake(&p, SimTime::from_micros(130)).unwrap();
         // Delivery virt = 130us; next exit boundary at 150us (float
@@ -1527,11 +1532,7 @@ mod tests {
         let mut cache = CacheModel::new(8, 2);
         let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
-        let pkt = Packet {
-            src: EndpointId(1),
-            dst: EndpointId(7),
-            body: Body::Raw { tag: 0, len: 100 },
-        };
+        let pkt = Packet::new(EndpointId(1), EndpointId(7), Body::Raw { tag: 0, len: 100 });
         slot.on_packet_arrival(&p, SimTime::from_millis(1), 0, pkt);
         // Peers propose times far in this replica's past.
         let late = SimTime::from_millis(50);
@@ -1714,11 +1715,7 @@ mod tests {
             let mut cache = CacheModel::new(8, 2);
             let mut slot = slot_with(Box::<EchoGuest>::default(), stopwatch_cfg().mode);
             slot.boot(p, &mut cache, SimTime::ZERO).expect("boot");
-            let pkt = Packet {
-                src: EndpointId(1),
-                dst: EndpointId(7),
-                body: Body::Raw { tag: 0, len: 100 },
-            };
+            let pkt = Packet::new(EndpointId(1), EndpointId(7), Body::Raw { tag: 0, len: 100 });
             // Packet arrives at (slightly) different real times per host.
             slot.on_packet_arrival(p, SimTime::from_micros(900), 0, pkt);
             for prop in [11_000_000u64, 11_500_000, 12_100_000] {
@@ -1812,11 +1809,7 @@ mod tests {
         let mut slot = slot_with(Box::new(BusyEcho), DefenseMode::baseline());
         slot.boot(&p, &mut cache, SimTime::ZERO).expect("boot");
         // Packet arrives at 2ms (mid-compute), delivered at exit ~2ms.
-        let pkt = Packet {
-            src: EndpointId(1),
-            dst: EndpointId(7),
-            body: Body::Raw { tag: 0, len: 10 },
-        };
+        let pkt = Packet::new(EndpointId(1), EndpointId(7), Body::Raw { tag: 0, len: 10 });
         slot.on_packet_arrival(&p, SimTime::from_millis(2), 0, pkt);
         let wake = slot.next_wake(&p, SimTime::from_millis(2)).unwrap();
         let out1 = slot.process(&p, &mut cache, wake).expect("process");
@@ -1845,8 +1838,8 @@ mod tests {
                     ..
                 },
             ) => {
-                assert!(matches!(a.body, Body::Raw { tag: 42, .. }));
-                assert!(matches!(b.body, Body::Raw { tag: 43, .. }));
+                assert!(matches!(a.body(), Body::Raw { tag: 42, .. }));
+                assert!(matches!(b.body(), Body::Raw { tag: 43, .. }));
                 assert_eq!(va.as_nanos(), 10_000_000);
                 assert_eq!(vb.as_nanos(), 10_000_000);
             }
@@ -1990,11 +1983,7 @@ mod tests {
         assert!(!slot.add_proposal(&p, SimTime::ZERO, ChannelKind::Net, 0, stray));
         // The packet then does arrive: the dropped stray must NOT count
         // toward the three needed proposals.
-        let pkt = Packet {
-            src: EndpointId(1),
-            dst: EndpointId(7),
-            body: Body::Raw { tag: 0, len: 100 },
-        };
+        let pkt = Packet::new(EndpointId(1), EndpointId(7), Body::Raw { tag: 0, len: 100 });
         let t = SimTime::from_millis(1);
         slot.on_packet_arrival(&p, t, 0, pkt);
         assert!(!slot.add_proposal(&p, t, ChannelKind::Net, 0, stray));

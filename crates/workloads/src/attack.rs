@@ -49,7 +49,7 @@ impl GuestProgram for AttackerGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
 
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        if matches!(packet.body, Body::Raw { tag: 0xBEEF, .. }) {
+        if matches!(packet.body(), Body::Raw { tag: 0xBEEF, .. }) {
             self.arrivals.push(env.now);
         }
     }
@@ -110,14 +110,14 @@ impl ProbeClient {
                 break;
             }
             self.remaining -= 1;
-            out.push(Packet {
-                src: self.me,
-                dst: self.attacker,
-                body: Body::Raw {
+            out.push(Packet::new(
+                self.me,
+                self.attacker,
+                Body::Raw {
                     tag: 0xBEEF,
                     len: 100,
                 },
-            });
+            ));
             let gap = self.rng.exp_duration(self.mean_gap);
             self.next_at = Some(next + gap);
         }

@@ -190,7 +190,7 @@ impl NfsServerGuest {
         let _ = now;
         if let Some(ep) = self.conns.get_mut(&conn) {
             for pkt in ep.send_stream(head.op.response_bytes(), None, false) {
-                env.send(pkt.dst, pkt.body);
+                env.send(pkt.dst(), pkt.into_body());
             }
         }
         self.maybe_start(conn, env);
@@ -207,14 +207,16 @@ impl GuestProgram for NfsServerGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
 
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        let Body::Tcp(seg) = &packet.body else { return };
+        let Body::Tcp(seg) = packet.body() else {
+            return;
+        };
         let now = Self::vnow(env);
         let ep = self.conns.entry(seg.conn).or_insert_with(|| {
-            TcpEndpoint::server(self.cfg, seg.conn, packet.dst, packet.src, now)
+            TcpEndpoint::server(self.cfg, seg.conn, packet.dst(), packet.src(), now)
         });
         let out = ep.on_segment(seg, now);
         for pkt in out.packets {
-            env.send(pkt.dst, pkt.body);
+            env.send(pkt.dst(), pkt.into_body());
         }
         for ev in out.events {
             if let TcpEvent::Request(app) = ev {
@@ -249,7 +251,7 @@ impl GuestProgram for NfsServerGuest {
             out.extend(ep.on_tick(now));
         }
         for pkt in out {
-            env.send(pkt.dst, pkt.body);
+            env.send(pkt.dst(), pkt.into_body());
         }
     }
 
@@ -401,7 +403,7 @@ impl ClientApp for NhfsstoneClient {
     }
 
     fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet> {
-        let Body::Tcp(seg) = &packet.body else {
+        let Body::Tcp(seg) = packet.body() else {
             return Vec::new();
         };
         self.received_segments += 1;

@@ -188,7 +188,7 @@ impl ClientApp for CompletionWaiter {
     }
 
     fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet> {
-        if matches!(packet.body, Body::Raw { tag: 0xD0E, .. }) {
+        if matches!(packet.body(), Body::Raw { tag: 0xD0E, .. }) {
             self.arrivals.push(now);
         }
         Vec::new()

@@ -62,7 +62,7 @@ impl FileServerGuest {
 
     fn pump(out: netsim::tcp::TcpOutput, env: &mut GuestEnv) -> Vec<TcpEvent> {
         for pkt in out.packets {
-            env.send(pkt.dst, pkt.body);
+            env.send(pkt.dst(), pkt.into_body());
         }
         out.events
     }
@@ -78,7 +78,7 @@ impl FileServerGuest {
                 Some(ep) if ep.state() == TcpState::Established => {
                     self.served += 1;
                     for pkt in ep.send_stream(bytes, None, true) {
-                        env.send(pkt.dst, pkt.body);
+                        env.send(pkt.dst(), pkt.into_body());
                     }
                 }
                 Some(_) => held.push_back((conn, bytes)),
@@ -99,10 +99,12 @@ impl GuestProgram for FileServerGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
 
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        let Body::Tcp(seg) = &packet.body else { return };
+        let Body::Tcp(seg) = packet.body() else {
+            return;
+        };
         let now = vnow(env);
         let ep = self.conns.entry(seg.conn).or_insert_with(|| {
-            TcpEndpoint::server(self.cfg, seg.conn, packet.dst, packet.src, now)
+            TcpEndpoint::server(self.cfg, seg.conn, packet.dst(), packet.src(), now)
         });
         let events = Self::pump(ep.on_segment(seg, now), env);
         for ev in events {
@@ -137,7 +139,7 @@ impl GuestProgram for FileServerGuest {
             out.extend(ep.on_tick(now));
         }
         for pkt in out {
-            env.send(pkt.dst, pkt.body);
+            env.send(pkt.dst(), pkt.into_body());
         }
         self.flush_ready(env);
     }
@@ -222,7 +224,7 @@ impl ClientApp for HttpDownloadClient {
     }
 
     fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet> {
-        let Body::Tcp(seg) = &packet.body else {
+        let Body::Tcp(seg) = packet.body() else {
             return Vec::new();
         };
         self.received_segments += 1;
@@ -306,18 +308,20 @@ impl GuestProgram for UdpFileGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
 
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        let Body::Udp(seg) = &packet.body else { return };
-        self.inner = UdpFileServer::new(packet.dst); // keep local id fresh
+        let Body::Udp(seg) = packet.body() else {
+            return;
+        };
+        self.inner = UdpFileServer::new(packet.dst()); // keep local id fresh
         match &seg.kind {
             netsim::packet::UdpKind::Request(app) => {
                 // Cold start: disk first, stream from on_disk_done.
-                self.awaiting_disk.push_back((packet.src, seg.clone()));
+                self.awaiting_disk.push_back((packet.src(), seg.clone()));
                 env.disk_read(file_range(app.a, app.b));
             }
             netsim::packet::UdpKind::Nak(_) => {
                 // Retransmissions come from the page cache: no disk.
-                for pkt in self.inner.on_datagram(packet.src, seg) {
-                    env.send(pkt.dst, pkt.body);
+                for pkt in self.inner.on_datagram(packet.src(), seg) {
+                    env.send(pkt.dst(), pkt.into_body());
                 }
             }
             _ => {}
@@ -332,7 +336,7 @@ impl GuestProgram for UdpFileGuest {
             return;
         };
         for pkt in self.inner.on_datagram(from, &seg) {
-            env.send(pkt.dst, pkt.body);
+            env.send(pkt.dst(), pkt.into_body());
         }
     }
 
@@ -408,7 +412,7 @@ impl ClientApp for UdpDownloadClient {
     }
 
     fn on_packet(&mut self, packet: &Packet, now: SimTime) -> Vec<Packet> {
-        let Body::Udp(seg) = &packet.body else {
+        let Body::Udp(seg) = packet.body() else {
             return Vec::new();
         };
         let Some((client, started)) = self.current.as_mut() else {

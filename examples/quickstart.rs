@@ -13,8 +13,8 @@ struct EchoGuest;
 impl GuestProgram for EchoGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        if let Body::Raw { tag, len } = packet.body {
-            env.send(packet.src, Body::Raw { tag: tag + 1, len });
+        if let Body::Raw { tag, len } = *packet.body() {
+            env.send(packet.src(), Body::Raw { tag: tag + 1, len });
         }
     }
     fn on_disk_done(
@@ -38,11 +38,11 @@ struct OnePing {
 impl ClientApp for OnePing {
     fn on_start(&mut self, _now: SimTime) -> Vec<Packet> {
         self.sent = true;
-        vec![Packet {
-            src: self.me,
-            dst: self.server,
-            body: Body::Raw { tag: 7, len: 64 },
-        }]
+        vec![Packet::new(
+            self.me,
+            self.server,
+            Body::Raw { tag: 7, len: 64 },
+        )]
     }
     fn on_packet(&mut self, _p: &Packet, now: SimTime) -> Vec<Packet> {
         self.reply_at = Some(now);

@@ -14,9 +14,9 @@ struct EchoGuest {
 impl GuestProgram for EchoGuest {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        if let Body::Raw { tag, len } = packet.body {
+        if let Body::Raw { tag, len } = *packet.body() {
             env.send(
-                packet.src,
+                packet.src(),
                 Body::Raw {
                     tag: tag + 1 + self.salt,
                     len,
@@ -47,7 +47,7 @@ impl ClientApp for PingClient {
         self.next()
     }
     fn on_packet(&mut self, p: &Packet, now: SimTime) -> Vec<Packet> {
-        if let Body::Raw { tag, .. } = p.body {
+        if let Body::Raw { tag, .. } = *p.body() {
             self.replies.push((now, tag));
         }
         Vec::new()
@@ -70,11 +70,11 @@ impl PingClient {
         }
         let tag = u64::from(self.sent) * 100;
         self.sent += 1;
-        vec![Packet {
-            src: self.me,
-            dst: self.server,
-            body: Body::Raw { tag, len: 80 },
-        }]
+        vec![Packet::new(
+            self.me,
+            self.server,
+            Body::Raw { tag, len: 80 },
+        )]
     }
 }
 

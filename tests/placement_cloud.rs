@@ -9,8 +9,8 @@ struct Echo;
 impl GuestProgram for Echo {
     fn on_boot(&mut self, _env: &mut GuestEnv) {}
     fn on_packet(&mut self, packet: &Packet, env: &mut GuestEnv) {
-        if let Body::Raw { tag, len } = packet.body {
-            env.send(packet.src, Body::Raw { tag: tag + 1, len });
+        if let Body::Raw { tag, len } = *packet.body() {
+            env.send(packet.src(), Body::Raw { tag: tag + 1, len });
         }
     }
     fn on_disk_done(
@@ -32,11 +32,11 @@ struct OnePing {
 impl ClientApp for OnePing {
     fn on_start(&mut self, _now: SimTime) -> Vec<Packet> {
         self.sent = true;
-        vec![Packet {
-            src: self.me,
-            dst: self.server,
-            body: Body::Raw { tag: 1, len: 40 },
-        }]
+        vec![Packet::new(
+            self.me,
+            self.server,
+            Body::Raw { tag: 1, len: 40 },
+        )]
     }
     fn on_packet(&mut self, _p: &Packet, _now: SimTime) -> Vec<Packet> {
         self.got = true;

@@ -10,14 +10,14 @@ use simkit::time::{SimDuration, SimTime};
 use stopwatch_repro::prelude::*;
 
 fn tcp_seg(p: &Packet) -> &netsim::packet::TcpSegment {
-    match &p.body {
+    match p.body() {
         Body::Tcp(s) => s,
         other => panic!("not tcp: {other:?}"),
     }
 }
 
 fn udp_seg(p: &Packet) -> &netsim::packet::UdpSegment {
-    match &p.body {
+    match p.body() {
         Body::Udp(s) => s,
         other => panic!("not udp: {other:?}"),
     }
